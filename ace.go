@@ -1,0 +1,130 @@
+// Package ace is the public API of the Ace runtime: a region-based
+// software distributed shared memory with customizable coherence
+// protocols, reproducing Raghavachari & Rogers, "Ace: Linguistic
+// Mechanisms for Customizable Protocols" (PPoPP 1997).
+//
+// # Programming model
+//
+// An Ace program is SPMD: NewCluster creates P logical processors, and
+// Run executes the same function on each, one user thread per processor.
+// Shared data lives in regions — arbitrarily sized blocks with a unique id
+// — allocated from spaces. A space is the paper's central abstraction: an
+// allocation arena with an associated coherence protocol. Programs are
+// developed against the default sequentially consistent space and then
+// tuned by moving data structures into spaces with application-specific
+// protocols, or by switching a space's protocol as the program changes
+// phase:
+//
+//	cl, _ := ace.NewCluster(ace.Options{Procs: 8})
+//	defer cl.Close()
+//	cl.Run(func(p *ace.Proc) error {
+//		sp, _ := p.NewSpace("sc")
+//		var id ace.RegionID
+//		if p.ID() == 0 {
+//			id = p.GMalloc(sp, 1024)
+//		}
+//		id = p.BroadcastID(0, id)
+//		r := p.Map(id)
+//		p.StartWrite(r)
+//		r.Data.SetFloat64(0, 3.14)
+//		p.EndWrite(r)
+//		p.Barrier(sp)
+//		// Later: switch the space to an update protocol.
+//		return p.ChangeProtocol(sp, "update")
+//	})
+//
+// Accesses to a mapped region's Data are bracketed by StartRead/EndRead or
+// StartWrite/EndWrite; the semantics of those brackets are whatever the
+// space's protocol defines. The runtime dispatches every primitive —
+// including Barrier, Lock and Unlock — through the protocol ("full access
+// control"), so protocols can act before and after accesses and at
+// synchronization points.
+//
+// # Protocols
+//
+// NewCluster installs the protocol library from package proto ("sc",
+// "null", "update", "staticupdate", "migratory", "pipeline", "atomic",
+// "homewrite") unless Options.Registry overrides it. New protocols are
+// added by implementing the Protocol interface and registering an Info —
+// the analogue of the paper's protocol-registration script; see package
+// proto for worked examples.
+package ace
+
+import (
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/proto"
+)
+
+// Core type re-exports. See the corresponding internal/core documentation
+// on each.
+type (
+	// Options configures a cluster (processor count, registry, network).
+	Options = core.Options
+	// Cluster is a set of logical processors sharing regions.
+	Cluster = core.Cluster
+	// Proc is one processor's handle on the runtime.
+	Proc = core.Proc
+	// Space binds a protocol to a set of regions.
+	Space = core.Space
+	// Region is a processor's local view of a shared region.
+	Region = core.Region
+	// RegionID names a shared region globally.
+	RegionID = core.RegionID
+	// RegionData is a region's byte storage with typed accessors.
+	RegionData = core.RegionData
+	// Protocol is the interface coherence protocols implement.
+	Protocol = core.Protocol
+	// Ctx provides runtime services to protocol implementations.
+	Ctx = core.Ctx
+	// Info is a protocol registry entry.
+	Info = core.Info
+	// Decl is the compiler-visible part of an Info.
+	Decl = core.Decl
+	// Registry holds the available protocols.
+	Registry = core.Registry
+	// Directory is the per-region coherence directory at the home.
+	Directory = core.Directory
+	// Point names a protocol invocation point.
+	Point = core.Point
+	// PointSet is a set of invocation points.
+	PointSet = core.PointSet
+	// ReduceOp selects an AllReduce combining operator.
+	ReduceOp = core.ReduceOp
+	// OpStats counts runtime primitive invocations.
+	OpStats = core.OpStats
+	// Base is an embeddable no-op Protocol implementation.
+	Base = core.Base
+)
+
+// Reduction operators.
+const (
+	OpSum = core.OpSum
+	OpMin = core.OpMin
+	OpMax = core.OpMax
+)
+
+// Protocol invocation points.
+const (
+	PointMap        = core.PointMap
+	PointUnmap      = core.PointUnmap
+	PointStartRead  = core.PointStartRead
+	PointEndRead    = core.PointEndRead
+	PointStartWrite = core.PointStartWrite
+	PointEndWrite   = core.PointEndWrite
+	PointBarrier    = core.PointBarrier
+	PointLock       = core.PointLock
+	PointUnlock     = core.PointUnlock
+)
+
+// NewCluster creates a cluster. If opts.Registry is nil, the full protocol
+// library (package proto) is installed.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.Registry == nil {
+		opts.Registry = proto.NewRegistry()
+	}
+	return core.NewCluster(opts)
+}
+
+// NewRegistry returns a registry with the built-in "sc" protocol plus the
+// whole protocol library.
+func NewRegistry() *Registry { return proto.NewRegistry() }

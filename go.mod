@@ -1,0 +1,3 @@
+module github.com/acedsm/ace
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package amnet provides the Active Messages fabric that the Ace and CRL
+// runtimes are built on.
+//
+// The model follows von Eicken et al.'s Active Messages: a message names a
+// handler on the destination node; the handler runs asynchronously to the
+// destination's compute thread, may examine the message and send further
+// messages (for example a reply), but must never block waiting for network
+// events. Each node owns a dispatch pump goroutine that drains its mailbox
+// and runs handlers one at a time, so handlers on a given node are
+// serialized with respect to each other.
+//
+// Mailboxes are unbounded, which preserves the classic Active Messages
+// liveness argument: a send never blocks, so a handler can always complete,
+// so every mailbox is eventually drained.
+package amnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a logical processor in the cluster. Nodes are numbered
+// 0..N-1.
+type NodeID int32
+
+// HandlerID names a registered active-message handler on the destination
+// node. The runtime reserves a small number of IDs for its own use; see
+// package core.
+type HandlerID uint16
+
+// MaxHandlers bounds the handler table size on every endpoint.
+const MaxHandlers = 256
+
+// Msg is a single active message. A, B, C and D are small scalar arguments
+// (typically a region id, a waiter sequence number, and auxiliary values);
+// bulk data travels in Payload. The receiving handler must treat Payload as
+// read-only; it may be aliased by transport internals.
+type Msg struct {
+	Dst, Src NodeID
+	Handler  HandlerID
+	A, B, C  uint64
+	D        uint64
+	Payload  []byte
+}
+
+// Handler is the function type invoked for a delivered message. It runs on
+// the destination node's pump goroutine and must not block on network
+// events (it may send messages).
+type Handler func(Msg)
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// ID returns this endpoint's node id.
+	ID() NodeID
+	// Nodes returns the total number of nodes in the network.
+	Nodes() int
+	// Register installs fn as the handler for id. It must be called
+	// before any message with that handler id arrives; registration
+	// after Start is a programming error.
+	Register(id HandlerID, fn Handler)
+	// Send enqueues m for delivery to m.Dst. It never blocks and is safe
+	// to call from handlers and from compute threads concurrently. The
+	// payload is not copied; the caller must not mutate it after Send.
+	Send(m Msg)
+	// Stats returns this endpoint's traffic counters.
+	Stats() *Stats
+}
+
+// Network is a set of connected endpoints, one per node.
+type Network interface {
+	Endpoints() []Endpoint
+	// Close shuts down delivery. Messages still queued may be dropped.
+	Close() error
+}
+
+// ChanConfig configures an in-process channel network.
+type ChanConfig struct {
+	// Nodes is the number of endpoints to create.
+	Nodes int
+	// Latency, if nonzero, delays every message's delivery by the given
+	// duration after its send time, modelling a fixed network latency.
+	Latency time.Duration
+}
+
+// NewChanNetwork builds an in-process network of n endpoints connected by
+// unbounded mailboxes, one pump goroutine per node.
+func NewChanNetwork(cfg ChanConfig) (Network, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("amnet: invalid node count %d", cfg.Nodes)
+	}
+	nw := &chanNetwork{cfg: cfg}
+	nw.eps = make([]*chanEndpoint, cfg.Nodes)
+	for i := range nw.eps {
+		nw.eps[i] = &chanEndpoint{
+			id:  NodeID(i),
+			nw:  nw,
+			box: newMailbox(),
+		}
+	}
+	for _, ep := range nw.eps {
+		nw.wg.Add(1)
+		go ep.pump(&nw.wg)
+	}
+	return nw, nil
+}
+
+type chanNetwork struct {
+	cfg ChanConfig
+	eps []*chanEndpoint
+	wg  sync.WaitGroup
+}
+
+func (n *chanNetwork) Endpoints() []Endpoint {
+	out := make([]Endpoint, len(n.eps))
+	for i, ep := range n.eps {
+		out[i] = ep
+	}
+	return out
+}
+
+func (n *chanNetwork) Close() error {
+	for _, ep := range n.eps {
+		ep.box.close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+type chanEndpoint struct {
+	id       NodeID
+	nw       *chanNetwork
+	box      *mailbox
+	handlers [MaxHandlers]Handler
+	stats    Stats
+}
+
+func (e *chanEndpoint) ID() NodeID { return e.id }
+
+func (e *chanEndpoint) Nodes() int { return len(e.nw.eps) }
+
+func (e *chanEndpoint) Register(id HandlerID, fn Handler) {
+	if int(id) >= MaxHandlers {
+		panic(fmt.Sprintf("amnet: handler id %d out of range", id))
+	}
+	e.handlers[id] = fn
+}
+
+func (e *chanEndpoint) Send(m Msg) {
+	if int(m.Dst) < 0 || int(m.Dst) >= len(e.nw.eps) {
+		panic(fmt.Sprintf("amnet: send to invalid node %d", m.Dst))
+	}
+	m.Src = e.id
+	e.stats.count(&e.stats.MsgsSent, &e.stats.BytesSent, m)
+	dst := e.nw.eps[m.Dst]
+	var due time.Time
+	if e.nw.cfg.Latency > 0 && m.Dst != m.Src {
+		due = time.Now().Add(e.nw.cfg.Latency)
+	}
+	dst.box.push(item{msg: m, due: due})
+}
+
+func (e *chanEndpoint) Stats() *Stats { return &e.stats }
+
+func (e *chanEndpoint) pump(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		it, ok := e.box.pop()
+		if !ok {
+			return
+		}
+		if !it.due.IsZero() {
+			if d := time.Until(it.due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		e.dispatch(it.msg)
+	}
+}
+
+func (e *chanEndpoint) dispatch(m Msg) {
+	e.stats.count(&e.stats.MsgsRecv, &e.stats.BytesRecv, m)
+	h := e.handlers[m.Handler]
+	if h == nil {
+		panic(fmt.Sprintf("amnet: node %d: no handler %d registered (msg from %d)", e.id, m.Handler, m.Src))
+	}
+	h(m)
+}

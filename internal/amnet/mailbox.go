@@ -1,0 +1,66 @@
+package amnet
+
+import (
+	"sync"
+	"time"
+)
+
+// item is a queued message plus its earliest delivery time (zero for
+// immediate delivery).
+type item struct {
+	msg Msg
+	due time.Time
+}
+
+// mailbox is an unbounded MPSC queue: many senders, one pump. Unboundedness
+// is load-bearing — see the package comment.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []item
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) push(it item) {
+	b.mu.Lock()
+	if !b.closed {
+		b.q = append(b.q, it)
+	}
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// pop blocks until an item is available or the mailbox is closed. It
+// reports ok=false only when the mailbox is closed and drained.
+func (b *mailbox) pop() (item, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.q) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.q) == 0 {
+		return item{}, false
+	}
+	it := b.q[0]
+	// Slide rather than reslice forever; amortized O(1) with periodic
+	// compaction to keep the backing array from growing without bound.
+	b.q[0] = item{}
+	b.q = b.q[1:]
+	if len(b.q) == 0 && cap(b.q) > 1024 {
+		b.q = nil
+	}
+	return it, true
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

@@ -1,0 +1,67 @@
+package amnet
+
+import "sync/atomic"
+
+// Stats holds per-endpoint traffic counters. All fields are updated
+// atomically and may be read while the network is live; a consistent
+// snapshot requires the network to be quiescent (for example, inside a
+// barrier).
+type Stats struct {
+	MsgsSent  atomic.Uint64
+	BytesSent atomic.Uint64
+	MsgsRecv  atomic.Uint64
+	BytesRecv atomic.Uint64
+
+	// PerHandler counts messages received per handler id.
+	PerHandler [MaxHandlers]atomic.Uint64
+}
+
+func (s *Stats) count(msgs, bytes *atomic.Uint64, m Msg) {
+	msgs.Add(1)
+	// Account scalar header words plus payload, approximating the wire
+	// footprint of the message.
+	bytes.Add(uint64(headerBytes + len(m.Payload)))
+	if msgs == &s.MsgsRecv {
+		s.PerHandler[m.Handler].Add(1)
+	}
+}
+
+// headerBytes is the accounted fixed cost of a message: dst, src, handler,
+// four 8-byte scalar arguments and a length word.
+const headerBytes = 4 + 4 + 2 + 4*8 + 4
+
+// Snapshot is a plain-value copy of Stats suitable for arithmetic.
+type Snapshot struct {
+	MsgsSent, BytesSent uint64
+	MsgsRecv, BytesRecv uint64
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		MsgsSent:  s.MsgsSent.Load(),
+		BytesSent: s.BytesSent.Load(),
+		MsgsRecv:  s.MsgsRecv.Load(),
+		BytesRecv: s.BytesRecv.Load(),
+	}
+}
+
+// Sub returns the element-wise difference s - o.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		MsgsSent:  s.MsgsSent - o.MsgsSent,
+		BytesSent: s.BytesSent - o.BytesSent,
+		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
+		BytesRecv: s.BytesRecv - o.BytesRecv,
+	}
+}
+
+// Add returns the element-wise sum s + o.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		MsgsSent:  s.MsgsSent + o.MsgsSent,
+		BytesSent: s.BytesSent + o.BytesSent,
+		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
+		BytesRecv: s.BytesRecv + o.BytesRecv,
+	}
+}

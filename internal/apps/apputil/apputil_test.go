@@ -1,0 +1,108 @@
+package apputil
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBlockCoversAllItems(t *testing.T) {
+	f := func(n16 uint16, p8 uint8) bool {
+		n := int(n16%1000) + 1
+		procs := int(p8%16) + 1
+		covered := 0
+		prevHi := 0
+		for p := 0; p < procs; p++ {
+			lo, hi := Block(n, procs, p)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockBalance(t *testing.T) {
+	// No processor gets more than one extra item.
+	for _, c := range []struct{ n, procs int }{{10, 3}, {7, 7}, {5, 8}, {100, 9}} {
+		minSz, maxSz := 1<<30, 0
+		for p := 0; p < c.procs; p++ {
+			lo, hi := Block(c.n, c.procs, p)
+			sz := hi - lo
+			minSz = min(minSz, sz)
+			maxSz = max(maxSz, sz)
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("Block(%d,%d): sizes range %d..%d", c.n, c.procs, minSz, maxSz)
+		}
+	}
+}
+
+func TestOwnerConsistentWithBlock(t *testing.T) {
+	f := func(n16 uint16, p8 uint8, i16 uint16) bool {
+		n := int(n16%500) + 1
+		procs := int(p8%8) + 1
+		i := int(i16) % n
+		owner := Owner(n, procs, i)
+		lo, hi := Block(n, procs, owner)
+		return i >= lo && i < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a := RNG(42, 7)
+	b := RNG(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed/stream must produce identical sequences")
+		}
+	}
+	c := RNG(42, 8)
+	same := true
+	d := RNG(42, 7)
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different streams should differ")
+	}
+}
+
+func TestTimerDiscardsFirstIteration(t *testing.T) {
+	var tm Timer
+	for i := 0; i < 4; i++ {
+		tm.StartIter()
+		time.Sleep(time.Millisecond)
+		tm.EndIter()
+	}
+	n, total := tm.Timed()
+	if n != 3 {
+		t.Fatalf("timed iterations = %d, want 3", n)
+	}
+	if total < 2*time.Millisecond {
+		t.Fatalf("total %v too small", total)
+	}
+}
+
+func TestTimerEdgeCases(t *testing.T) {
+	var tm Timer
+	if n, total := tm.Timed(); n != 0 || total != 0 {
+		t.Fatal("empty timer should report zero")
+	}
+	tm.EndIter() // without StartIter: ignored
+	tm.StartIter()
+	tm.EndIter()
+	if n, _ := tm.Timed(); n != 1 {
+		t.Fatalf("single iteration reports %d", n)
+	}
+}

@@ -1,0 +1,118 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+)
+
+// ---- Octree unit tests (internal package: the tree is unexported) ----
+
+func mkBodies(n int) []body {
+	bodies := make([]body, n)
+	for i := range bodies {
+		rng := apputil.RNG(99, int64(i))
+		for d := 0; d < 3; d++ {
+			bodies[i].pos[d] = rng.Float64()*2 - 1
+		}
+		bodies[i].mass = 0.5 + rng.Float64()
+	}
+	return bodies
+}
+
+func TestTreeMassConservation(t *testing.T) {
+	bodies := mkBodies(200)
+	tree := buildTree(bodies)
+	var want float64
+	for _, b := range bodies {
+		want += b.mass
+	}
+	if math.Abs(tree.mass-want) > 1e-9 {
+		t.Fatalf("root mass %v, want %v", tree.mass, want)
+	}
+}
+
+func TestTreeCenterOfMass(t *testing.T) {
+	bodies := mkBodies(50)
+	tree := buildTree(bodies)
+	var m float64
+	var com [3]float64
+	for _, b := range bodies {
+		m += b.mass
+		for d := 0; d < 3; d++ {
+			com[d] += b.pos[d] * b.mass
+		}
+	}
+	for d := 0; d < 3; d++ {
+		com[d] /= m
+		if math.Abs(tree.com[d]-com[d]) > 1e-9 {
+			t.Fatalf("com[%d] = %v, want %v", d, tree.com[d], com[d])
+		}
+	}
+}
+
+func TestTreeContainsEveryBody(t *testing.T) {
+	bodies := mkBodies(100)
+	tree := buildTree(bodies)
+	seen := map[int]bool{}
+	var walk func(c *cell)
+	walk = func(c *cell) {
+		if c == nil {
+			return
+		}
+		if c.leaf {
+			seen[c.body] = true
+			return
+		}
+		for _, k := range c.kids {
+			walk(k)
+		}
+	}
+	walk(tree)
+	if len(seen) != len(bodies) {
+		t.Fatalf("tree holds %d bodies, want %d", len(seen), len(bodies))
+	}
+}
+
+// TestThetaZeroMatchesDirectSum: with theta=0 the tree walk opens every
+// cell, so the force equals the direct O(N²) sum.
+func TestThetaZeroMatchesDirectSum(t *testing.T) {
+	bodies := mkBodies(40)
+	tree := buildTree(bodies)
+	const eps = 0.5
+	for i := 0; i < 5; i++ {
+		got := tree.force(bodies[i].pos, 0, eps, i, bodies)
+		var want [3]float64
+		for j, b := range bodies {
+			if j == i {
+				continue
+			}
+			addForce(bodies[i].pos, b.pos, b.mass, eps, &want)
+		}
+		for d := 0; d < 3; d++ {
+			if math.Abs(got[d]-want[d]) > 1e-9 {
+				t.Fatalf("body %d axis %d: got %v, want %v", i, d, got[d], want[d])
+			}
+		}
+	}
+}
+
+// TestThetaOneApproximatesDirectSum: at the paper's tolerance the error
+// should be small but the walk much cheaper.
+func TestThetaOneApproximatesDirectSum(t *testing.T) {
+	bodies := mkBodies(150)
+	tree := buildTree(bodies)
+	const eps = 0.5
+	for i := 0; i < 5; i++ {
+		approx := tree.force(bodies[i].pos, 1.0, eps, i, bodies)
+		exact := tree.force(bodies[i].pos, 0, eps, i, bodies)
+		mag := math.Sqrt(exact[0]*exact[0] + exact[1]*exact[1] + exact[2]*exact[2])
+		errv := math.Sqrt((approx[0]-exact[0])*(approx[0]-exact[0]) +
+			(approx[1]-exact[1])*(approx[1]-exact[1]) +
+			(approx[2]-exact[2])*(approx[2]-exact[2]))
+		if errv > 0.25*mag+1e-6 {
+			t.Fatalf("body %d: approximation error %v vs magnitude %v", i, errv, mag)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package barneshut_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/apps/barneshut"
+	"github.com/acedsm/ace/internal/bench"
+	"github.com/acedsm/ace/internal/rtiface"
+)
+
+// ---- End-to-end tests ----
+
+func smallCfg() barneshut.Config {
+	return barneshut.Config{Bodies: 32, Steps: 3, Theta: 1.0, Eps: 0.5, DT: 0.025, Seed: 17}
+}
+
+func runApp(t *testing.T, procs int, cfg barneshut.Config, crl bool) apputil.Result {
+	t.Helper()
+	app := func(rt rtiface.RT) (apputil.Result, error) { return barneshut.Run(rt, cfg) }
+	var res apputil.Result
+	var err error
+	if crl {
+		res, err = bench.RunCRL(procs, app)
+	} else {
+		res, err = bench.RunAce(procs, app)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestUpdateProtocolMatchesSC(t *testing.T) {
+	sc := runApp(t, 4, smallCfg(), false)
+	cfg := smallCfg()
+	cfg.Proto = "update"
+	upd := runApp(t, 4, cfg, false)
+	if sc.Checksum != upd.Checksum {
+		t.Fatalf("update checksum %v != sc %v", upd.Checksum, sc.Checksum)
+	}
+}
+
+func TestResultIndependentOfProcs(t *testing.T) {
+	// Body states are bit-identical across partitionings; the checksum
+	// reduction groups per-processor partial sums differently, so compare
+	// with a tight relative tolerance.
+	base := runApp(t, 1, smallCfg(), false)
+	for _, procs := range []int{2, 4} {
+		got := runApp(t, procs, smallCfg(), false)
+		diff := math.Abs(got.Checksum - base.Checksum)
+		if diff > 1e-12*math.Max(1, math.Abs(base.Checksum)) {
+			t.Errorf("procs=%d: %v != %v", procs, got.Checksum, base.Checksum)
+		}
+	}
+}
+
+func TestRunsOnCRL(t *testing.T) {
+	ace := runApp(t, 3, smallCfg(), false)
+	crl := runApp(t, 3, smallCfg(), true)
+	if ace.Checksum != crl.Checksum {
+		t.Fatalf("ace %v != crl %v", ace.Checksum, crl.Checksum)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	_, err := bench.RunAce(8, func(rt rtiface.RT) (apputil.Result, error) {
+		return barneshut.Run(rt, barneshut.Config{Bodies: 4, Steps: 3})
+	})
+	if err == nil {
+		t.Fatal("fewer bodies than procs should be rejected")
+	}
+}

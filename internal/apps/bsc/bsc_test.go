@@ -1,0 +1,80 @@
+package bsc_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/apps/bsc"
+	"github.com/acedsm/ace/internal/bench"
+	"github.com/acedsm/ace/internal/rtiface"
+)
+
+func run(t *testing.T, procs int, cfg bsc.Config, crl bool) apputil.Result {
+	t.Helper()
+	app := func(rt rtiface.RT) (apputil.Result, error) { return bsc.Run(rt, cfg) }
+	var res apputil.Result
+	var err error
+	if crl {
+		res, err = bench.RunCRL(procs, app)
+	} else {
+		res, err = bench.RunAce(procs, app)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func close(a, b float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestFactorizationMatchesSequential(t *testing.T) {
+	cfg := bsc.Config{Blocks: 6, BlockSize: 8, Bandwidth: 3, Seed: 3}
+	want := bsc.SequentialFactor(cfg)
+	for _, procs := range []int{1, 2, 4} {
+		if got := run(t, procs, cfg, false); !close(got.Checksum, want) {
+			t.Errorf("procs=%d: got %v, want %v", procs, got.Checksum, want)
+		}
+	}
+}
+
+func TestHomeWriteProtocol(t *testing.T) {
+	cfg := bsc.Config{Blocks: 6, BlockSize: 8, Bandwidth: 3, Seed: 3, Proto: "homewrite"}
+	want := bsc.SequentialFactor(bsc.Config{Blocks: 6, BlockSize: 8, Bandwidth: 3, Seed: 3})
+	if got := run(t, 3, cfg, false); !close(got.Checksum, want) {
+		t.Fatalf("homewrite: got %v, want %v", got.Checksum, want)
+	}
+}
+
+func TestRunsOnCRL(t *testing.T) {
+	cfg := bsc.Config{Blocks: 5, BlockSize: 6, Bandwidth: 2, Seed: 3}
+	want := bsc.SequentialFactor(cfg)
+	if got := run(t, 3, cfg, true); !close(got.Checksum, want) {
+		t.Fatalf("crl: got %v, want %v", got.Checksum, want)
+	}
+}
+
+func TestBandwidthTruncationExact(t *testing.T) {
+	// A banded SPD matrix's factor stays within the band, so the banded
+	// parallel algorithm must agree with the dense sequential one for
+	// several bandwidths.
+	for _, band := range []int{2, 3, 5} {
+		cfg := bsc.Config{Blocks: 6, BlockSize: 6, Bandwidth: band, Seed: 3}
+		want := bsc.SequentialFactor(cfg)
+		if got := run(t, 2, cfg, false); !close(got.Checksum, want) {
+			t.Errorf("band=%d: got %v, want %v", band, got.Checksum, want)
+		}
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	_, err := bench.RunAce(2, func(rt rtiface.RT) (apputil.Result, error) {
+		return bsc.Run(rt, bsc.Config{Blocks: 1, BlockSize: 4, Bandwidth: 1})
+	})
+	if err == nil {
+		t.Fatal("Blocks=1 should be rejected")
+	}
+}

@@ -1,0 +1,77 @@
+package tsp_test
+
+import (
+	"testing"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/apps/tsp"
+	"github.com/acedsm/ace/internal/bench"
+	"github.com/acedsm/ace/internal/rtiface"
+)
+
+func run(t *testing.T, procs int, cfg tsp.Config, crl bool) apputil.Result {
+	t.Helper()
+	app := func(rt rtiface.RT) (apputil.Result, error) { return tsp.Run(rt, cfg) }
+	var res apputil.Result
+	var err error
+	if crl {
+		res, err = bench.RunCRL(procs, app)
+	} else {
+		res, err = bench.RunAce(procs, app)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, cities := range []int{6, 8, 9} {
+		cfg := tsp.Config{Cities: cities, Seed: 7}
+		want := tsp.SequentialBest(cfg)
+		for _, procs := range []int{1, 3, 5} {
+			if got := run(t, procs, cfg, false); int64(got.Checksum) != want {
+				t.Errorf("cities=%d procs=%d: got %v, want %d", cities, procs, got.Checksum, want)
+			}
+		}
+	}
+}
+
+func TestAtomicCounterConfig(t *testing.T) {
+	cfg := tsp.Config{Cities: 8, Seed: 7, CounterProto: "atomic"}
+	want := tsp.SequentialBest(tsp.Config{Cities: 8, Seed: 7})
+	got := run(t, 4, cfg, false)
+	if int64(got.Checksum) != want {
+		t.Fatalf("atomic counter run: got %v, want %d", got.Checksum, want)
+	}
+	if got.Protocols != "counter=atomic" {
+		t.Errorf("protocol label = %q", got.Protocols)
+	}
+}
+
+func TestRunsOnCRL(t *testing.T) {
+	cfg := tsp.Config{Cities: 8, Seed: 7}
+	want := tsp.SequentialBest(cfg)
+	if got := run(t, 4, cfg, true); int64(got.Checksum) != want {
+		t.Fatalf("crl run: got %v, want %d", got.Checksum, want)
+	}
+}
+
+func TestCRLRejectsCustomProtocol(t *testing.T) {
+	cfg := tsp.Config{Cities: 8, Seed: 7, CounterProto: "atomic"}
+	_, err := bench.RunCRL(2, func(rt rtiface.RT) (apputil.Result, error) { return tsp.Run(rt, cfg) })
+	if err == nil {
+		t.Fatal("CRL should reject a custom-protocol configuration")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	for _, cities := range []int{0, 3, 17} {
+		_, err := bench.RunAce(2, func(rt rtiface.RT) (apputil.Result, error) {
+			return tsp.Run(rt, tsp.Config{Cities: cities})
+		})
+		if err == nil {
+			t.Errorf("cities=%d should be rejected", cities)
+		}
+	}
+}

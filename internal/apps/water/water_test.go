@@ -1,0 +1,93 @@
+package water_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/apps/water"
+	"github.com/acedsm/ace/internal/bench"
+	"github.com/acedsm/ace/internal/rtiface"
+)
+
+func run(t *testing.T, procs int, cfg water.Config, crl bool) apputil.Result {
+	t.Helper()
+	app := func(rt rtiface.RT) (apputil.Result, error) { return water.Run(rt, cfg) }
+	var res apputil.Result
+	var err error
+	if crl {
+		res, err = bench.RunCRL(procs, app)
+	} else {
+		res, err = bench.RunAce(procs, app)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func smallCfg() water.Config {
+	return water.Config{Molecules: 20, Steps: 3, DT: 0.001, Seed: 5}
+}
+
+// closeTo allows for the pipeline protocol's arrival-order float
+// combining.
+func closeTo(a, b float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestPhaseProtocolsMatchSC(t *testing.T) {
+	sc := run(t, 4, smallCfg(), false)
+	cfg := smallCfg()
+	cfg.PhaseProtocols = true
+	custom := run(t, 4, cfg, false)
+	if !closeTo(sc.Checksum, custom.Checksum) {
+		t.Fatalf("pipeline/null checksum %v != sc %v", custom.Checksum, sc.Checksum)
+	}
+}
+
+func TestResultIndependentOfProcs(t *testing.T) {
+	base := run(t, 1, smallCfg(), false)
+	for _, procs := range []int{2, 4, 5} {
+		if got := run(t, procs, smallCfg(), false); !closeTo(got.Checksum, base.Checksum) {
+			t.Errorf("procs=%d: checksum %v != %v", procs, got.Checksum, base.Checksum)
+		}
+	}
+}
+
+func TestRunsOnCRL(t *testing.T) {
+	ace := run(t, 3, smallCfg(), false)
+	crl := run(t, 3, smallCfg(), true)
+	if !closeTo(ace.Checksum, crl.Checksum) {
+		t.Fatalf("ace %v != crl %v", ace.Checksum, crl.Checksum)
+	}
+}
+
+func TestPipelineReducesTraffic(t *testing.T) {
+	cfg := water.Config{Molecules: 32, Steps: 4, DT: 0.001, Seed: 5}
+	sc := run(t, 4, cfg, false)
+	cfg.PhaseProtocols = true
+	custom := run(t, 4, cfg, false)
+	if custom.Msgs >= sc.Msgs {
+		t.Fatalf("pipeline/null msgs %d >= sc msgs %d", custom.Msgs, sc.Msgs)
+	}
+}
+
+func TestCRLRejectsPhaseProtocols(t *testing.T) {
+	cfg := smallCfg()
+	cfg.PhaseProtocols = true
+	_, err := bench.RunCRL(2, func(rt rtiface.RT) (apputil.Result, error) { return water.Run(rt, cfg) })
+	if err == nil {
+		t.Fatal("CRL should reject phase protocols")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	_, err := bench.RunAce(8, func(rt rtiface.RT) (apputil.Result, error) {
+		return water.Run(rt, water.Config{Molecules: 4, Steps: 3})
+	})
+	if err == nil {
+		t.Fatal("fewer molecules than procs should be rejected")
+	}
+}

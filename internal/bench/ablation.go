@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/apps/em3d"
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/crl"
+	"github.com/acedsm/ace/internal/rtiface"
+	"github.com/acedsm/ace/internal/stats"
+	"github.com/acedsm/ace/proto"
+)
+
+// This file holds the ablation experiments for the design choices
+// DESIGN.md calls out: the CRL baseline's bounded unmapped-region cache,
+// the network-latency sensitivity of update protocols (the paper's core
+// premise scales with communication cost), and user-specified granularity
+// as a bulk-transfer mechanism (Section 2.3).
+
+// URCSweep runs EM3D on the CRL runtime across unmapped-region-cache
+// capacities and returns message counts: smaller caches evict clean
+// copies that must be re-fetched.
+func URCSweep(procs int, capacities []int) (map[int]uint64, error) {
+	cfg := em3d.DefaultConfig()
+	cfg.Nodes = 128
+	cfg.Steps = 5
+	out := make(map[int]uint64, len(capacities))
+	for _, capacity := range capacities {
+		cl, err := crl.NewCluster(crl.Options{Procs: procs, URCCapacity: capacity})
+		if err != nil {
+			return nil, err
+		}
+		err = cl.Run(func(p *crl.Proc) error {
+			_, err := em3d.Run(rtiface.NewCRL(p), cfg)
+			return err
+		})
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("urc sweep capacity %d: %w", capacity, err)
+		}
+		out[capacity] = cl.NetSnapshot().MsgsSent
+		cl.Close()
+	}
+	return out, nil
+}
+
+// LatencyPoint is one latency setting's outcome.
+type LatencyPoint struct {
+	Latency   time.Duration
+	SC        time.Duration // em3d per-iteration under sc
+	Update    time.Duration // em3d per-iteration under staticupdate
+	Speedup   float64
+	MsgsSC    uint64
+	MsgsCusto uint64
+}
+
+// LatencySweep measures the custom-protocol speedup for EM3D at several
+// injected network latencies. The update protocols' advantage is replacing
+// synchronous read-miss round trips with asynchronous pushes, so the
+// speedup must grow with latency.
+func LatencySweep(procs int, latencies []time.Duration) ([]LatencyPoint, error) {
+	cfg := em3d.DefaultConfig()
+	cfg.Nodes = 64
+	cfg.Steps = 5
+	var out []LatencyPoint
+	for _, lat := range latencies {
+		runOne := func(protoName string) (apputil.Result, error) {
+			c := cfg
+			c.Proto = protoName
+			cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry(), Latency: lat})
+			if err != nil {
+				return apputil.Result{}, err
+			}
+			defer cl.Close()
+			var res apputil.Result
+			err = cl.Run(func(p *core.Proc) error {
+				r, err := em3d.Run(rtiface.NewAce(p), c)
+				if p.ID() == 0 {
+					res = r
+				}
+				return err
+			})
+			res.Msgs = cl.NetSnapshot().MsgsSent
+			return res, err
+		}
+		sc, err := runOne("")
+		if err != nil {
+			return nil, err
+		}
+		cu, err := runOne("staticupdate")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LatencyPoint{
+			Latency: lat, SC: sc.TimePerIter, Update: cu.TimePerIter,
+			Speedup:   float64(sc.TimePerIter) / float64(cu.TimePerIter),
+			MsgsSC:    sc.Msgs,
+			MsgsCusto: cu.Msgs,
+		})
+	}
+	return out, nil
+}
+
+// GranularityPoint is one region-size setting's outcome.
+type GranularityPoint struct {
+	Words int // region size in 8-byte words
+	Msgs  uint64
+	Time  time.Duration
+}
+
+// GranularitySweep moves a fixed volume of producer-consumer data per
+// iteration while varying the region size: the same bytes as many small
+// regions or few large ones. User-specified granularity is the paper's
+// bulk-transfer mechanism (Section 2.3) — message counts must fall as
+// region size grows.
+func GranularitySweep(procs int, totalWords int, sizes []int) ([]GranularityPoint, error) {
+	var out []GranularityPoint
+	for _, words := range sizes {
+		if totalWords%words != 0 {
+			return nil, fmt.Errorf("granularity: %d words not divisible by region size %d", totalWords, words)
+		}
+		nRegions := totalWords / words
+		cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry()})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		err = cl.Run(func(p *core.Proc) error {
+			sp := p.DefaultSpace()
+			ids := make([]core.RegionID, nRegions)
+			if p.ID() == 0 {
+				for i := range ids {
+					ids[i] = p.GMalloc(sp, words*8)
+				}
+			}
+			ids = p.BroadcastIDs(0, ids)
+			for iter := 0; iter < 5; iter++ {
+				if p.ID() == 0 {
+					for _, id := range ids {
+						r := p.Map(id)
+						p.StartWrite(r)
+						for w := 0; w < words; w++ {
+							r.Data.SetInt64(w, int64(iter*totalWords+w))
+						}
+						p.EndWrite(r)
+						p.Unmap(r)
+					}
+				}
+				p.GlobalBarrier()
+				// Every consumer reads the full volume.
+				if p.ID() != 0 {
+					for _, id := range ids {
+						r := p.Map(id)
+						p.StartRead(r)
+						_ = r.Data.Int64(0)
+						p.EndRead(r)
+						p.Unmap(r)
+					}
+				}
+				p.GlobalBarrier()
+			}
+			return nil
+		})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		out = append(out, GranularityPoint{Words: words, Msgs: cl.NetSnapshot().MsgsSent, Time: time.Since(start)})
+		cl.Close()
+	}
+	return out, nil
+}
+
+// Ablations runs all three sweeps and renders them.
+func Ablations(procs int) (string, error) {
+	var sb strings.Builder
+	urc, err := URCSweep(procs, []int{8, 32, 128, 512})
+	if err != nil {
+		return "", err
+	}
+	t1 := stats.NewTable("URC capacity", "messages (em3d on crl)")
+	for _, c := range []int{8, 32, 128, 512} {
+		t1.AddRow(c, urc[c])
+	}
+	sb.WriteString("--- CRL unmapped-region cache capacity (eviction forces re-fetches) ---\n")
+	sb.WriteString(t1.String())
+
+	lats, err := LatencySweep(procs, []time.Duration{0, 20 * time.Microsecond, 100 * time.Microsecond})
+	if err != nil {
+		return "", err
+	}
+	t2 := stats.NewTable("injected latency", "sc/iter", "staticupdate/iter", "speedup")
+	for _, pt := range lats {
+		t2.AddRow(pt.Latency.String(), pt.SC.Round(time.Microsecond).String(),
+			pt.Update.Round(time.Microsecond).String(), pt.Speedup)
+	}
+	sb.WriteString("\n--- network latency vs custom-protocol speedup (em3d) ---\n")
+	sb.WriteString(t2.String())
+
+	grans, err := GranularitySweep(procs, 4096, []int{1, 16, 256, 4096})
+	if err != nil {
+		return "", err
+	}
+	t3 := stats.NewTable("region size (words)", "messages", "time")
+	for _, pt := range grans {
+		t3.AddRow(pt.Words, pt.Msgs, pt.Time.Round(time.Millisecond).String())
+	}
+	sb.WriteString("\n--- user-specified granularity as bulk transfer (fixed data volume) ---\n")
+	sb.WriteString(t3.String())
+	return sb.String(), nil
+}

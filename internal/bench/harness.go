@@ -1,0 +1,79 @@
+// Package bench is the experiment harness: it runs the five benchmarks on
+// the Ace and CRL runtimes under the protocol configurations of the
+// paper's evaluation and regenerates Figure 7a, Figure 7b and Table 4.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/crl"
+	"github.com/acedsm/ace/internal/rtiface"
+	"github.com/acedsm/ace/proto"
+)
+
+// AppFunc runs one benchmark on a runtime-neutral interface.
+type AppFunc func(rt rtiface.RT) (apputil.Result, error)
+
+// RunAce executes app on a fresh Ace cluster of procs processors and
+// returns processor 0's result with cluster traffic totals filled in.
+func RunAce(procs int, app AppFunc) (apputil.Result, error) {
+	cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry()})
+	if err != nil {
+		return apputil.Result{}, err
+	}
+	defer cl.Close()
+	var mu sync.Mutex
+	var res apputil.Result
+	err = cl.Run(func(p *core.Proc) error {
+		r, err := app(rtiface.NewAce(p))
+		if err != nil {
+			return fmt.Errorf("proc %d: %w", p.ID(), err)
+		}
+		if p.ID() == 0 {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	snap := cl.NetSnapshot()
+	res.Msgs = snap.MsgsSent
+	res.Bytes = snap.BytesSent
+	return res, nil
+}
+
+// RunCRL executes app on a fresh CRL cluster of procs processors.
+func RunCRL(procs int, app AppFunc) (apputil.Result, error) {
+	cl, err := crl.NewCluster(crl.Options{Procs: procs})
+	if err != nil {
+		return apputil.Result{}, err
+	}
+	defer cl.Close()
+	var mu sync.Mutex
+	var res apputil.Result
+	err = cl.Run(func(p *crl.Proc) error {
+		r, err := app(rtiface.NewCRL(p))
+		if err != nil {
+			return fmt.Errorf("proc %d: %w", p.ID(), err)
+		}
+		if p.ID() == 0 {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	snap := cl.NetSnapshot()
+	res.Msgs = snap.MsgsSent
+	res.Bytes = snap.BytesSent
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/acedsm/ace/internal/table4"
+)
+
+// TestTable4SmallAllKernels runs the whole Table 4 experiment at a small
+// scale: every kernel at every optimization level plus the hand version,
+// with checksum agreement enforced by RunTable4 itself.
+func TestTable4SmallAllKernels(t *testing.T) {
+	cfg := table4.Config{
+		N: 48, Degree: 4, Steps: 3,
+		Blocks: 6, BlockSize: 6, Band: 2,
+		Jobs: 12, Cities: 6,
+	}
+	results, err := RunTable4(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d kernels", len(results))
+	}
+	for name, rows := range results {
+		if len(rows) != 5 {
+			t.Fatalf("%s: %d rows", name, len(rows))
+		}
+		// Executed annotation calls must decrease monotonically (weakly)
+		// through base → LI → LI+MC, and LI+MC+DC must beat LI.
+		base, li, mc, dc := rows[0].Calls, rows[1].Calls, rows[2].Calls, rows[3].Calls
+		if li > base || mc > li {
+			t.Errorf("%s: calls not monotone: base=%d li=%d mc=%d", name, base, li, mc)
+		}
+		if dc > mc {
+			t.Errorf("%s: DC increased executed calls: mc=%d dc=%d", name, mc, dc)
+		}
+		if base == 0 {
+			t.Errorf("%s: no annotation calls recorded", name)
+		}
+	}
+	// Per-benchmark shape assertions from the paper's Table 4:
+	// LI's largest effect is BSC; MC matters most for barnes-hut and
+	// water; DC removes calls for em3d (null handlers in the kernel).
+	ratio := func(name string, a, b int) float64 {
+		return float64(results[name][a].Calls) / float64(max(results[name][b].Calls, 1))
+	}
+	if r := ratio("bsc", 0, 1); r < 10 {
+		t.Errorf("bsc: LI should eliminate most calls (base/LI = %.1f)", r)
+	}
+	if r := ratio("barnes-hut", 1, 2); r < 2 {
+		t.Errorf("barnes-hut: MC should collapse sections (LI/MC = %.1f)", r)
+	}
+	if r := ratio("water", 1, 2); r < 1.5 {
+		t.Errorf("water: MC should collapse sections (LI/MC = %.1f)", r)
+	}
+	if results["em3d"][3].Calls >= results["em3d"][2].Calls {
+		t.Errorf("em3d: DC should delete null-handler calls: mc=%d dc=%d",
+			results["em3d"][2].Calls, results["em3d"][3].Calls)
+	}
+	// TSP's counter and bound calls are non-optimizable and must survive
+	// every level.
+	if results["tsp"][3].Calls == 0 {
+		t.Errorf("tsp: non-optimizable calls must survive DC")
+	}
+}

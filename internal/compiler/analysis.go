@@ -1,0 +1,207 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/ir"
+)
+
+// This file implements the global dataflow analysis of Section 4.2: for
+// each shared access, compute the set of spaces possibly associated with
+// the accessed data, and compose it with the set of protocols each space
+// may run under, yielding the set of possible protocols at each
+// annotation. Space sets propagate from declared parameter types and
+// through moves, loads of region-valued slots (the language-level type
+// information that makes this easy at the source level — Section 1.1's
+// contrast with Shasta), and calls (interprocedurally, to a fixed point).
+
+// spaceSet is a bitset over space ids (programs use few spaces).
+type spaceSet uint64
+
+func (s spaceSet) union(o spaceSet) spaceSet { return s | o }
+
+func (s spaceSet) ids() []int {
+	var out []int
+	for i := 0; i < 64; i++ {
+		if s&(1<<i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func setOf(ids []int) spaceSet {
+	var s spaceSet
+	for _, id := range ids {
+		if id < 0 || id >= 64 {
+			panic(fmt.Sprintf("compiler: space id %d out of range", id))
+		}
+		s |= 1 << id
+	}
+	return s
+}
+
+// funcState is the per-function analysis state.
+type funcState struct {
+	f *ir.Func
+	// spaces[l] is the space set of region-valued local l; elems[l] the
+	// space set of region ids stored in slots of the region l refers to.
+	spaces []spaceSet
+	elems  []spaceSet
+}
+
+// analyze computes Protos for every annotation instruction in the
+// program.
+func analyze(p *ir.Program, decls map[string]core.Decl) error {
+	states := make(map[string]*funcState, len(p.Funcs))
+	for name, f := range p.Funcs {
+		st := &funcState{f: f, spaces: make([]spaceSet, f.NumLocals), elems: make([]spaceSet, f.NumLocals)}
+		for i, t := range f.LocalTypes {
+			st.spaces[i] = setOf(t.Spaces)
+			st.elems[i] = setOf(t.ElemSpaces)
+		}
+		states[name] = st
+	}
+	// Interprocedural fixed point: propagate within functions and across
+	// call edges until nothing changes. Sets only grow, so this
+	// terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, st := range states {
+			if st.propagate(st.f.Body, states) {
+				changed = true
+			}
+		}
+	}
+	// Attach protocol sets to annotations.
+	for _, st := range states {
+		st.attach(st.f.Body, p)
+	}
+	return nil
+}
+
+// propagate runs one pass of the transfer functions over a body, looping
+// locally to a fixed point so back edges (loops) are covered. It reports
+// whether any set grew.
+func (st *funcState) propagate(body []ir.Instr, states map[string]*funcState) bool {
+	grew := false
+	for localChange := true; localChange; {
+		localChange = false
+		if st.step(body, states, &localChange) {
+			grew = true
+		}
+	}
+	return grew
+}
+
+func (st *funcState) step(list []ir.Instr, states map[string]*funcState, changed *bool) bool {
+	grew := false
+	join := func(dst int, s, e spaceSet) {
+		if dst < 0 {
+			return
+		}
+		if ns := st.spaces[dst].union(s); ns != st.spaces[dst] {
+			st.spaces[dst] = ns
+			*changed = true
+			grew = true
+		}
+		if ne := st.elems[dst].union(e); ne != st.elems[dst] {
+			st.elems[dst] = ne
+			*changed = true
+			grew = true
+		}
+	}
+	opSet := func(o ir.Operand) (spaceSet, spaceSet) {
+		if o.IsConst {
+			return 0, 0
+		}
+		return st.spaces[o.Local], st.elems[o.Local]
+	}
+	for i := range list {
+		in := &list[i]
+		switch in.Op {
+		case ir.OpMove:
+			s, e := opSet(in.A)
+			join(in.Dst, s, e)
+		case ir.OpMap:
+			// The handle carries the region's space set.
+			s, e := opSet(in.A)
+			join(in.Dst, s, e)
+		case ir.OpLoad, ir.OpSharedLoad:
+			if in.ElemKind == ir.KRegion {
+				// Loading a region id from a region's slots: the result
+				// belongs to the elem-space of the source.
+				_, e := opSet(in.A)
+				join(in.Dst, e, 0)
+			}
+		case ir.OpCall:
+			callee := states[in.Callee]
+			if callee == nil {
+				panic(fmt.Sprintf("compiler: call to unknown function %q", in.Callee))
+			}
+			for ai, arg := range in.Args {
+				if ai >= len(callee.f.Params) {
+					break
+				}
+				s, e := opSet(arg)
+				if ns := callee.spaces[ai].union(s); ns != callee.spaces[ai] {
+					callee.spaces[ai] = ns
+					*changed = true
+					grew = true
+				}
+				if ne := callee.elems[ai].union(e); ne != callee.elems[ai] {
+					callee.elems[ai] = ne
+					*changed = true
+					grew = true
+				}
+			}
+		case ir.OpGMalloc:
+			join(in.Dst, setOf([]int{int(in.A.Const.I)}), 0)
+		case ir.OpBcastID:
+			s, e := opSet(in.Src)
+			join(in.Dst, s, e)
+		case ir.OpLoop, ir.OpIf:
+			if st.step(in.Body, states, changed) {
+				grew = true
+			}
+			if st.step(in.Else, states, changed) {
+				grew = true
+			}
+		}
+	}
+	return grew
+}
+
+// attach writes the protocol sets onto annotation instructions.
+func (st *funcState) attach(list []ir.Instr, p *ir.Program) {
+	for i := range list {
+		in := &list[i]
+		if isAnnotation(in.Op) {
+			var s spaceSet
+			if !in.A.IsConst {
+				s = st.spaces[in.A.Local]
+			}
+			in.Protos = protosFor(s, p)
+		}
+		st.attach(in.Body, p)
+		st.attach(in.Else, p)
+	}
+}
+
+// protosFor composes a space set with the program's space→protocol table.
+func protosFor(s spaceSet, p *ir.Program) []string {
+	seen := map[string]bool{}
+	for _, id := range s.ids() {
+		for _, proto := range p.SpaceProtos[id] {
+			seen[proto] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,377 @@
+package compiler
+
+import (
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/ir"
+)
+
+// This file implements the three optimization passes of Section 4.2. In
+// all passes, code is never moved past synchronization calls (barriers) or
+// function calls.
+
+// ---------------------------------------------------------------------
+// Pass 1: moving calls out of loops.
+//
+// ACE_MAP and ACE_START_* calls with loop-invariant arguments move above
+// the loop; the matching ACE_END_* calls move below it. A call is hoisted
+// only if every protocol possibly governing it is optimizable.
+// ---------------------------------------------------------------------
+
+// loopInvariance processes a statement list, returning the rewritten list.
+func loopInvariance(list []ir.Instr, decls map[string]core.Decl) []ir.Instr {
+	var out []ir.Instr
+	for _, in := range list {
+		switch in.Op {
+		case ir.OpLoop:
+			// Innermost first, so inner preheaders become hoistable here.
+			in.Body = loopInvariance(in.Body, decls)
+			pre, post := hoistLoop(&in, decls)
+			out = append(out, pre...)
+			out = append(out, in)
+			out = append(out, post...)
+		case ir.OpIf:
+			in.Body = loopInvariance(in.Body, decls)
+			in.Else = loopInvariance(in.Else, decls)
+			out = append(out, in)
+		default:
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// hoistLoop extracts hoistable annotations from one loop, returning the
+// preheader and postexit instruction lists.
+func hoistLoop(loop *ir.Instr, decls map[string]core.Decl) (pre, post []ir.Instr) {
+	if containsSync(loop.Body) {
+		return nil, nil
+	}
+	assigned := map[int]bool{loop.Dst: true}
+	collectAssigned(loop.Body, assigned)
+
+	invariant := func(o ir.Operand) bool {
+		return o.IsConst || !assigned[o.Local]
+	}
+
+	// Find hoistable maps in the loop's direct body.
+	for idx := 0; idx < len(loop.Body); idx++ {
+		in := loop.Body[idx]
+		if in.Op != ir.OpMap || !invariant(in.A) || !optimizable(in.Protos, decls) {
+			continue
+		}
+		h := in.Dst
+		uses := handleUses(loop.Body, h, idx+1)
+		if !uses.ok {
+			continue
+		}
+		// Hoist the map itself.
+		pre = append(pre, in)
+		loop.Body = append(loop.Body[:idx], loop.Body[idx+1:]...)
+		idx--
+		// Hoist the sections when they are uniformly read or uniformly
+		// write (the paper leaves mixed-mode merging to the protocol
+		// designer — Section 4.2, footnote 1).
+		if uses.reads > 0 && uses.writes == 0 {
+			loop.Body = removeSections(loop.Body, h, ir.OpStartRead, ir.OpEndRead)
+			pre = append(pre, ir.Instr{Op: ir.OpStartRead, Dst: -1, A: ir.L(h), Protos: in.Protos})
+			post = append(post, ir.Instr{Op: ir.OpEndRead, Dst: -1, A: ir.L(h), Protos: in.Protos})
+		} else if uses.writes > 0 && uses.reads == 0 {
+			loop.Body = removeSections(loop.Body, h, ir.OpStartWrite, ir.OpEndWrite)
+			pre = append(pre, ir.Instr{Op: ir.OpStartWrite, Dst: -1, A: ir.L(h), Protos: in.Protos})
+			post = append(post, ir.Instr{Op: ir.OpEndWrite, Dst: -1, A: ir.L(h), Protos: in.Protos})
+		}
+	}
+	return pre, post
+}
+
+// containsSync reports whether a subtree contains a barrier or a call
+// (synchronization boundaries for code motion).
+func containsSync(list []ir.Instr) bool {
+	for _, in := range list {
+		switch in.Op {
+		case ir.OpBarrier, ir.OpCall, ir.OpRet, ir.OpBcastID, ir.OpChangeProto, ir.OpGMalloc, ir.OpLock, ir.OpUnlock:
+			return true
+		}
+		if containsSync(in.Body) || containsSync(in.Else) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAssigned records every local assigned in a subtree.
+func collectAssigned(list []ir.Instr, set map[int]bool) {
+	for _, in := range list {
+		if in.Dst >= 0 {
+			set[in.Dst] = true
+		}
+		collectAssigned(in.Body, set)
+		collectAssigned(in.Else, set)
+	}
+}
+
+// handleUsage summarizes how a handle local is used inside a subtree.
+type handleUsage struct {
+	ok            bool
+	reads, writes int
+}
+
+// handleUses inspects every use of handle h in the subtree after position
+// start. The handle is hoistable only if it is used exclusively by
+// section brackets and element accesses (no unmap, no reassignment, no
+// escapes).
+func handleUses(list []ir.Instr, h int, start int) handleUsage {
+	u := handleUsage{ok: true}
+	var walk func([]ir.Instr, int)
+	walk = func(l []ir.Instr, from int) {
+		for i := from; i < len(l); i++ {
+			in := l[i]
+			if in.Dst == h {
+				u.ok = false
+				return
+			}
+			usesH := operandIs(in.A, h) || operandIs(in.B, h) || operandIs(in.Src, h) || argsUse(in.Args, h)
+			if usesH {
+				switch in.Op {
+				case ir.OpStartRead, ir.OpEndRead:
+					u.reads++
+				case ir.OpStartWrite, ir.OpEndWrite:
+					u.writes++
+				case ir.OpLoad, ir.OpStore:
+					// plain accesses through the handle: fine
+				default:
+					u.ok = false
+					return
+				}
+			}
+			walk(in.Body, 0)
+			walk(in.Else, 0)
+			if !u.ok {
+				return
+			}
+		}
+	}
+	walk(list, start)
+	return u
+}
+
+func operandIs(o ir.Operand, local int) bool { return !o.IsConst && o.Local == local }
+
+func argsUse(args []ir.Operand, local int) bool {
+	for _, a := range args {
+		if operandIs(a, local) {
+			return true
+		}
+	}
+	return false
+}
+
+// removeSections deletes every start/end bracket on handle h in the
+// subtree, returning the rewritten list.
+func removeSections(list []ir.Instr, h int, startOp, endOp ir.Op) []ir.Instr {
+	out := make([]ir.Instr, 0, len(list))
+	for _, in := range list {
+		if (in.Op == startOp || in.Op == endOp) && operandIs(in.A, h) {
+			continue
+		}
+		in.Body = removeSections(in.Body, h, startOp, endOp)
+		in.Else = removeSections(in.Else, h, startOp, endOp)
+		out = append(out, in)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: merging redundant protocol calls.
+//
+// Within each straight-line segment, an ACE_MAP whose argument is already
+// mapped reuses the earlier handle (available-expression reasoning,
+// Figure 6), and back-to-back sections on the same handle with the same
+// mode merge: the highest START and the lowest END survive.
+// ---------------------------------------------------------------------
+
+func mergeCalls(list []ir.Instr, decls map[string]core.Decl) []ir.Instr {
+	// Recurse into nested bodies first.
+	for i := range list {
+		in := &list[i]
+		in.Body = mergeCalls(in.Body, decls)
+		in.Else = mergeCalls(in.Else, decls)
+	}
+	out := make([]ir.Instr, 0, len(list))
+	type availEntry struct{ handle int }
+	avail := map[int]availEntry{} // base local -> handle
+	alias := map[int]int{}        // deleted handle -> surviving handle
+	// Availability is conservative and resets at control boundaries;
+	// aliases are SSA renames of single-assignment handle locals and stay
+	// valid for the rest of the list.
+	reset := func() {
+		avail = map[int]availEntry{}
+	}
+	sub := func(o ir.Operand) ir.Operand {
+		if !o.IsConst {
+			if to, ok := alias[o.Local]; ok {
+				return ir.L(to)
+			}
+		}
+		return o
+	}
+	for _, in := range list {
+		in.A, in.B, in.Src = sub(in.A), sub(in.B), sub(in.Src)
+		for ai := range in.Args {
+			in.Args[ai] = sub(in.Args[ai])
+		}
+		switch {
+		case in.Op == ir.OpMap && !in.A.IsConst:
+			if e, ok := avail[in.A.Local]; ok && optimizable(in.Protos, decls) {
+				alias[in.Dst] = e.handle
+				continue // redundant map deleted
+			}
+			avail[in.A.Local] = availEntry{handle: in.Dst}
+			delete(alias, in.Dst)
+			out = append(out, in)
+		case in.Op == ir.OpLoop || in.Op == ir.OpIf || in.Op == ir.OpBarrier || in.Op == ir.OpCall || in.Op == ir.OpRet || in.Op == ir.OpBcastID || in.Op == ir.OpChangeProto || in.Op == ir.OpGMalloc || in.Op == ir.OpLock || in.Op == ir.OpUnlock:
+			// Handle locals are single-assignment, so aliases introduced
+			// by deleted maps may be applied through nested bodies before
+			// the availability state resets at this control boundary.
+			renameDeep(in.Body, alias)
+			renameDeep(in.Else, alias)
+			reset()
+			out = append(out, in)
+		default:
+			if in.Dst >= 0 {
+				// A redefinition kills availability keyed on that local
+				// and any alias to it.
+				delete(avail, in.Dst)
+				delete(alias, in.Dst)
+			}
+			out = append(out, in)
+		}
+	}
+	return mergeSections(out, decls)
+}
+
+// renameDeep rewrites every operand in a subtree through the alias map.
+func renameDeep(list []ir.Instr, alias map[int]int) {
+	if len(alias) == 0 {
+		return
+	}
+	sub := func(o ir.Operand) ir.Operand {
+		if !o.IsConst {
+			if to, ok := alias[o.Local]; ok {
+				return ir.L(to)
+			}
+		}
+		return o
+	}
+	for i := range list {
+		in := &list[i]
+		in.A, in.B, in.Src = sub(in.A), sub(in.B), sub(in.Src)
+		for ai := range in.Args {
+			in.Args[ai] = sub(in.Args[ai])
+		}
+		renameDeep(in.Body, alias)
+		renameDeep(in.Else, alias)
+	}
+}
+
+// mergeSections deletes END/START pairs of the same mode on the same
+// handle within a straight-line run.
+func mergeSections(list []ir.Instr, decls map[string]core.Decl) []ir.Instr {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(list); i++ {
+			in := list[i]
+			var startOp ir.Op
+			switch in.Op {
+			case ir.OpEndRead:
+				startOp = ir.OpStartRead
+			case ir.OpEndWrite:
+				startOp = ir.OpStartWrite
+			default:
+				continue
+			}
+			if !optimizable(in.Protos, decls) {
+				continue
+			}
+			// Find the next use of this handle; if it is a matching
+			// START, delete the pair.
+			h := in.A.Local
+			for j := i + 1; j < len(list); j++ {
+				nxt := list[j]
+				if nxt.Op == ir.OpLoop || nxt.Op == ir.OpIf || nxt.Op == ir.OpBarrier || nxt.Op == ir.OpCall || nxt.Op == ir.OpRet || nxt.Op == ir.OpBcastID || nxt.Op == ir.OpChangeProto || nxt.Op == ir.OpGMalloc || nxt.Op == ir.OpLock || nxt.Op == ir.OpUnlock {
+					break
+				}
+				uses := operandIs(nxt.A, h) || operandIs(nxt.B, h) || operandIs(nxt.Src, h) || nxt.Dst == h
+				if !uses {
+					continue
+				}
+				if nxt.Op == startOp && optimizable(nxt.Protos, decls) {
+					list = append(list[:j], list[j+1:]...)
+					list = append(list[:i], list[i+1:]...)
+					changed = true
+				}
+				break
+			}
+			if changed {
+				break
+			}
+		}
+	}
+	return list
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: direct dispatch.
+//
+// When the analysis proves a unique protocol for an annotation, the
+// dispatch through the space is replaced by a direct call to the protocol
+// routine; calls to routines the configuration file declares null are
+// removed entirely.
+// ---------------------------------------------------------------------
+
+func directDispatch(list []ir.Instr, decls map[string]core.Decl) []ir.Instr {
+	out := make([]ir.Instr, 0, len(list))
+	for _, in := range list {
+		in.Body = directDispatch(in.Body, decls)
+		in.Else = directDispatch(in.Else, decls)
+		if isAnnotation(in.Op) && len(in.Protos) == 1 {
+			d, ok := decls[in.Protos[0]]
+			if ok {
+				if d.Null.Has(annotationPoint(in.Op)) && in.Op != ir.OpMap {
+					// A null handler: the call disappears. ACE_MAP is
+					// kept even when the protocol's map hook is null —
+					// the runtime still needs the handle translation —
+					// but is bound directly.
+					continue
+				}
+				in.Direct = true
+				in.DirectProto = d.Name
+				// If this bracket's partner is null (and therefore
+				// deleted), the survivor becomes a bare protocol call:
+				// the runtime's section pairing bookkeeping is skipped,
+				// as in the paper's runtime, which kept none.
+				if pp, paired := partnerPoint(in.Op); paired && d.Null.Has(pp) {
+					in.Bare = true
+				}
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// partnerPoint returns the matching bracket point for a section
+// annotation.
+func partnerPoint(op ir.Op) (core.Point, bool) {
+	switch op {
+	case ir.OpStartRead:
+		return core.PointEndRead, true
+	case ir.OpEndRead:
+		return core.PointStartRead, true
+	case ir.OpStartWrite:
+		return core.PointEndWrite, true
+	case ir.OpEndWrite:
+		return core.PointStartWrite, true
+	}
+	return 0, false
+}

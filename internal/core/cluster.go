@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"github.com/acedsm/ace/internal/amnet"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Procs is the number of logical processors (SPMD threads). Must be
+	// between 1 and MaxProcs.
+	Procs int
+
+	// Registry supplies the available protocols. Nil means a fresh
+	// registry containing only the default "sc" protocol.
+	Registry *Registry
+
+	// DefaultProtocol names the protocol of the default space. Empty
+	// means "sc".
+	DefaultProtocol string
+
+	// Network, if non-nil, supplies the transport (it must have exactly
+	// Procs endpoints). Nil means an in-process channel network.
+	Network amnet.Network
+
+	// Latency, for the in-process network, delays every inter-node
+	// message by the given duration. Ignored when Network is set.
+	Latency time.Duration
+}
+
+// Cluster is a set of logical processors sharing regions through the Ace
+// runtime. Create one with NewCluster, execute an SPMD program with Run,
+// then Close it.
+type Cluster struct {
+	opts   Options
+	reg    *Registry
+	net    amnet.Network
+	ownNet bool
+	procs  []*Proc
+	ran    bool
+}
+
+// NewCluster creates a cluster and its processors.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.Procs < 1 || opts.Procs > MaxProcs {
+		return nil, fmt.Errorf("core: proc count %d out of range [1,%d]", opts.Procs, MaxProcs)
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if opts.DefaultProtocol == "" {
+		opts.DefaultProtocol = "sc"
+	}
+	if _, ok := reg.Lookup(opts.DefaultProtocol); !ok {
+		return nil, fmt.Errorf("core: unknown default protocol %q", opts.DefaultProtocol)
+	}
+	nw := opts.Network
+	own := false
+	if nw == nil {
+		var err error
+		nw, err = amnet.NewChanNetwork(amnet.ChanConfig{Nodes: opts.Procs, Latency: opts.Latency})
+		if err != nil {
+			return nil, err
+		}
+		own = true
+	}
+	eps := nw.Endpoints()
+	if len(eps) != opts.Procs {
+		if own {
+			nw.Close()
+		}
+		return nil, fmt.Errorf("core: network has %d endpoints, want %d", len(eps), opts.Procs)
+	}
+	c := &Cluster{opts: opts, reg: reg, net: nw, ownNet: own}
+	c.procs = make([]*Proc, opts.Procs)
+	for i := range c.procs {
+		c.procs[i] = newProc(c, eps[i])
+	}
+	return c, nil
+}
+
+// Registry returns the cluster's protocol registry.
+func (c *Cluster) Registry() *Registry { return c.reg }
+
+// Procs returns the number of processors.
+func (c *Cluster) Procs() int { return len(c.procs) }
+
+// Run executes fn on every processor concurrently (the SPMD model: one
+// user thread per processor) and waits for all to finish. It returns the
+// joined errors, including recovered panics. Run may be called at most
+// once per cluster.
+func (c *Cluster) Run(fn func(p *Proc) error) error {
+	if c.ran {
+		return errors.New("core: cluster Run called twice")
+	}
+	c.ran = true
+	errs := make([]error, len(c.procs))
+	var wg sync.WaitGroup
+	for i, p := range c.procs {
+		wg.Add(1)
+		go func(i int, p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("core: proc %d panicked: %v\n%s", i, r, debug.Stack())
+				}
+			}()
+			errs[i] = fn(p)
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close shuts the cluster's network down.
+func (c *Cluster) Close() error {
+	if c.ownNet {
+		return c.net.Close()
+	}
+	return nil
+}
+
+// NetSnapshot aggregates traffic counters across all processors. Call it
+// only while the cluster is quiescent (before Run, after Run, or inside a
+// barrier) for a consistent view.
+func (c *Cluster) NetSnapshot() amnet.Snapshot {
+	var s amnet.Snapshot
+	for _, p := range c.procs {
+		s = s.Add(p.ep.Stats().Snapshot())
+	}
+	return s
+}
+
+// OpTotals aggregates runtime operation counters across processors. The
+// same quiescence caveat as NetSnapshot applies.
+func (c *Cluster) OpTotals() OpStats {
+	var t OpStats
+	for _, p := range c.procs {
+		t = t.Add(p.stats)
+	}
+	return t
+}
+
+// The handler identifiers reserved by the runtime.
+const (
+	hComplete  amnet.HandlerID = 1 // completes waiter m.B with the message
+	hLookup    amnet.HandlerID = 2 // region metadata request: A=id, B=seq
+	hBarArrive amnet.HandlerID = 3 // barrier arrival at node 0: A=gen, B=seq
+	hLockReq   amnet.HandlerID = 4 // region lock request: A=id, B=seq
+	hUnlockMsg amnet.HandlerID = 5 // region unlock: A=id
+	hColl      amnet.HandlerID = 6 // collective: A=tag, C=op, payload=value
+	hProto     amnet.HandlerID = 7 // protocol message: A=region, B=seq, C=verb, D=space
+)

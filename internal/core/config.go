@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements the textual system configuration file that carries
+// protocol declarations from the runtime to the compiler — the role played
+// in the paper by the file generated from the Tcl/Tk registration script
+// (Figure 1). The format:
+//
+//	protocol Update {
+//	    start_read  null
+//	    end_read    null
+//	    start_write proc
+//	    end_write   proc
+//	    barrier     proc
+//	    optimizable yes
+//	}
+//
+// Points not mentioned default to "proc" (a real handler). The compiler
+// derives handler names by concatenating the protocol name with the point
+// name (Update_StartWrite), exactly as described in Section 3.2.
+
+// WriteConfig emits the configuration file for all registered protocols.
+func (r *Registry) WriteConfig(w io.Writer) error {
+	for _, d := range r.Decls() {
+		if err := writeDecl(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDecl(w io.Writer, d Decl) error {
+	if _, err := fmt.Fprintf(w, "protocol %s {\n", d.Name); err != nil {
+		return err
+	}
+	for p := Point(0); p < NumPoints; p++ {
+		kind := "proc"
+		if d.Null.Has(p) {
+			kind = "null"
+		}
+		if _, err := fmt.Fprintf(w, "    %-12s %s\n", p, kind); err != nil {
+			return err
+		}
+	}
+	opt := "no"
+	if d.Optimizable {
+		opt = "yes"
+	}
+	_, err := fmt.Fprintf(w, "    optimizable  %s\n}\n\n", opt)
+	return err
+}
+
+// ParseConfig reads a configuration file and returns the protocol
+// declarations it contains.
+func ParseConfig(r io.Reader) ([]Decl, error) {
+	sc := bufio.NewScanner(r)
+	var decls []Decl
+	var cur *Decl
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "protocol "):
+			if cur != nil {
+				return nil, fmt.Errorf("config line %d: nested protocol block", line)
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "protocol "))
+			name, ok := strings.CutSuffix(rest, "{")
+			if !ok {
+				return nil, fmt.Errorf("config line %d: expected '{'", line)
+			}
+			cur = &Decl{Name: strings.TrimSpace(name)}
+			if cur.Name == "" {
+				return nil, fmt.Errorf("config line %d: empty protocol name", line)
+			}
+		case text == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("config line %d: '}' outside protocol block", line)
+			}
+			decls = append(decls, *cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("config line %d: statement outside protocol block", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("config line %d: expected 'key value'", line)
+			}
+			key, val := fields[0], fields[1]
+			if key == "optimizable" {
+				switch val {
+				case "yes":
+					cur.Optimizable = true
+				case "no":
+					cur.Optimizable = false
+				default:
+					return nil, fmt.Errorf("config line %d: optimizable must be yes or no", line)
+				}
+				continue
+			}
+			p, ok := ParsePoint(key)
+			if !ok {
+				return nil, fmt.Errorf("config line %d: unknown point %q", line, key)
+			}
+			switch val {
+			case "null":
+				cur.Null = cur.Null.With(p)
+			case "proc":
+				cur.Null = cur.Null.Without(p)
+			default:
+				return nil, fmt.Errorf("config line %d: handler must be proc or null", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("config: unterminated protocol block %q", cur.Name)
+	}
+	return decls, nil
+}
+
+// HandlerName derives the compiler-visible handler symbol for a protocol
+// point, concatenating the protocol name with the point name as in the
+// paper (e.g. Update_StartRead).
+func HandlerName(proto string, p Point) string {
+	camel := map[Point]string{
+		PointMap: "Map", PointUnmap: "Unmap",
+		PointStartRead: "StartRead", PointEndRead: "EndRead",
+		PointStartWrite: "StartWrite", PointEndWrite: "EndWrite",
+		PointBarrier: "Barrier", PointLock: "Lock", PointUnlock: "Unlock",
+	}
+	return proto + "_" + camel[p]
+}

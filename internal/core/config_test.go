@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/acedsm/ace/internal/amnet"
+)
+
+func TestPointSetOperations(t *testing.T) {
+	var s PointSet
+	s = s.With(PointStartRead).With(PointBarrier)
+	if !s.Has(PointStartRead) || !s.Has(PointBarrier) || s.Has(PointEndRead) {
+		t.Fatalf("set ops broken: %v", s)
+	}
+	s = s.Without(PointStartRead)
+	if s.Has(PointStartRead) {
+		t.Fatal("Without failed")
+	}
+	if got := s.String(); got != "barrier" {
+		t.Errorf("String = %q", got)
+	}
+	if AllPoints.String() == "" || !AllPoints.Has(PointUnlock) {
+		t.Error("AllPoints incomplete")
+	}
+}
+
+func TestPointParseRoundTrip(t *testing.T) {
+	for p := Point(0); p < NumPoints; p++ {
+		got, ok := ParsePoint(p.String())
+		if !ok || got != p {
+			t.Errorf("ParsePoint(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	if _, ok := ParsePoint("nonsense"); ok {
+		t.Error("ParsePoint accepted nonsense")
+	}
+	if Point(200).String() != "invalid_point" {
+		t.Error("out-of-range Point String")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(Info{
+		Name:        "Update",
+		New:         func() Protocol { return &SCProtocol{} },
+		Optimizable: true,
+		Null:        PointSet(0).With(PointStartRead).With(PointEndRead),
+	})
+	var sb strings.Builder
+	if err := reg.WriteConfig(&sb); err != nil {
+		t.Fatal(err)
+	}
+	decls, err := ParseConfig(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v\n%s", err, sb.String())
+	}
+	want := reg.Decls()
+	if len(decls) != len(want) {
+		t.Fatalf("got %d decls, want %d", len(decls), len(want))
+	}
+	for i := range want {
+		if decls[i] != want[i] {
+			t.Errorf("decl %d: got %+v, want %+v", i, decls[i], want[i])
+		}
+	}
+}
+
+func TestConfigRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reg := &Registry{m: map[string]Info{}}
+		n := rng.Intn(5) + 1
+		for i := 0; i < n; i++ {
+			reg.MustRegister(Info{
+				Name:        strings.Repeat("p", i+1),
+				New:         func() Protocol { return &SCProtocol{} },
+				Optimizable: rng.Intn(2) == 0,
+				Null:        PointSet(rng.Intn(int(AllPoints) + 1)),
+			})
+		}
+		var sb strings.Builder
+		if reg.WriteConfig(&sb) != nil {
+			return false
+		}
+		decls, err := ParseConfig(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		want := reg.Decls()
+		if len(decls) != len(want) {
+			return false
+		}
+		for i := range want {
+			if decls[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigParseErrors(t *testing.T) {
+	cases := []string{
+		"protocol {",                        // empty name
+		"}",                                 // stray close
+		"stray statement",                   // outside block
+		"protocol a {\n  bad_point null\n}", // unknown point
+		"protocol a {\n  map maybe\n}",      // bad handler kind
+		"protocol a {\n  optimizable perhaps\n}",
+		"protocol a {\n  map\n}",       // missing value
+		"protocol a {\nprotocol b {\n", // nested
+		"protocol a {",                 // unterminated
+	}
+	for _, src := range cases {
+		if _, err := ParseConfig(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseConfig(%q) should fail", src)
+		}
+	}
+}
+
+func TestConfigCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+protocol X {
+    map          null
+
+    # another comment
+    optimizable  yes
+}
+`
+	decls, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 1 || decls[0].Name != "X" || !decls[0].Optimizable || !decls[0].Null.Has(PointMap) {
+		t.Fatalf("decls = %+v", decls)
+	}
+}
+
+func TestHandlerName(t *testing.T) {
+	if got := HandlerName("Update", PointStartRead); got != "Update_StartRead" {
+		t.Errorf("HandlerName = %q", got)
+	}
+	if got := HandlerName("sc", PointEndWrite); got != "sc_EndWrite" {
+		t.Errorf("HandlerName = %q", got)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Info{Name: "", New: func() Protocol { return nil }}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := reg.Register(Info{Name: "x", New: nil}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := reg.Register(Info{Name: "sc", New: func() Protocol { return nil }}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := reg.New("unknown"); err == nil {
+		t.Error("unknown protocol instantiated")
+	}
+	if p, err := reg.New("sc"); err != nil || p.Name() != "sc" {
+		t.Errorf("New(sc) = %v, %v", p, err)
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "sc" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRegistryMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRegistry().MustRegister(Info{Name: "sc", New: func() Protocol { return nil }})
+}
+
+func TestBitset(t *testing.T) {
+	var b Bitset
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("zero Bitset not empty")
+	}
+	b.Add(0)
+	b.Add(5)
+	b.Add(63)
+	if b.Count() != 3 || !b.Has(5) || b.Has(4) {
+		t.Fatalf("bitset = %b", b)
+	}
+	b.Remove(5)
+	if b.Has(5) || b.Count() != 2 {
+		t.Fatal("Remove failed")
+	}
+	var visited []amnet.NodeID
+	b.ForEach(func(n amnet.NodeID) { visited = append(visited, n) })
+	if len(visited) != 2 || visited[0] != 0 || visited[1] != 63 {
+		t.Fatalf("ForEach = %v", visited)
+	}
+}
+
+func TestBitsetProperty(t *testing.T) {
+	f := func(members []uint8) bool {
+		var b Bitset
+		ref := map[amnet.NodeID]bool{}
+		for _, m := range members {
+			n := amnet.NodeID(m % 64)
+			b.Add(n)
+			ref[n] = true
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		b.ForEach(func(n amnet.NodeID) {
+			if !ref[n] {
+				ok = false
+			}
+			delete(ref, n)
+		})
+		return ok && len(ref) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryReset(t *testing.T) {
+	d := NewDirectory()
+	if d.Owner != -1 || d.LockHolder != -1 {
+		t.Fatal("NewDirectory bad defaults")
+	}
+	d.Sharers.Add(2)
+	d.Owner = 3
+	d.Busy = true
+	d.Waiting = append(d.Waiting, PendingReq{})
+	d.PendingAcks = 2
+	d.PData = "x"
+	d.LockHolder = 1
+	d.ResetCoherence()
+	if !d.Sharers.Empty() || d.Owner != -1 || d.Busy || d.Waiting != nil || d.PendingAcks != 0 || d.PData != nil {
+		t.Fatalf("ResetCoherence incomplete: %+v", d)
+	}
+	if d.LockHolder != 1 {
+		t.Fatal("ResetCoherence must preserve lock state")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/acedsm/ace/internal/amnet"
+)
+
+// Ctx provides the services protocol implementations build on: sending
+// protocol messages, blocking the application thread on a waiter, default
+// barrier and lock implementations, and access to the region table. Every
+// Ctx method must be called with the owning processor's runtime mutex held
+// — which is always the case inside Protocol methods, since the runtime
+// invokes them under the mutex.
+type Ctx struct {
+	p *Proc
+}
+
+// ID returns the processor id.
+func (c *Ctx) ID() amnet.NodeID { return c.p.id }
+
+// Procs returns the cluster size.
+func (c *Ctx) Procs() int { return c.p.cl.Procs() }
+
+// Region returns the local view of id, or nil if not materialized here.
+func (c *Ctx) Region(id RegionID) *Region { return c.p.regions.Get(id) }
+
+// EnsureRegion returns the local view of id, materializing it with the
+// given size and space if absent. Push-based protocols use this when data
+// arrives for a region the local processor has never mapped.
+func (c *Ctx) EnsureRegion(id RegionID, size, spaceID int) *Region {
+	if r := c.p.regions.Get(id); r != nil {
+		return r
+	}
+	return c.p.materialize(id, size, spaceID)
+}
+
+// ForEachRegion visits every locally known region. The table must not be
+// mutated during iteration.
+func (c *Ctx) ForEachRegion(fn func(*Region)) {
+	c.p.regions.ForEach(func(_ RegionID, r *Region) { fn(r) })
+}
+
+// Space returns the space with the given id.
+func (c *Ctx) Space(id int) *Space {
+	if id < 0 || id >= len(c.p.spaces) {
+		panic(fmt.Sprintf("core: proc %d: unknown space %d", c.p.id, id))
+	}
+	return c.p.spaces[id]
+}
+
+// NewWaiter allocates a waiter and returns its sequence number. The
+// application thread passes the number in a request message (field B by
+// convention) and calls Wait; the reply handler calls Complete.
+func (c *Ctx) NewWaiter() uint64 {
+	c.p.nextWaiter++
+	seq := c.p.nextWaiter
+	c.p.waiters[seq] = &waiter{ch: make(chan amnet.Msg, 1)}
+	return seq
+}
+
+// Wait blocks until Complete is called for seq, releasing the runtime
+// mutex while blocked and reacquiring it before returning. Only the
+// application thread may call Wait.
+func (c *Ctx) Wait(seq uint64) amnet.Msg {
+	w := c.p.waiters[seq]
+	if w == nil {
+		panic(fmt.Sprintf("core: proc %d: wait on unknown waiter %d", c.p.id, seq))
+	}
+	c.p.mu.Unlock()
+	m := <-w.ch
+	c.p.mu.Lock()
+	return m
+}
+
+// Complete finishes the waiter seq, handing it m. It is typically called
+// from a Deliver handler (for locally served requests it may also be
+// called from the application thread). Complete never blocks.
+func (c *Ctx) Complete(seq uint64, m amnet.Msg) {
+	w := c.p.waiters[seq]
+	if w == nil {
+		panic(fmt.Sprintf("core: proc %d: complete of unknown waiter %d", c.p.id, seq))
+	}
+	delete(c.p.waiters, seq)
+	w.ch <- m
+}
+
+// SendProto sends a protocol message. A names the region (0 for space-
+// level messages), B carries a waiter sequence when a reply is expected, C
+// is the protocol verb and D the space id (used by the destination to
+// dispatch when the region is not materialized there). The payload is
+// cloned, so callers may pass region data directly.
+func (c *Ctx) SendProto(dst amnet.NodeID, a, b, verb, spaceID uint64, payload []byte) {
+	c.p.ep.Send(amnet.Msg{
+		Dst: dst, Handler: hProto,
+		A: a, B: b, C: verb, D: spaceID,
+		Payload: clone(payload),
+	})
+}
+
+// SendComplete sends a completion for the waiter seq on dst, carrying the
+// scalar a and an optional payload (cloned).
+func (c *Ctx) SendComplete(dst amnet.NodeID, seq, a uint64, payload []byte) {
+	c.p.ep.Send(amnet.Msg{
+		Dst: dst, Handler: hComplete,
+		A: a, B: seq,
+		Payload: clone(payload),
+	})
+}
+
+// DefaultBarrier blocks until every processor has entered a barrier. It is
+// the building block protocols compose their Barrier semantics from.
+func (c *Ctx) DefaultBarrier() {
+	p := c.p
+	p.barGen++
+	gen := p.barGen
+	seq := c.NewWaiter()
+	p.ep.Send(amnet.Msg{Dst: 0, Handler: hBarArrive, A: gen, B: seq})
+	c.Wait(seq)
+}
+
+// DefaultLock acquires the home-based queue lock on r.
+func (c *Ctx) DefaultLock(r *Region) {
+	seq := c.NewWaiter()
+	c.p.ep.Send(amnet.Msg{Dst: r.Home, Handler: hLockReq, A: uint64(r.ID), B: seq})
+	c.Wait(seq)
+}
+
+// DefaultUnlock releases the home-based queue lock on r. The release is
+// asynchronous; per-pair FIFO ordering guarantees a subsequent DefaultLock
+// from this processor is served after the release.
+func (c *Ctx) DefaultUnlock(r *Region) {
+	c.p.ep.Send(amnet.Msg{Dst: r.Home, Handler: hUnlockMsg, A: uint64(r.ID)})
+}
+
+// NetStats returns the processor's endpoint traffic counters.
+func (c *Ctx) NetStats() *amnet.Stats { return c.p.ep.Stats() }
+
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/memory"
+)
+
+// Proc is one logical processor's handle on the runtime. All methods are
+// called from the processor's single application thread (the SPMD model);
+// message handlers run on the processor's pump goroutine and synchronize
+// with the application thread through the runtime mutex.
+type Proc struct {
+	id  amnet.NodeID
+	cl  *Cluster
+	ep  amnet.Endpoint
+	ctx *Ctx
+
+	mu      sync.Mutex
+	regions memory.Table[*Region]
+	nextSeq uint64
+	spaces  []*Space
+
+	waiters    map[uint64]*waiter
+	nextWaiter uint64
+
+	// Barrier state. barGen counts this processor's barrier arrivals;
+	// barArr (node 0 only) maps generation to arrivals so far.
+	barGen uint64
+	barArr map[uint64][]PendingReq
+
+	// Collective state. collSeq tags collectives in program order;
+	// collGot buffers payloads that arrive before the local thread asks;
+	// collWait maps tag to a waiter; collAcc (node 0 only) accumulates
+	// reduction contributions.
+	collSeq  uint64
+	collGot  map[uint64][]byte
+	collWait map[uint64]uint64
+	collAcc  map[uint64]*collAcc
+
+	stats OpStats
+}
+
+type waiter struct{ ch chan amnet.Msg }
+
+// collAcc accumulates reduction contributions, indexed by source
+// processor so the combining order is deterministic (floating-point sums
+// must not depend on message arrival order).
+type collAcc struct {
+	vals  [][]byte
+	count int
+}
+
+func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
+	p := &Proc{
+		id:       ep.ID(),
+		cl:       c,
+		ep:       ep,
+		waiters:  make(map[uint64]*waiter),
+		collGot:  make(map[uint64][]byte),
+		collWait: make(map[uint64]uint64),
+	}
+	p.ctx = &Ctx{p: p}
+	if p.id == 0 {
+		p.barArr = make(map[uint64][]PendingReq)
+		p.collAcc = make(map[uint64]*collAcc)
+	}
+	p.registerHandlers()
+	// The default space (index 0) exists on every processor from the
+	// start, carrying the cluster's default protocol.
+	p.mu.Lock()
+	p.addSpace(c.opts.DefaultProtocol)
+	p.mu.Unlock()
+	return p
+}
+
+// ID returns this processor's id.
+func (p *Proc) ID() int { return int(p.id) }
+
+// Procs returns the cluster size.
+func (p *Proc) Procs() int { return p.cl.Procs() }
+
+// Cluster returns the owning cluster.
+func (p *Proc) Cluster() *Cluster { return p.cl }
+
+// DefaultSpace returns the predefined space with the cluster's default
+// protocol (sequentially consistent unless configured otherwise).
+func (p *Proc) DefaultSpace() *Space {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spaces[0]
+}
+
+// Stats returns a copy of this processor's operation counters.
+func (p *Proc) Stats() OpStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// addSpace creates a space locally. Caller holds p.mu and guarantees the
+// collective discipline (all processors create spaces in the same order).
+func (p *Proc) addSpace(protoName string) *Space {
+	info, ok := p.cl.reg.Lookup(protoName)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown protocol %q", protoName))
+	}
+	sp := &Space{
+		ID:        len(p.spaces),
+		ProtoName: protoName,
+		Proto:     info.New(),
+		proc:      p,
+	}
+	p.spaces = append(p.spaces, sp)
+	sp.Proto.InitSpace(p.ctx, sp)
+	return sp
+}
+
+// NewSpace creates a new space governed by the named protocol. It is a
+// collective operation: every processor must call it, in the same program
+// order, with the same protocol name (verified at runtime).
+func (p *Proc) NewSpace(protoName string) (*Space, error) {
+	if _, ok := p.cl.reg.Lookup(protoName); !ok {
+		return nil, fmt.Errorf("core: unknown protocol %q", protoName)
+	}
+	if err := p.verifyCollective("newspace:" + protoName); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addSpace(protoName), nil
+}
+
+// GMalloc allocates a shared region of size bytes from sp. The calling
+// processor becomes the region's home. The returned id is valid on every
+// processor (communicate it with Broadcast or by storing it in another
+// region).
+func (p *Proc) GMalloc(sp *Space, size int) RegionID {
+	if size <= 0 {
+		panic(fmt.Sprintf("core: GMalloc size %d", size))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextSeq++
+	id := memory.MakeID(int32(p.id), p.nextSeq)
+	r := &Region{
+		ID:    id,
+		Home:  p.id,
+		Size:  size,
+		Data:  make(memory.Data, size),
+		Space: sp,
+		Dir:   NewDirectory(),
+	}
+	p.regions.Put(id, r)
+	p.stats.GMallocs++
+	sp.Proto.RegionCreated(p.ctx, r)
+	return id
+}
+
+// Map translates a region id into this processor's local view of the
+// region, materializing it (fetching its metadata from the home) if this
+// is the first encounter. The data is not necessarily valid until a
+// StartRead or StartWrite.
+func (p *Proc) Map(id RegionID) *Region {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Maps++
+	r := p.regions.Get(id)
+	if r == nil {
+		r = p.fetchRegion(id)
+	}
+	r.MapCount++
+	r.Space.Proto.Map(p.ctx, r)
+	return r
+}
+
+// fetchRegion materializes a remote region, asking its home for metadata.
+// Caller holds p.mu.
+func (p *Proc) fetchRegion(id RegionID) *Region {
+	if amnet.NodeID(id.Home()) == p.id {
+		panic(fmt.Sprintf("core: proc %d: unknown home region %v", p.id, id))
+	}
+	seq := p.ctx.NewWaiter()
+	p.ep.Send(amnet.Msg{Dst: amnet.NodeID(id.Home()), Handler: hLookup, A: uint64(id), B: seq})
+	m := p.ctx.Wait(seq)
+	// A protocol push may have materialized the region while we waited.
+	if r := p.regions.Get(id); r != nil {
+		return r
+	}
+	return p.materialize(id, int(m.A), int(m.C))
+}
+
+// materialize creates the local view of a region homed elsewhere. Caller
+// holds p.mu.
+func (p *Proc) materialize(id RegionID, size, spaceID int) *Region {
+	if spaceID < 0 || spaceID >= len(p.spaces) {
+		panic(fmt.Sprintf("core: proc %d: region %v names unknown space %d", p.id, id, spaceID))
+	}
+	r := &Region{
+		ID:    id,
+		Home:  amnet.NodeID(id.Home()),
+		Size:  size,
+		Data:  make(memory.Data, size),
+		Space: p.spaces[spaceID],
+	}
+	p.regions.Put(id, r)
+	r.Space.Proto.RegionCreated(p.ctx, r)
+	return r
+}
+
+// Unmap releases one map of r. Cached data survives unmapping and remains
+// under coherence (CRL-style unmapped-region caching).
+func (p *Proc) Unmap(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Unmaps++
+	if r.MapCount <= 0 {
+		panic(fmt.Sprintf("core: proc %d: unmap of unmapped region %v", p.id, r.ID))
+	}
+	r.MapCount--
+	r.Space.Proto.Unmap(p.ctx, r)
+}
+
+// StartRead opens a read section on r. On return r.Data is valid for
+// reading under the space's protocol.
+func (p *Proc) StartRead(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.StartReads++
+	r.Space.Proto.StartRead(p.ctx, r)
+	r.Readers++
+}
+
+// EndRead closes a read section on r.
+func (p *Proc) EndRead(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.EndReads++
+	if r.Readers <= 0 {
+		panic(fmt.Sprintf("core: proc %d: EndRead without StartRead on %v", p.id, r.ID))
+	}
+	r.Readers--
+	r.Space.Proto.EndRead(p.ctx, r)
+}
+
+// StartWrite opens a write section on r. On return r.Data is valid for
+// writing under the space's protocol.
+func (p *Proc) StartWrite(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.StartWrites++
+	r.Space.Proto.StartWrite(p.ctx, r)
+	r.Writers++
+}
+
+// EndWrite closes a write section on r.
+func (p *Proc) EndWrite(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.EndWrites++
+	if r.Writers <= 0 {
+		panic(fmt.Sprintf("core: proc %d: EndWrite without StartWrite on %v", p.id, r.ID))
+	}
+	r.Writers--
+	r.Space.Proto.EndWrite(p.ctx, r)
+}
+
+// Barrier executes a barrier with the semantics of sp's protocol (for
+// example, a static update protocol propagates updates here).
+func (p *Proc) Barrier(sp *Space) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Barriers++
+	sp.Proto.Barrier(p.ctx, sp)
+}
+
+// GlobalBarrier synchronizes all processors without protocol semantics.
+func (p *Proc) GlobalBarrier() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ctx.DefaultBarrier()
+}
+
+// Lock acquires the region lock with the semantics of the region's
+// protocol.
+func (p *Proc) Lock(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Locks++
+	r.Space.Proto.Lock(p.ctx, r)
+}
+
+// Unlock releases the region lock.
+func (p *Proc) Unlock(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Unlocks++
+	r.Space.Proto.Unlock(p.ctx, r)
+}
+
+// DropCopy asks r's protocol to discard the local cached copy if safe,
+// reporting whether it did. Runtimes with bounded region caches use this
+// for eviction.
+func (p *Proc) DropCopy(r *Region) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d, ok := r.Space.Proto.(Dropper); ok {
+		return d.DropCopy(p.ctx, r)
+	}
+	return false
+}
+
+// ChangeProtocol changes sp's protocol. It is a collective operation. The
+// semantics follow the paper: the old protocol flushes every region of the
+// space to the base state (authoritative data at the home, no cached
+// copies), then the new protocol is initialized.
+func (p *Proc) ChangeProtocol(sp *Space, protoName string) error {
+	info, ok := p.cl.reg.Lookup(protoName)
+	if !ok {
+		return fmt.Errorf("core: unknown protocol %q", protoName)
+	}
+	if err := p.verifyCollective(fmt.Sprintf("chgproto:%d:%s", sp.ID, protoName)); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.ProtocolChanges++
+	p.ctx.DefaultBarrier()
+	sp.Proto.FlushSpace(p.ctx, sp)
+	p.ctx.DefaultBarrier()
+	// All data is now home-valid and no coherence traffic is in flight:
+	// reset protocol-owned state.
+	p.regions.ForEach(func(_ RegionID, r *Region) {
+		if r.Space != sp {
+			return
+		}
+		r.State = 0
+		r.Flags = 0
+		r.PState = nil
+		if r.Dir != nil {
+			if len(r.Dir.Waiting) != 0 || r.Dir.Busy {
+				panic(fmt.Sprintf("core: proc %d: ChangeProtocol with busy directory on %v", p.id, r.ID))
+			}
+			r.Dir.ResetCoherence()
+		}
+	})
+	sp.Proto = info.New()
+	sp.ProtoName = protoName
+	sp.Epoch++
+	sp.PData = nil
+	sp.Proto.InitSpace(p.ctx, sp)
+	p.ctx.DefaultBarrier()
+	return nil
+}
+
+// verifyCollective checks that every processor reached the same collective
+// call: processor 0 broadcasts the tag and the others compare.
+func (p *Proc) verifyCollective(tag string) error {
+	got := p.Broadcast(0, []byte(tag))
+	if string(got) != tag {
+		return fmt.Errorf("core: proc %d: collective mismatch: local %q, proc 0 %q", p.id, tag, got)
+	}
+	return nil
+}
+
+// registerHandlers installs the runtime's message handlers. Handlers run
+// on the pump goroutine and take p.mu.
+func (p *Proc) registerHandlers() {
+	p.ep.Register(hComplete, func(m amnet.Msg) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.ctx.Complete(m.B, m)
+	})
+	p.ep.Register(hLookup, func(m amnet.Msg) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		r := p.regions.Get(RegionID(m.A))
+		if r == nil || !r.IsHome() {
+			panic(fmt.Sprintf("core: proc %d: lookup of unknown region %v", p.id, RegionID(m.A)))
+		}
+		p.ep.Send(amnet.Msg{Dst: m.Src, Handler: hComplete, A: uint64(r.Size), B: m.B, C: uint64(r.Space.ID)})
+	})
+	p.ep.Register(hBarArrive, func(m amnet.Msg) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.barrierArrive(m)
+	})
+	p.ep.Register(hLockReq, func(m amnet.Msg) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.lockRequest(m)
+	})
+	p.ep.Register(hUnlockMsg, func(m amnet.Msg) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.unlockRequest(m)
+	})
+	p.ep.Register(hColl, func(m amnet.Msg) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.collDeliver(m)
+	})
+	p.ep.Register(hProto, func(m amnet.Msg) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		r := p.regions.Get(RegionID(m.A))
+		var sp *Space
+		if r != nil {
+			sp = r.Space
+		} else {
+			spID := int(m.D)
+			if spID < 0 || spID >= len(p.spaces) {
+				panic(fmt.Sprintf("core: proc %d: protocol message for unknown space %d", p.id, spID))
+			}
+			sp = p.spaces[spID]
+		}
+		sp.Proto.Deliver(p.ctx, sp, r, m)
+	})
+}
+
+// Space is a named allocation arena with an associated protocol: the
+// paper's central abstraction for binding protocols to data structures.
+type Space struct {
+	// ID is the space's index, identical on every processor (spaces are
+	// created collectively).
+	ID int
+	// ProtoName is the current protocol's registered name.
+	ProtoName string
+	// Proto is this processor's instance of the protocol.
+	Proto Protocol
+	// Epoch increments on every ChangeProtocol.
+	Epoch int
+	// PData is arbitrary per-space protocol data (for example a static
+	// update protocol's sharer lists).
+	PData any
+
+	proc *Proc
+}
+
+// OpStats counts runtime primitive invocations on one processor.
+type OpStats struct {
+	GMallocs        uint64
+	Maps            uint64
+	Unmaps          uint64
+	StartReads      uint64
+	EndReads        uint64
+	StartWrites     uint64
+	EndWrites       uint64
+	Barriers        uint64
+	Locks           uint64
+	Unlocks         uint64
+	ProtocolChanges uint64
+}
+
+// Add returns the element-wise sum of two OpStats.
+func (s OpStats) Add(o OpStats) OpStats {
+	return OpStats{
+		GMallocs:        s.GMallocs + o.GMallocs,
+		Maps:            s.Maps + o.Maps,
+		Unmaps:          s.Unmaps + o.Unmaps,
+		StartReads:      s.StartReads + o.StartReads,
+		EndReads:        s.EndReads + o.EndReads,
+		StartWrites:     s.StartWrites + o.StartWrites,
+		EndWrites:       s.EndWrites + o.EndWrites,
+		Barriers:        s.Barriers + o.Barriers,
+		Locks:           s.Locks + o.Locks,
+		Unlocks:         s.Unlocks + o.Unlocks,
+		ProtocolChanges: s.ProtocolChanges + o.ProtocolChanges,
+	}
+}
+
+// The Bare section operations invoke the protocol routine without the
+// runtime's section pairing bookkeeping. Compiled code uses them when the
+// matching bracket was a null handler the direct-dispatch pass deleted;
+// the protocol's null declaration is its promise that it needs no open-
+// section accounting at these points (the paper's runtime kept none).
+
+// StartReadBare opens a read section without bookkeeping.
+func (p *Proc) StartReadBare(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.StartReads++
+	r.Space.Proto.StartRead(p.ctx, r)
+}
+
+// EndReadBare closes a read section without bookkeeping.
+func (p *Proc) EndReadBare(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.EndReads++
+	r.Space.Proto.EndRead(p.ctx, r)
+}
+
+// StartWriteBare opens a write section without bookkeeping.
+func (p *Proc) StartWriteBare(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.StartWrites++
+	r.Space.Proto.StartWrite(p.ctx, r)
+}
+
+// EndWriteBare closes a write section without bookkeeping.
+func (p *Proc) EndWriteBare(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.EndWrites++
+	r.Space.Proto.EndWrite(p.ctx, r)
+}

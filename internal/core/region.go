@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/bits"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/memory"
+)
+
+// RegionID re-exports memory.RegionID for convenience.
+type RegionID = memory.RegionID
+
+// RegionData re-exports memory.Data: a byte view with typed accessors.
+type RegionData = memory.Data
+
+// Region is one processor's view of a shared region. Fields are protected
+// by the owning processor's runtime mutex. The State, PState and Flags
+// fields belong to the space's protocol; the runtime zeroes them when the
+// protocol changes.
+type Region struct {
+	ID   RegionID
+	Home amnet.NodeID
+	Size int
+	Data memory.Data
+
+	// Space is the space the region was allocated from.
+	Space *Space
+
+	// MapCount is the number of outstanding maps; maintained by the
+	// runtime. Cached copies survive unmapping (CRL-style unmapped-region
+	// caching), so MapCount==0 does not imply the copy is invalid.
+	MapCount int
+
+	// Readers and Writers count open read and write sections.
+	Readers, Writers int
+
+	// State is protocol-defined (for the SC protocol: Invalid, Shared,
+	// Exclusive).
+	State int32
+
+	// Flags is protocol-defined transient state (deferred invalidations
+	// and the like).
+	Flags uint32
+
+	// PState is arbitrary per-region protocol data.
+	PState any
+
+	// Dir is the coherence directory; non-nil exactly at the home.
+	Dir *Directory
+}
+
+// IsHome reports whether this processor is the region's home.
+func (r *Region) IsHome() bool { return r.Dir != nil }
+
+// InUse reports whether the region has an open read or write section.
+func (r *Region) InUse() bool { return r.Readers > 0 || r.Writers > 0 }
+
+// Directory is the per-region coherence directory kept at the home. The
+// generic fields (lock queue) are managed by the runtime; Sharers, Owner,
+// Busy, Waiting, PendingAcks and PData belong to the protocol.
+type Directory struct {
+	// Sharers is the set of processors with (potentially) valid cached
+	// copies, excluding the home.
+	Sharers Bitset
+
+	// Owner is the processor holding the region exclusively, or -1. When
+	// Owner >= 0 the home copy is stale.
+	Owner amnet.NodeID
+
+	// Busy marks a multi-message transaction in progress; new requests
+	// queue on Waiting.
+	Busy bool
+
+	// Waiting holds queued coherence requests, served FIFO.
+	Waiting []PendingReq
+
+	// Cur is the request the current transaction serves (valid while
+	// Busy).
+	Cur PendingReq
+
+	// PendingAcks counts outstanding invalidation acknowledgements for
+	// the current transaction.
+	PendingAcks int
+
+	// PData is arbitrary per-region protocol directory data.
+	PData any
+
+	// Lock state, managed by the runtime's default region lock.
+	LockHolder amnet.NodeID // -1 when free
+	LockQueue  []lockWaiter
+}
+
+// NewDirectory returns a directory in the base state.
+func NewDirectory() *Directory {
+	return &Directory{Owner: -1, LockHolder: -1}
+}
+
+// ResetCoherence returns the protocol-owned directory fields to the base
+// state, preserving lock state.
+func (d *Directory) ResetCoherence() {
+	d.Sharers = 0
+	d.Owner = -1
+	d.Busy = false
+	d.Waiting = nil
+	d.PendingAcks = 0
+	d.PData = nil
+}
+
+// PendingReq is a queued coherence request at the home: either a remote
+// request (Src, Seq identify the requester's waiter) or a home-local
+// request (Src == home).
+type PendingReq struct {
+	Kind int
+	Src  amnet.NodeID
+	Seq  uint64
+}
+
+type lockWaiter struct {
+	src amnet.NodeID
+	seq uint64
+}
+
+// Bitset is a set of processor ids, supporting up to 64 processors (the
+// paper's evaluation used 32).
+type Bitset uint64
+
+// MaxProcs is the largest supported cluster size.
+const MaxProcs = 64
+
+// Add inserts node n.
+func (b *Bitset) Add(n amnet.NodeID) { *b |= 1 << uint(n) }
+
+// Remove deletes node n.
+func (b *Bitset) Remove(n amnet.NodeID) { *b &^= 1 << uint(n) }
+
+// Has reports whether node n is present.
+func (b Bitset) Has(n amnet.NodeID) bool { return b&(1<<uint(n)) != 0 }
+
+// Count returns the number of members.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Empty reports whether the set has no members.
+func (b Bitset) Empty() bool { return b == 0 }
+
+// ForEach calls fn for each member in increasing order.
+func (b Bitset) ForEach(fn func(amnet.NodeID)) {
+	for v := uint64(b); v != 0; {
+		n := bits.TrailingZeros64(v)
+		fn(amnet.NodeID(n))
+		v &^= 1 << uint(n)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/acedsm/ace/internal/amnet"
+)
+
+// This file implements the runtime's synchronization substrate: the
+// centralized barrier, home-based region locks, and the bootstrap
+// collectives (broadcast and all-reduce) applications use to distribute
+// region ids and combine scalars.
+
+// barrierArrive handles a barrier arrival at processor 0. Caller holds
+// p.mu.
+func (p *Proc) barrierArrive(m amnet.Msg) {
+	if p.id != 0 {
+		panic(fmt.Sprintf("core: proc %d received barrier arrival", p.id))
+	}
+	gen := m.A
+	p.barArr[gen] = append(p.barArr[gen], PendingReq{Src: m.Src, Seq: m.B})
+	if len(p.barArr[gen]) == p.cl.Procs() {
+		for _, a := range p.barArr[gen] {
+			p.ep.Send(amnet.Msg{Dst: a.Src, Handler: hComplete, B: a.Seq})
+		}
+		delete(p.barArr, gen)
+	}
+}
+
+// lockRequest handles a region lock request at the region's home. Caller
+// holds p.mu.
+func (p *Proc) lockRequest(m amnet.Msg) {
+	r := p.regions.Get(RegionID(m.A))
+	if r == nil || !r.IsHome() {
+		panic(fmt.Sprintf("core: proc %d: lock request for non-home region %v", p.id, RegionID(m.A)))
+	}
+	d := r.Dir
+	if d.LockHolder < 0 {
+		d.LockHolder = m.Src
+		p.ep.Send(amnet.Msg{Dst: m.Src, Handler: hComplete, B: m.B})
+		return
+	}
+	d.LockQueue = append(d.LockQueue, lockWaiter{src: m.Src, seq: m.B})
+}
+
+// unlockRequest handles a region unlock at the region's home. Caller holds
+// p.mu.
+func (p *Proc) unlockRequest(m amnet.Msg) {
+	r := p.regions.Get(RegionID(m.A))
+	if r == nil || !r.IsHome() {
+		panic(fmt.Sprintf("core: proc %d: unlock for non-home region %v", p.id, RegionID(m.A)))
+	}
+	d := r.Dir
+	if d.LockHolder != m.Src {
+		panic(fmt.Sprintf("core: proc %d: unlock of %v by %d, holder %d", p.id, r.ID, m.Src, d.LockHolder))
+	}
+	if len(d.LockQueue) == 0 {
+		d.LockHolder = -1
+		return
+	}
+	next := d.LockQueue[0]
+	d.LockQueue = d.LockQueue[1:]
+	d.LockHolder = next.src
+	p.ep.Send(amnet.Msg{Dst: next.src, Handler: hComplete, B: next.seq})
+}
+
+// Collective operation codes (field C of hColl messages).
+const (
+	collOpBcast uint64 = iota
+	collOpSumI
+	collOpMinI
+	collOpMaxI
+	collOpSumF
+	collOpMinF
+	collOpMaxF
+	collOpResult
+)
+
+// collDeliver handles a collective message. Caller holds p.mu.
+func (p *Proc) collDeliver(m amnet.Msg) {
+	switch m.C {
+	case collOpBcast, collOpResult:
+		p.collArrived(m.A, m.Payload)
+	default:
+		// A reduction contribution; only processor 0 accumulates.
+		if p.id != 0 {
+			panic(fmt.Sprintf("core: proc %d received reduction contribution", p.id))
+		}
+		acc := p.collAcc[m.A]
+		if acc == nil {
+			acc = &collAcc{vals: make([][]byte, p.cl.Procs())}
+			p.collAcc[m.A] = acc
+		}
+		acc.vals[m.Src] = clone(m.Payload)
+		acc.count++
+		if acc.count == p.cl.Procs() {
+			delete(p.collAcc, m.A)
+			result := reduce(m.C, acc.vals)
+			for n := 0; n < p.cl.Procs(); n++ {
+				p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: m.A, C: collOpResult, Payload: clone(result)})
+			}
+		}
+	}
+}
+
+// collArrived records a collective payload for tag, waking a waiter if one
+// is registered. Caller holds p.mu.
+func (p *Proc) collArrived(tag uint64, payload []byte) {
+	if seq, ok := p.collWait[tag]; ok {
+		delete(p.collWait, tag)
+		p.ctx.Complete(seq, amnet.Msg{Payload: clone(payload)})
+		return
+	}
+	p.collGot[tag] = clone(payload)
+}
+
+// collAwait blocks until the payload for tag arrives. Caller holds p.mu.
+func (p *Proc) collAwait(tag uint64) []byte {
+	if v, ok := p.collGot[tag]; ok {
+		delete(p.collGot, tag)
+		return v
+	}
+	seq := p.ctx.NewWaiter()
+	p.collWait[tag] = seq
+	m := p.ctx.Wait(seq)
+	return m.Payload
+}
+
+// Broadcast distributes data from the root processor to all processors and
+// returns it. It is collective: every processor must call it in the same
+// program order. The root's data argument is the value broadcast; other
+// processors may pass nil.
+func (p *Proc) Broadcast(root int, data []byte) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.collSeq++
+	tag := p.collSeq
+	if int(p.id) == root {
+		for n := 0; n < p.cl.Procs(); n++ {
+			if n == root {
+				continue
+			}
+			p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: tag, C: collOpBcast, Payload: clone(data)})
+		}
+		return data
+	}
+	return p.collAwait(tag)
+}
+
+// BroadcastID broadcasts a region id from root.
+func (p *Proc) BroadcastID(root int, id RegionID) RegionID {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(id))
+	out := p.Broadcast(root, buf[:])
+	return RegionID(binary.LittleEndian.Uint64(out))
+}
+
+// BroadcastIDs broadcasts a slice of region ids from root. Non-root
+// processors may pass nil; all processors must agree on the length only at
+// the root.
+func (p *Proc) BroadcastIDs(root int, ids []RegionID) []RegionID {
+	buf := make([]byte, 8*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(id))
+	}
+	out := p.Broadcast(root, buf)
+	res := make([]RegionID, len(out)/8)
+	for i := range res {
+		res[i] = RegionID(binary.LittleEndian.Uint64(out[i*8:]))
+	}
+	return res
+}
+
+// ReduceOp selects the combining operator for AllReduce collectives.
+type ReduceOp int
+
+// The supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMin
+	OpMax
+)
+
+// AllReduceInt64 combines v across all processors with op and returns the
+// result on every processor. Collective.
+func (p *Proc) AllReduceInt64(op ReduceOp, v int64) int64 {
+	code := map[ReduceOp]uint64{OpSum: collOpSumI, OpMin: collOpMinI, OpMax: collOpMaxI}[op]
+	out := p.allReduce(code, uint64(v))
+	return int64(out)
+}
+
+// AllReduceFloat64 combines v across all processors with op and returns
+// the result on every processor. Collective.
+func (p *Proc) AllReduceFloat64(op ReduceOp, v float64) float64 {
+	code := map[ReduceOp]uint64{OpSum: collOpSumF, OpMin: collOpMinF, OpMax: collOpMaxF}[op]
+	out := p.allReduce(code, math.Float64bits(v))
+	return math.Float64frombits(out)
+}
+
+func (p *Proc) allReduce(code uint64, word uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.collSeq++
+	tag := p.collSeq
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], word)
+	p.ep.Send(amnet.Msg{Dst: 0, Handler: hColl, A: tag, C: code, Payload: buf[:]})
+	out := p.collAwait(tag)
+	return binary.LittleEndian.Uint64(out)
+}
+
+// reduce combines contribution payloads with the operator encoded in code.
+func reduce(code uint64, vals [][]byte) []byte {
+	words := make([]uint64, len(vals))
+	for i, v := range vals {
+		words[i] = binary.LittleEndian.Uint64(v)
+	}
+	var acc uint64
+	switch code {
+	case collOpSumI:
+		var s int64
+		for _, w := range words {
+			s += int64(w)
+		}
+		acc = uint64(s)
+	case collOpMinI:
+		s := int64(words[0])
+		for _, w := range words[1:] {
+			s = min(s, int64(w))
+		}
+		acc = uint64(s)
+	case collOpMaxI:
+		s := int64(words[0])
+		for _, w := range words[1:] {
+			s = max(s, int64(w))
+		}
+		acc = uint64(s)
+	case collOpSumF:
+		var s float64
+		for _, w := range words {
+			s += math.Float64frombits(w)
+		}
+		acc = math.Float64bits(s)
+	case collOpMinF:
+		s := math.Float64frombits(words[0])
+		for _, w := range words[1:] {
+			s = math.Min(s, math.Float64frombits(w))
+		}
+		acc = math.Float64bits(s)
+	case collOpMaxF:
+		s := math.Float64frombits(words[0])
+		for _, w := range words[1:] {
+			s = math.Max(s, math.Float64frombits(w))
+		}
+		acc = math.Float64bits(s)
+	default:
+		panic(fmt.Sprintf("core: bad reduction code %d", code))
+	}
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, acc)
+	return out
+}

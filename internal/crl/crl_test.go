@@ -1,0 +1,252 @@
+package crl
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/acedsm/ace/internal/core"
+)
+
+func runCRL(t *testing.T, procs int, opts Options, fn func(p *Proc) error) *Cluster {
+	t.Helper()
+	opts.Procs = procs
+	cl, err := NewCluster(opts)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if err := cl.Run(fn); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return cl
+}
+
+func TestCRLBasicSharing(t *testing.T) {
+	runCRL(t, 4, Options{}, func(p *Proc) error {
+		var id core.RegionID
+		if p.ID() == 0 {
+			id = p.Malloc(8)
+			r := p.Map(id)
+			p.StartWrite(r)
+			r.Data().SetInt64(0, 42)
+			p.EndWrite(r)
+			p.Unmap(r)
+		}
+		id = p.BroadcastID(0, id)
+		p.Barrier()
+		r := p.Map(id)
+		p.StartRead(r)
+		if got := r.Data().Int64(0); got != 42 {
+			return fmt.Errorf("proc %d: got %d", p.ID(), got)
+		}
+		p.EndRead(r)
+		p.Unmap(r)
+		return nil
+	})
+}
+
+func TestCRLWriteSerialization(t *testing.T) {
+	const procs, incs = 6, 60
+	runCRL(t, procs, Options{}, func(p *Proc) error {
+		var id core.RegionID
+		if p.ID() == 0 {
+			id = p.Malloc(8)
+		}
+		id = p.BroadcastID(0, id)
+		r := p.Map(id)
+		for i := 0; i < incs; i++ {
+			p.StartWrite(r)
+			r.Data().SetInt64(0, r.Data().Int64(0)+1)
+			p.EndWrite(r)
+		}
+		p.Barrier()
+		p.StartRead(r)
+		got := r.Data().Int64(0)
+		p.EndRead(r)
+		if got != procs*incs {
+			return fmt.Errorf("got %d, want %d", got, procs*incs)
+		}
+		return nil
+	})
+}
+
+func TestCRLRemapFromURC(t *testing.T) {
+	runCRL(t, 2, Options{}, func(p *Proc) error {
+		var id core.RegionID
+		if p.ID() == 0 {
+			id = p.Malloc(8)
+			r := p.Map(id)
+			p.StartWrite(r)
+			r.Data().SetInt64(0, 7)
+			p.EndWrite(r)
+			p.Unmap(r)
+		}
+		id = p.BroadcastID(0, id)
+		p.Barrier()
+		if p.ID() == 1 {
+			// Map/unmap/map cycles should hit the URC and keep working.
+			for i := 0; i < 5; i++ {
+				r := p.Map(id)
+				p.StartRead(r)
+				if r.Data().Int64(0) != 7 {
+					return fmt.Errorf("iteration %d: bad data", i)
+				}
+				p.EndRead(r)
+				p.Unmap(r)
+			}
+		}
+		p.Barrier()
+		return nil
+	})
+}
+
+// TestCRLEvictionRefetches shows the mechanism behind Figure 7a: with a
+// tiny URC, cycling through more regions than the cache holds forces
+// re-fetches, while the Ace runtime (unbounded caching) would not.
+func TestCRLEvictionRefetches(t *testing.T) {
+	const regions = 8
+	var coldMsgs, warmMsgs uint64
+	cl := runCRL(t, 2, Options{URCCapacity: 2}, func(p *Proc) error {
+		ids := make([]core.RegionID, regions)
+		if p.ID() == 0 {
+			for i := range ids {
+				ids[i] = p.Malloc(64)
+			}
+		}
+		ids = p.BroadcastIDs(0, ids)
+		p.Barrier()
+		sweep := func() error {
+			if p.ID() != 1 {
+				return nil
+			}
+			for _, id := range ids {
+				r := p.Map(id)
+				p.StartRead(r)
+				_ = r.Data().Int64(0)
+				p.EndRead(r)
+				p.Unmap(r)
+			}
+			return nil
+		}
+		if err := sweep(); err != nil {
+			return err
+		}
+		p.Barrier()
+		if p.ID() == 0 {
+			coldMsgs = p.inner.Cluster().NetSnapshot().MsgsSent
+		}
+		p.Barrier()
+		if err := sweep(); err != nil {
+			return err
+		}
+		p.Barrier()
+		if p.ID() == 0 {
+			warmMsgs = p.inner.Cluster().NetSnapshot().MsgsSent
+		}
+		p.Barrier()
+		return nil
+	})
+	_ = cl
+	// The second sweep must re-fetch evicted regions: it costs at least
+	// one data round trip per region beyond barrier traffic.
+	secondSweep := warmMsgs - coldMsgs
+	if secondSweep < 2*(regions-2) {
+		t.Fatalf("second sweep cost only %d messages; eviction should force re-fetches", secondSweep)
+	}
+}
+
+func TestCRLBadURC(t *testing.T) {
+	if _, err := NewCluster(Options{Procs: 2, URCCapacity: -1}); err == nil {
+		t.Fatal("negative URC capacity should fail")
+	}
+}
+
+func TestCRLAllReduce(t *testing.T) {
+	runCRL(t, 3, Options{}, func(p *Proc) error {
+		if got := p.AllReduceInt64(core.OpSum, 2); got != 6 {
+			return fmt.Errorf("sum = %d", got)
+		}
+		if got := p.AllReduceFloat64(core.OpMax, float64(p.ID())); got != 2 {
+			return fmt.Errorf("max = %v", got)
+		}
+		return nil
+	})
+}
+
+// TestCRLEvictionSkipsDirtyCopies: the URC never drops an exclusive
+// (dirty) copy — only clean shared ones.
+func TestCRLEvictionSkipsDirtyCopies(t *testing.T) {
+	runCRL(t, 2, Options{URCCapacity: 1}, func(p *Proc) error {
+		var ids []core.RegionID
+		if p.ID() == 0 {
+			for i := 0; i < 4; i++ {
+				ids = append(ids, p.Malloc(8))
+			}
+		} else {
+			ids = make([]core.RegionID, 4)
+		}
+		ids = p.BroadcastIDs(0, ids)
+		p.Barrier()
+		if p.ID() == 1 {
+			// Dirty one region, then churn the tiny URC with others.
+			r0 := p.Map(ids[0])
+			p.StartWrite(r0)
+			r0.Data().SetInt64(0, 42)
+			p.EndWrite(r0)
+			p.Unmap(r0)
+			for _, id := range ids[1:] {
+				r := p.Map(id)
+				p.StartRead(r)
+				p.EndRead(r)
+				p.Unmap(r)
+			}
+			// The dirty copy survived eviction: remapping reads it
+			// locally, and its value is intact.
+			r0 = p.Map(ids[0])
+			p.StartRead(r0)
+			if got := r0.Data().Int64(0); got != 42 {
+				return fmt.Errorf("dirty copy lost: %d", got)
+			}
+			p.EndRead(r0)
+			p.Unmap(r0)
+		}
+		p.Barrier()
+		// And the home still obtains the final value through coherence.
+		if p.ID() == 0 {
+			r0 := p.Map(ids[0])
+			p.StartRead(r0)
+			if got := r0.Data().Int64(0); got != 42 {
+				return fmt.Errorf("home read %d", got)
+			}
+			p.EndRead(r0)
+			p.Unmap(r0)
+		}
+		p.Barrier()
+		return nil
+	})
+}
+
+// TestCRLNestedMapCounts: nested maps of the same region keep one handle.
+func TestCRLNestedMapCounts(t *testing.T) {
+	runCRL(t, 1, Options{}, func(p *Proc) error {
+		id := p.Malloc(8)
+		a := p.Map(id)
+		b := p.Map(id)
+		if a != b {
+			return fmt.Errorf("nested map returned a different handle")
+		}
+		p.Unmap(b)
+		p.StartWrite(a)
+		a.Data().SetInt64(0, 9)
+		p.EndWrite(a)
+		p.Unmap(a)
+		c := p.Map(id)
+		p.StartRead(c)
+		if c.Data().Int64(0) != 9 {
+			return fmt.Errorf("data lost across unmap")
+		}
+		p.EndRead(c)
+		p.Unmap(c)
+		return nil
+	})
+}

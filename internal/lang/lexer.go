@@ -1,0 +1,153 @@
+// Package lang implements MiniAce, the front end of the Ace compiler: a
+// small C-like language with the paper's linguistic mechanisms — spaces
+// bound to protocols, shared regions as first-class typed values (Table 1),
+// region indexing as the only access path (no arithmetic on pointers to
+// shared data, Section 3.1), barriers on spaces, and ChangeProtocol.
+//
+// A MiniAce program:
+//
+//	space data protocol "sc", "update";
+//
+//	func main(me: int, procs: int): float {
+//	    var r: region<data> = gmalloc(data, 64);
+//	    r[0] = 3.5;
+//	    barrier data;
+//	    changeprotocol data, "update";
+//	    return r[0];
+//	}
+//
+// The front end produces package ir programs; package compiler optimizes
+// them and package vm executes them (one SPMD instance per processor).
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // single/double character punctuation, in text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	i    int64
+	f    float64
+	line int
+}
+
+// lexer tokenizes MiniAce source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.scan()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) scan() (token, error) {
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+			if l.src[l.pos] == '.' {
+				isFloat = true
+			}
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			var f float64
+			if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+				return token{}, l.errf("bad float literal %q", text)
+			}
+			return token{kind: tokFloat, f: f, text: text, line: l.line}, nil
+		}
+		var i int64
+		if _, err := fmt.Sscanf(text, "%d", &i); err != nil {
+			return token{}, l.errf("bad int literal %q", text)
+		}
+		return token{kind: tokInt, i: i, text: text, line: l.line}, nil
+	case c == '"':
+		end := strings.IndexByte(l.src[l.pos+1:], '"')
+		if end < 0 {
+			return token{}, l.errf("unterminated string")
+		}
+		text := l.src[l.pos+1 : l.pos+1+end]
+		l.pos += end + 2
+		return token{kind: tokString, text: text, line: l.line}, nil
+	default:
+		// Two-character operators first.
+		for _, op := range []string{"==", "!=", "<=", ">=", "&&", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tokPunct, text: op, line: l.line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%<>=!(){}[],;:", rune(c)) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_'
+}

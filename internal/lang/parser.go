@@ -1,0 +1,645 @@
+package lang
+
+import "fmt"
+
+// AST node types. The tree is deliberately small: MiniAce is the vehicle
+// for the paper's mechanisms, not a general-purpose language.
+
+// File is a parsed program.
+type File struct {
+	Spaces []SpaceDecl
+	Funcs  []*FuncDecl
+}
+
+// SpaceDecl declares a space and the protocols it may run under: the first
+// is the creation protocol, the rest are ChangeProtocol targets (the
+// compiler's analysis needs the full set).
+type SpaceDecl struct {
+	Name   string
+	Protos []string
+	Line   int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    *TypeExpr // nil for none
+	Body   []Stmt
+	Line   int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type TypeExpr
+}
+
+// TypeExpr is a source-level type.
+type TypeExpr struct {
+	Name  string    // "int", "float", "region"
+	Space string    // for region types: the space name
+	Elem  *TypeExpr // for region types: the slot element type (default float)
+	Line  int
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmtLine() int }
+
+// VarStmt declares and initializes a local.
+type VarStmt struct {
+	Name string
+	Type TypeExpr
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns to a variable or a region slot.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for plain variable assignment
+	Value Expr
+	Line  int
+}
+
+// ForStmt is `for i = a to b { ... }` (i ranges over [a, b)).
+type ForStmt struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+	Line     int
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond       Expr
+	Then, Else []Stmt
+	Line       int
+}
+
+// LockStmt is `lock expr;` or `unlock expr;` on a region value.
+type LockStmt struct {
+	Unlock bool
+	X      Expr
+	Line   int
+}
+
+func (s *LockStmt) stmtLine() int { return s.Line }
+
+// BarrierStmt is `barrier space;`.
+type BarrierStmt struct {
+	Space string
+	Line  int
+}
+
+// ChangeProtoStmt is `changeprotocol space, "proto";`.
+type ChangeProtoStmt struct {
+	Space string
+	Proto string
+	Line  int
+}
+
+// ReturnStmt is `return expr;`.
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (s *VarStmt) stmtLine() int         { return s.Line }
+func (s *AssignStmt) stmtLine() int      { return s.Line }
+func (s *ForStmt) stmtLine() int         { return s.Line }
+func (s *IfStmt) stmtLine() int          { return s.Line }
+func (s *BarrierStmt) stmtLine() int     { return s.Line }
+func (s *ChangeProtoStmt) stmtLine() int { return s.Line }
+func (s *ReturnStmt) stmtLine() int      { return s.Line }
+func (s *ExprStmt) stmtLine() int        { return s.Line }
+
+// Expr is an expression.
+type Expr interface{ exprLine() int }
+
+// IntLit / FloatLit are literals.
+type IntLit struct {
+	V    int64
+	Line int
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	V    float64
+	Line int
+}
+
+// VarRef reads a variable.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads a region slot: base[index].
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr applies a unary operator ("-", "!").
+type UnExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// CallExpr calls a function or builtin (gmalloc, bcastid, sqrt, float).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (e *IntLit) exprLine() int    { return e.Line }
+func (e *FloatLit) exprLine() int  { return e.Line }
+func (e *VarRef) exprLine() int    { return e.Line }
+func (e *IndexExpr) exprLine() int { return e.Line }
+func (e *BinExpr) exprLine() int   { return e.Line }
+func (e *UnExpr) exprLine() int    { return e.Line }
+func (e *CallExpr) exprLine() int  { return e.Line }
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses MiniAce source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.atIdent("space"):
+			sd, err := p.spaceDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Spaces = append(f.Spaces, sd)
+		case p.atIdent("func"):
+			fd, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fd)
+		default:
+			return nil, p.errf("expected 'space' or 'func', got %q", p.cur().text)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token { return p.toks[min(p.pos, len(p.toks)-1)] }
+
+// next consumes and returns the current token; the trailing EOF token is
+// never consumed, so cur stays valid after errors.
+func (p *parser) next() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) atIdent(name string) bool { return p.at(tokIdent, name) }
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if !p.at(k, text) {
+		return token{}, p.errf("expected %q, got %q", text, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) spaceDecl() (SpaceDecl, error) {
+	line := p.cur().line
+	p.next() // space
+	name := p.next()
+	if name.kind != tokIdent {
+		return SpaceDecl{}, p.errf("expected space name")
+	}
+	if _, err := p.expect(tokIdent, "protocol"); err != nil {
+		return SpaceDecl{}, err
+	}
+	var protos []string
+	for {
+		s := p.next()
+		if s.kind != tokString {
+			return SpaceDecl{}, p.errf("expected protocol name string")
+		}
+		protos = append(protos, s.text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return SpaceDecl{}, err
+	}
+	return SpaceDecl{Name: name.text, Protos: protos, Line: line}, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	line := p.cur().line
+	p.next() // func
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, p.errf("expected function name")
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.at(tokPunct, ")") {
+		pn := p.next()
+		if pn.kind != tokIdent {
+			return nil, p.errf("expected parameter name")
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Name: pn.text, Type: t})
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	var ret *TypeExpr
+	if p.accept(tokPunct, ":") {
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		ret = &t
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.text, Params: params, Ret: ret, Body: body, Line: line}, nil
+}
+
+func (p *parser) typeExpr() (TypeExpr, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return TypeExpr{}, p.errf("expected type")
+	}
+	switch t.text {
+	case "int", "float":
+		return TypeExpr{Name: t.text, Line: t.line}, nil
+	case "region":
+		te := TypeExpr{Name: "region", Line: t.line}
+		if _, err := p.expect(tokPunct, "<"); err != nil {
+			return TypeExpr{}, err
+		}
+		sp := p.next()
+		if sp.kind != tokIdent {
+			return TypeExpr{}, p.errf("expected space name in region type")
+		}
+		te.Space = sp.text
+		if _, err := p.expect(tokPunct, ">"); err != nil {
+			return TypeExpr{}, err
+		}
+		if p.accept(tokIdent, "of") {
+			elem, err := p.typeExpr()
+			if err != nil {
+				return TypeExpr{}, err
+			}
+			te.Elem = &elem
+		}
+		return te, nil
+	default:
+		return TypeExpr{}, p.errf("unknown type %q", t.text)
+	}
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(tokPunct, "}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.atIdent("var"):
+		p.next()
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.text, Type: t, Init: init, Line: line}, nil
+	case p.atIdent("for"):
+		p.next()
+		v := p.next()
+		if v.kind != tokIdent {
+			return nil, p.errf("expected loop variable")
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		from, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "to"); err != nil {
+			return nil, err
+		}
+		to, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: v.text, From: from, To: to, Body: body, Line: line}, nil
+	case p.atIdent("if"):
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(tokIdent, "else") {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+	case p.atIdent("lock") || p.atIdent("unlock"):
+		unlock := p.cur().text == "unlock"
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &LockStmt{Unlock: unlock, X: x, Line: line}, nil
+	case p.atIdent("barrier"):
+		p.next()
+		sp := p.next()
+		if sp.kind != tokIdent {
+			return nil, p.errf("expected space name after barrier")
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BarrierStmt{Space: sp.text, Line: line}, nil
+	case p.atIdent("changeprotocol"):
+		p.next()
+		sp := p.next()
+		if sp.kind != tokIdent {
+			return nil, p.errf("expected space name")
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+		proto := p.next()
+		if proto.kind != tokString {
+			return nil, p.errf("expected protocol string")
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ChangeProtoStmt{Space: sp.text, Proto: proto.text, Line: line}, nil
+	case p.atIdent("return"):
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v, Line: line}, nil
+	case p.cur().kind == tokIdent:
+		// assignment or expression statement
+		name := p.next()
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.text, Index: idx, Value: v, Line: line}, nil
+		case p.accept(tokPunct, "="):
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.text, Value: v, Line: line}, nil
+		case p.accept(tokPunct, "("):
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: &CallExpr{Name: name.text, Args: args, Line: line}, Line: line}, nil
+		default:
+			return nil, p.errf("expected assignment or call after %q", name.text)
+		}
+	default:
+		return nil, p.errf("unexpected token %q", p.cur().text)
+	}
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	var args []Expr
+	for !p.at(tokPunct, ")") {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// Expression parsing with precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		return &IntLit{V: t.i, Line: t.line}, nil
+	case tokFloat:
+		return &FloatLit{V: t.f, Line: t.line}, nil
+	case tokIdent:
+		switch {
+		case p.accept(tokPunct, "("):
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.text, Args: args, Line: t.line}, nil
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.text, Index: idx, Line: t.line}, nil
+		default:
+			return &VarRef{Name: t.text, Line: t.line}, nil
+		}
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q in expression", t.line, t.text)
+}

@@ -1,0 +1,249 @@
+package table4
+
+import (
+	"math"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/ir"
+)
+
+// barnesHutKernel mirrors Barnes-Hut's body sharing: every step, each
+// processor snapshots all bodies (position + mass: four separate shared
+// loads per body in the naive translation), computes accelerations for its
+// own bodies against the snapshot, and rewrites its bodies' position and
+// velocity slots (six separate shared stores naively).
+//
+// Table 4 behaviour reproduced here: merging redundant calls collapses the
+// four read sections and six write sections per body into one each — the
+// paper's largest gain for Barnes-Hut. Bodies run under the dynamic update
+// protocol, the benchmark's best (Figure 7b).
+func barnesHutKernel() Kernel {
+	return Kernel{
+		Name: "barnes-hut",
+		SpaceProtos: map[int][]string{
+			SpLocal: {"null"},
+			SpData:  {"update"},
+		},
+		Build: buildBH,
+		Setup: setupBH,
+		Hand:  handBH,
+	}
+}
+
+// Kernel parameters.
+const (
+	bhIdx = iota // region of all body ids
+	bhScr        // local scratch: 4*n floats (pos3+mass snapshot)
+	bhN
+	bhLo
+	bhHi
+	bhSteps
+	bhNumParams
+)
+
+// Body slots: px py pz vx vy vz mass.
+
+func buildBH(cfg Config) *ir.Program {
+	b := ir.NewBuilder("kernel",
+		regionType([]int{SpLocal}, []int{SpData}),
+		regionType([]int{SpLocal}, nil),
+		intType(), intType(), intType(), intType(),
+	)
+	t := b.Local(ir.KInt)
+	b.Loop(t, ir.CI(0), ir.L(bhSteps), func() {
+		// Snapshot all bodies into scratch.
+		i := b.Local(ir.KInt)
+		b.Loop(i, ir.CI(0), ir.L(bhN), func() {
+			body := b.SharedLoad(ir.KRegion, ir.L(bhIdx), ir.L(i))
+			x := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(0))
+			y := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(1))
+			z := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(2))
+			m := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(6))
+			k := b.Bin(ir.KInt, ir.Mul, ir.L(i), ir.CI(4))
+			b.SharedStore(ir.KFloat, ir.L(bhScr), ir.L(k), ir.L(x))
+			k1 := b.Bin(ir.KInt, ir.Add, ir.L(k), ir.CI(1))
+			b.SharedStore(ir.KFloat, ir.L(bhScr), ir.L(k1), ir.L(y))
+			k2 := b.Bin(ir.KInt, ir.Add, ir.L(k), ir.CI(2))
+			b.SharedStore(ir.KFloat, ir.L(bhScr), ir.L(k2), ir.L(z))
+			k3 := b.Bin(ir.KInt, ir.Add, ir.L(k), ir.CI(3))
+			b.SharedStore(ir.KFloat, ir.L(bhScr), ir.L(k3), ir.L(m))
+		})
+		// Reads complete before writes begin.
+		b.Barrier(SpData)
+		// Compute and rewrite own bodies.
+		j := b.Local(ir.KInt)
+		b.Loop(j, ir.L(bhLo), ir.L(bhHi), func() {
+			{
+				jk := b.Bin(ir.KInt, ir.Mul, ir.L(j), ir.CI(4))
+				xj := b.SharedLoad(ir.KFloat, ir.L(bhScr), ir.L(jk))
+				yj := b.SharedLoad(ir.KFloat, ir.L(bhScr), ir.L(b.Bin(ir.KInt, ir.Add, ir.L(jk), ir.CI(1))))
+				zj := b.SharedLoad(ir.KFloat, ir.L(bhScr), ir.L(b.Bin(ir.KInt, ir.Add, ir.L(jk), ir.CI(2))))
+				ax := b.Const(ir.Float(0))
+				ay := b.Const(ir.Float(0))
+				az := b.Const(ir.Float(0))
+				o := b.Local(ir.KInt)
+				b.Loop(o, ir.CI(0), ir.L(bhN), func() {
+					ne := b.Bin(ir.KInt, ir.Ne, ir.L(o), ir.L(j))
+					b.If(ir.L(ne), func() {
+						ok := b.Bin(ir.KInt, ir.Mul, ir.L(o), ir.CI(4))
+						xo := b.SharedLoad(ir.KFloat, ir.L(bhScr), ir.L(ok))
+						yo := b.SharedLoad(ir.KFloat, ir.L(bhScr), ir.L(b.Bin(ir.KInt, ir.Add, ir.L(ok), ir.CI(1))))
+						zo := b.SharedLoad(ir.KFloat, ir.L(bhScr), ir.L(b.Bin(ir.KInt, ir.Add, ir.L(ok), ir.CI(2))))
+						mo := b.SharedLoad(ir.KFloat, ir.L(bhScr), ir.L(b.Bin(ir.KInt, ir.Add, ir.L(ok), ir.CI(3))))
+						dx := b.Bin(ir.KFloat, ir.Sub, ir.L(xo), ir.L(xj))
+						dy := b.Bin(ir.KFloat, ir.Sub, ir.L(yo), ir.L(yj))
+						dz := b.Bin(ir.KFloat, ir.Sub, ir.L(zo), ir.L(zj))
+						r2 := b.Bin(ir.KFloat, ir.Add,
+							ir.L(b.Bin(ir.KFloat, ir.Add,
+								ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(dx), ir.L(dx))),
+								ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(dy), ir.L(dy))))),
+							ir.L(b.Bin(ir.KFloat, ir.Add,
+								ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(dz), ir.L(dz))),
+								ir.CF(0.25))))
+						r := b.Un(ir.KFloat, ir.Sqrt, ir.L(r2))
+						inv := b.Bin(ir.KFloat, ir.Div, ir.L(mo), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(r2), ir.L(r))))
+						b.BinTo(ax, ir.Add, ir.L(ax), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(dx), ir.L(inv))))
+						b.BinTo(ay, ir.Add, ir.L(ay), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(dy), ir.L(inv))))
+						b.BinTo(az, ir.Add, ir.L(az), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(dz), ir.L(inv))))
+					}, nil)
+				})
+				body := b.SharedLoad(ir.KRegion, ir.L(bhIdx), ir.L(j))
+				// Six naive stores: pos += vel', vel += acc*dt.
+				vx := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(3))
+				vy := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(4))
+				vz := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(5))
+				dt := ir.CF(0.025)
+				nvx := b.Bin(ir.KFloat, ir.Add, ir.L(vx), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(ax), dt)))
+				nvy := b.Bin(ir.KFloat, ir.Add, ir.L(vy), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(ay), dt)))
+				nvz := b.Bin(ir.KFloat, ir.Add, ir.L(vz), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(az), dt)))
+				nx := b.Bin(ir.KFloat, ir.Add, ir.L(xj), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(nvx), dt)))
+				ny := b.Bin(ir.KFloat, ir.Add, ir.L(yj), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(nvy), dt)))
+				nz := b.Bin(ir.KFloat, ir.Add, ir.L(zj), ir.L(b.Bin(ir.KFloat, ir.Mul, ir.L(nvz), dt)))
+				b.SharedStore(ir.KFloat, ir.L(body), ir.CI(0), ir.L(nx))
+				b.SharedStore(ir.KFloat, ir.L(body), ir.CI(1), ir.L(ny))
+				b.SharedStore(ir.KFloat, ir.L(body), ir.CI(2), ir.L(nz))
+				b.SharedStore(ir.KFloat, ir.L(body), ir.CI(3), ir.L(nvx))
+				b.SharedStore(ir.KFloat, ir.L(body), ir.CI(4), ir.L(nvy))
+				b.SharedStore(ir.KFloat, ir.L(body), ir.CI(5), ir.L(nvz))
+			}
+		})
+		b.Barrier(SpData)
+	})
+	// Checksum own positions.
+	sum := b.Const(ir.Float(0))
+	i := b.Local(ir.KInt)
+	b.Loop(i, ir.L(bhLo), ir.L(bhHi), func() {
+		body := b.SharedLoad(ir.KRegion, ir.L(bhIdx), ir.L(i))
+		x := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(0))
+		y := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(1))
+		z := b.SharedLoad(ir.KFloat, ir.L(body), ir.CI(2))
+		b.BinTo(sum, ir.Add, ir.L(sum), ir.L(x))
+		b.BinTo(sum, ir.Add, ir.L(sum), ir.L(y))
+		b.BinTo(sum, ir.Add, ir.L(sum), ir.L(z))
+	})
+	b.Ret(ir.L(sum))
+	f := b.Func()
+	return &ir.Program{
+		Funcs:       map[string]*ir.Func{f.Name: f},
+		SpaceProtos: map[int][]string{SpLocal: {"null"}, SpData: {"update"}},
+	}
+}
+
+func setupBH(p *core.Proc, spaces map[int]*core.Space, cfg Config) []ir.Value {
+	local, data := spaces[SpLocal], spaces[SpData]
+	ids := allocAll(p, data, cfg.N, 7*8)
+	lo, hi := blockRange(cfg.N, p.Procs(), p.ID())
+	for i := lo; i < hi; i++ {
+		rng := apputil.RNG(17, int64(i))
+		r := p.Map(ids[i])
+		p.StartWrite(r)
+		for d := 0; d < 3; d++ {
+			r.Data.SetFloat64(d, rng.Float64()*2-1)
+			r.Data.SetFloat64(3+d, (rng.Float64()*2-1)*0.1)
+		}
+		r.Data.SetFloat64(6, 0.5+rng.Float64())
+		p.EndWrite(r)
+		p.Unmap(r)
+	}
+	idx := idIndexRegion(p, local, ids)
+	scr := p.GMalloc(local, cfg.N*4*8)
+	p.GlobalBarrier()
+	return []ir.Value{
+		ir.Region(idx), ir.Region(scr),
+		ir.Int(int64(cfg.N)), ir.Int(int64(lo)), ir.Int(int64(hi)), ir.Int(int64(cfg.Steps)),
+	}
+}
+
+// handBH is the hand-optimized version: one mapped handle per body, one
+// read section for the four snapshot loads, one write section for the six
+// state stores.
+func handBH(p *core.Proc, spaces map[int]*core.Space, cfg Config, args []ir.Value) float64 {
+	data := spaces[SpData]
+	n := int(args[bhN].I)
+	lo, hi := int(args[bhLo].I), int(args[bhHi].I)
+	steps := int(args[bhSteps].I)
+
+	idx := p.Map(args[bhIdx].R)
+	p.StartRead(idx)
+	bodies := make([]*core.Region, n)
+	for i := 0; i < n; i++ {
+		bodies[i] = p.Map(idx.Data.RegionID(i))
+	}
+	p.EndRead(idx)
+
+	scr := make([]float64, n*4)
+	for t := 0; t < steps; t++ {
+		for i := 0; i < n; i++ {
+			r := bodies[i]
+			p.StartRead(r)
+			scr[i*4] = r.Data.Float64(0)
+			scr[i*4+1] = r.Data.Float64(1)
+			scr[i*4+2] = r.Data.Float64(2)
+			scr[i*4+3] = r.Data.Float64(6)
+			p.EndRead(r)
+		}
+		p.Barrier(data)
+		for j := lo; j < hi; j++ {
+			xj, yj, zj := scr[j*4], scr[j*4+1], scr[j*4+2]
+			var ax, ay, az float64
+			for o := 0; o < n; o++ {
+				if o == j {
+					continue
+				}
+				dx := scr[o*4] - xj
+				dy := scr[o*4+1] - yj
+				dz := scr[o*4+2] - zj
+				r2 := dx*dx + dy*dy + (dz*dz + 0.25)
+				r := math.Sqrt(r2)
+				inv := scr[o*4+3] / (r2 * r)
+				ax += dx * inv
+				ay += dy * inv
+				az += dz * inv
+			}
+			body := bodies[j]
+			p.StartWrite(body)
+			d := body.Data
+			const dt = 0.025
+			nvx := d.Float64(3) + ax*dt
+			nvy := d.Float64(4) + ay*dt
+			nvz := d.Float64(5) + az*dt
+			d.SetFloat64(0, xj+nvx*dt)
+			d.SetFloat64(1, yj+nvy*dt)
+			d.SetFloat64(2, zj+nvz*dt)
+			d.SetFloat64(3, nvx)
+			d.SetFloat64(4, nvy)
+			d.SetFloat64(5, nvz)
+			p.EndWrite(body)
+		}
+		p.Barrier(data)
+	}
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		r := bodies[i]
+		p.StartRead(r)
+		sum += r.Data.Float64(0) + r.Data.Float64(1) + r.Data.Float64(2)
+		p.EndRead(r)
+	}
+	return sum
+}

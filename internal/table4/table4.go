@@ -1,0 +1,140 @@
+// Package table4 defines the five compiler-experiment kernels behind the
+// paper's Table 4. Each kernel exists twice:
+//
+//   - as an IR program (Build) that the Ace compiler annotates and
+//     optimizes at the four levels of Table 4 (base, LI, LI+MC, LI+MC+DC)
+//     and the VM executes against the real runtime, and
+//   - as hand-written runtime code (Hand), the "code an experienced
+//     programmer would write": maps hoisted, sections merged, exactly one
+//     protocol call where one is needed.
+//
+// The kernels mirror the benchmarks' access structure at reduced scale —
+// what Table 4 measures is annotation placement, not application physics —
+// and each runs under the same protocol configuration as its Figure 7b
+// "best" version, so checksum equality across all levels and the hand
+// version is a strong end-to-end check on compiler soundness.
+package table4
+
+import (
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/ir"
+)
+
+// Space ids used by every kernel program: spLocal holds processor-local
+// data (index regions, adjacency, scratch) under the null protocol;
+// spData holds the kernel's shared data under its best protocol; spAux is
+// kernel-specific (TSP's sequentially consistent bound).
+const (
+	SpLocal = 0
+	SpData  = 1
+	SpAux   = 2
+)
+
+// Kernel describes one Table 4 column.
+type Kernel struct {
+	// Name is the benchmark name the kernel mirrors.
+	Name string
+	// SpaceProtos maps program space ids to the protocol names they may
+	// run under (input to the compiler's analysis and to the harness's
+	// space creation).
+	SpaceProtos map[int][]string
+	// Build constructs the IR program; the entry function is "kernel".
+	Build func(cfg Config) *ir.Program
+	// Setup allocates and initializes the kernel's regions (collective)
+	// and returns the entry function's arguments for this processor.
+	Setup func(p *core.Proc, spaces map[int]*core.Space, cfg Config) []ir.Value
+	// Hand runs the hand-optimized runtime-code version over the same
+	// regions Setup produced (args as returned by Setup) and returns the
+	// local checksum (the harness sums across processors).
+	Hand func(p *core.Proc, spaces map[int]*core.Space, cfg Config, args []ir.Value) float64
+}
+
+// Config scales the kernels.
+type Config struct {
+	// N is the item count (graph nodes, molecules, bodies).
+	N int
+	// Degree is EM3D's node degree.
+	Degree int
+	// Steps is the iteration count for the iterative kernels.
+	Steps int
+	// Blocks, BlockSize and Band shape the BSC kernel.
+	Blocks, BlockSize, Band int
+	// Jobs and Cities shape the TSP kernel.
+	Jobs, Cities int
+}
+
+// DefaultConfig returns the laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		N: 128, Degree: 6, Steps: 6,
+		Blocks: 8, BlockSize: 8, Band: 3,
+		Jobs: 24, Cities: 10,
+	}
+}
+
+// Kernels returns all five kernels in Table 4's column order.
+func Kernels() []Kernel {
+	return []Kernel{
+		barnesHutKernel(),
+		bscKernel(),
+		em3dKernel(),
+		tspKernel(),
+		waterKernel(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Shared setup helpers.
+// ---------------------------------------------------------------------
+
+// blockRange mirrors apputil.Block for the kernel partitioning.
+func blockRange(n, procs, p int) (int, int) {
+	base := n / procs
+	rem := n % procs
+	lo := p*base + min(p, rem)
+	hi := lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// allocAll allocates one region of the given byte size per item, owner by
+// block partition, and returns the global id list (collective).
+func allocAll(p *core.Proc, sp *core.Space, n, size int) []core.RegionID {
+	lo, hi := blockRange(n, p.Procs(), p.ID())
+	mine := make([]core.RegionID, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		mine = append(mine, p.GMalloc(sp, size))
+	}
+	all := make([]core.RegionID, 0, n)
+	for root := 0; root < p.Procs(); root++ {
+		if root == p.ID() {
+			all = append(all, p.BroadcastIDs(root, mine)...)
+		} else {
+			rl, rh := blockRange(n, p.Procs(), root)
+			all = append(all, p.BroadcastIDs(root, make([]core.RegionID, rh-rl))...)
+		}
+	}
+	return all
+}
+
+// idIndexRegion builds a processor-local region holding the given id list.
+func idIndexRegion(p *core.Proc, local *core.Space, ids []core.RegionID) core.RegionID {
+	id := p.GMalloc(local, len(ids)*8)
+	r := p.Map(id)
+	p.StartWrite(r)
+	for i, v := range ids {
+		r.Data.SetRegionID(i, v)
+	}
+	p.EndWrite(r)
+	p.Unmap(r)
+	return id
+}
+
+// regionType builds the IR type of a region-valued parameter.
+func regionType(spaces []int, elemSpaces []int) ir.Type {
+	return ir.Type{Kind: ir.KRegion, Spaces: spaces, ElemSpaces: elemSpaces}
+}
+
+func intType() ir.Type { return ir.Type{Kind: ir.KInt} }

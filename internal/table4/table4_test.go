@@ -1,0 +1,85 @@
+package table4
+
+import (
+	"testing"
+
+	"github.com/acedsm/ace/internal/compiler"
+	"github.com/acedsm/ace/internal/ir"
+	"github.com/acedsm/ace/proto"
+)
+
+func TestKernelsBuildAndCompileAtEveryLevel(t *testing.T) {
+	cfg := DefaultConfig()
+	decls := proto.NewRegistry().Decls()
+	levels := []compiler.Level{compiler.LevelBase, compiler.LevelLI, compiler.LevelMC, compiler.LevelDC}
+	for _, k := range Kernels() {
+		prog := k.Build(cfg)
+		if prog.Funcs["kernel"] == nil {
+			t.Fatalf("%s: no kernel function", k.Name)
+		}
+		var prev int
+		for i, lvl := range levels {
+			out, err := compiler.Compile(prog, decls, lvl)
+			if err != nil {
+				t.Fatalf("%s at %s: %v", k.Name, lvl, err)
+			}
+			counts := compiler.AnnotationCounts(out)
+			total := 0
+			for _, v := range counts {
+				total += v
+			}
+			if total == 0 && k.Name != "null-only" {
+				t.Errorf("%s at %s: no annotations at all", k.Name, lvl)
+			}
+			// Static annotation count is non-increasing through the first
+			// three levels (DC can only delete too).
+			if i > 0 && total > prev {
+				t.Errorf("%s: static annotations grew at %s: %d -> %d", k.Name, lvl, prev, total)
+			}
+			prev = total
+		}
+	}
+}
+
+func TestKernelSpaceDeclsConsistent(t *testing.T) {
+	for _, k := range Kernels() {
+		prog := k.Build(DefaultConfig())
+		for id, protos := range k.SpaceProtos {
+			got := prog.SpaceProtos[id]
+			if len(got) != len(protos) {
+				t.Errorf("%s: space %d protocols %v vs program's %v", k.Name, id, protos, got)
+				continue
+			}
+			for i := range protos {
+				if got[i] != protos[i] {
+					t.Errorf("%s: space %d protocol %q vs program's %q", k.Name, id, protos[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockRangePartition(t *testing.T) {
+	covered := 0
+	for p := 0; p < 5; p++ {
+		lo, hi := blockRange(17, 5, p)
+		covered += hi - lo
+	}
+	if covered != 17 {
+		t.Fatalf("blockRange covers %d of 17", covered)
+	}
+}
+
+func TestKernelProgramsAreWellTyped(t *testing.T) {
+	// Every kernel's parameter list must type each region parameter with
+	// at least one space (the analysis otherwise refuses to optimize).
+	for _, k := range Kernels() {
+		prog := k.Build(DefaultConfig())
+		f := prog.Funcs["kernel"]
+		for i, p := range f.Params {
+			if p.Kind == ir.KRegion && len(p.Spaces) == 0 {
+				t.Errorf("%s: region parameter %d has no declared spaces", k.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package tcpnet implements the amnet.Network interface over real TCP
+// sockets (loopback by default): the same Active Messages contract —
+// per-pair FIFO ordering, non-blocking sends, serialized handler delivery
+// per node — carried by length-prefixed frames. It demonstrates the
+// paper's portability claim: Ace runs on any system with an Active
+// Messages mechanism (Section 1).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/acedsm/ace/internal/amnet"
+)
+
+// NewLoopbackNetwork builds an n-node network over TCP connections on
+// 127.0.0.1 with a full mesh of connections.
+func NewLoopbackNetwork(n int) (amnet.Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tcpnet: invalid node count %d", n)
+	}
+	nw := &network{eps: make([]*endpoint, n)}
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+		nw.eps[i] = &endpoint{id: amnet.NodeID(i), nw: nw, box: newQueue()}
+	}
+	// Accept side: node j accepts n connections; the first frame on each
+	// identifies the sender. Dial side: node i dials everyone (including
+	// itself, keeping the path uniform).
+	var acceptWG sync.WaitGroup
+	acceptErr := make(chan error, n)
+	for j := 0; j < n; j++ {
+		acceptWG.Add(1)
+		go func(j int) {
+			defer acceptWG.Done()
+			for k := 0; k < n; k++ {
+				conn, err := listeners[j].Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					acceptErr <- err
+					return
+				}
+				src := int32(binary.LittleEndian.Uint32(hello[:]))
+				nw.eps[j].addReader(conn, amnet.NodeID(src))
+			}
+		}(j)
+	}
+	for i := 0; i < n; i++ {
+		nw.eps[i].out = make([]*sender, n)
+		for j := 0; j < n; j++ {
+			conn, err := net.Dial("tcp", addrs[j])
+			if err != nil {
+				nw.Close()
+				return nil, err
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(i))
+			if _, err := conn.Write(hello[:]); err != nil {
+				nw.Close()
+				return nil, err
+			}
+			nw.eps[i].out[j] = &sender{conn: conn}
+		}
+	}
+	acceptWG.Wait()
+	close(acceptErr)
+	if err := <-acceptErr; err != nil {
+		nw.Close()
+		return nil, err
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, ep := range nw.eps {
+		nw.wg.Add(1)
+		go ep.pump(&nw.wg)
+	}
+	return nw, nil
+}
+
+type network struct {
+	eps []*endpoint
+	wg  sync.WaitGroup
+}
+
+func (n *network) Endpoints() []amnet.Endpoint {
+	out := make([]amnet.Endpoint, len(n.eps))
+	for i, ep := range n.eps {
+		out[i] = ep
+	}
+	return out
+}
+
+func (n *network) Close() error {
+	for _, ep := range n.eps {
+		if ep == nil {
+			continue
+		}
+		for _, s := range ep.out {
+			if s != nil {
+				s.conn.Close()
+			}
+		}
+		ep.box.close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// sender serializes writes on one outgoing connection.
+type sender struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+type endpoint struct {
+	id       amnet.NodeID
+	nw       *network
+	out      []*sender
+	box      *queue
+	handlers [amnet.MaxHandlers]amnet.Handler
+	stats    amnet.Stats
+	readers  sync.WaitGroup
+}
+
+func (e *endpoint) ID() amnet.NodeID { return e.id }
+func (e *endpoint) Nodes() int       { return len(e.nw.eps) }
+
+func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) {
+	e.handlers[id] = fn
+}
+
+// frame layout: [u32 total][i32 dst][i32 src][u16 handler][4 × u64][payload].
+const frameHeader = 4 + 4 + 4 + 2 + 32
+
+// Send encodes and writes the message on the destination's connection.
+// TCP gives per-connection FIFO, matching the fabric contract.
+func (e *endpoint) Send(m amnet.Msg) {
+	m.Src = e.id
+	e.countSend(m)
+	buf := make([]byte, frameHeader+len(m.Payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(buf)-4))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(m.Dst))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Src))
+	binary.LittleEndian.PutUint16(buf[12:], uint16(m.Handler))
+	binary.LittleEndian.PutUint64(buf[14:], m.A)
+	binary.LittleEndian.PutUint64(buf[22:], m.B)
+	binary.LittleEndian.PutUint64(buf[30:], m.C)
+	binary.LittleEndian.PutUint64(buf[38:], m.D)
+	copy(buf[frameHeader:], m.Payload)
+	s := e.out[m.Dst]
+	s.mu.Lock()
+	_, err := s.conn.Write(buf)
+	s.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: node %d: send to %d: %v", e.id, m.Dst, err))
+	}
+}
+
+func (e *endpoint) Stats() *amnet.Stats { return &e.stats }
+
+// addReader starts a goroutine decoding frames from one incoming
+// connection into the node's queue.
+func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
+	e.readers.Add(1)
+	go func() {
+		defer e.readers.Done()
+		defer conn.Close()
+		for {
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+				return // connection closed
+			}
+			total := binary.LittleEndian.Uint32(lenBuf[:])
+			body := make([]byte, total)
+			if _, err := io.ReadFull(conn, body); err != nil {
+				return
+			}
+			m := amnet.Msg{
+				Dst:     amnet.NodeID(int32(binary.LittleEndian.Uint32(body[0:]))),
+				Src:     amnet.NodeID(int32(binary.LittleEndian.Uint32(body[4:]))),
+				Handler: amnet.HandlerID(binary.LittleEndian.Uint16(body[8:])),
+				A:       binary.LittleEndian.Uint64(body[10:]),
+				B:       binary.LittleEndian.Uint64(body[18:]),
+				C:       binary.LittleEndian.Uint64(body[26:]),
+				D:       binary.LittleEndian.Uint64(body[34:]),
+			}
+			if len(body) > frameHeader-4 {
+				m.Payload = body[frameHeader-4:]
+			}
+			e.box.push(m)
+		}
+	}()
+}
+
+// pump drains the queue and dispatches handlers, one at a time.
+func (e *endpoint) pump(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		m, ok := e.box.pop()
+		if !ok {
+			return
+		}
+		e.countRecv(m)
+		h := e.handlers[m.Handler]
+		if h == nil {
+			panic(fmt.Sprintf("tcpnet: node %d: no handler %d", e.id, m.Handler))
+		}
+		h(m)
+	}
+}
+
+func (e *endpoint) countSend(m amnet.Msg) {
+	e.stats.MsgsSent.Add(1)
+	e.stats.BytesSent.Add(uint64(frameHeader + len(m.Payload)))
+}
+
+func (e *endpoint) countRecv(m amnet.Msg) {
+	e.stats.MsgsRecv.Add(1)
+	e.stats.BytesRecv.Add(uint64(frameHeader + len(m.Payload)))
+	e.stats.PerHandler[m.Handler].Add(1)
+}
+
+// queue is an unbounded MPSC mailbox (the no-deadlock property of the
+// fabric depends on sends never blocking on the receiver).
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []amnet.Msg
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(m amnet.Msg) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, m)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *queue) pop() (amnet.Msg, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return amnet.Msg{}, false
+	}
+	m := q.items[0]
+	q.items[0] = amnet.Msg{}
+	q.items = q.items[1:]
+	if len(q.items) == 0 && cap(q.items) > 1024 {
+		q.items = nil
+	}
+	return m, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,130 @@
+package tcpnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/proto"
+)
+
+func TestBasicDelivery(t *testing.T) {
+	nw, err := NewLoopbackNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	eps := nw.Endpoints()
+	got := make(chan amnet.Msg, 1)
+	eps[1].Register(9, func(m amnet.Msg) { got <- m })
+	eps[0].Send(amnet.Msg{Dst: 1, Handler: 9, A: 7, B: 8, C: 9, D: 10, Payload: []byte("over tcp")})
+	select {
+	case m := <-got:
+		if m.Src != 0 || m.A != 7 || m.D != 10 || string(m.Payload) != "over tcp" {
+			t.Fatalf("bad message: %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestOrderingPerPair(t *testing.T) {
+	nw, err := NewLoopbackNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	eps := nw.Endpoints()
+	const n = 500
+	done := make(chan int, 1)
+	seen := 0
+	eps[1].Register(3, func(m amnet.Msg) {
+		if int(m.A) != seen {
+			t.Errorf("out of order: got %d want %d", m.A, seen)
+		}
+		seen++
+		if seen == n {
+			done <- seen
+		}
+	})
+	for i := 0; i < n; i++ {
+		eps[0].Send(amnet.Msg{Dst: 1, Handler: 3, A: uint64(i)})
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d delivered", seen)
+	}
+}
+
+// TestAceClusterOverTCP runs the full runtime — coherence, barriers,
+// protocol library — over real sockets.
+func TestAceClusterOverTCP(t *testing.T) {
+	nw, err := NewLoopbackNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := core.NewCluster(core.Options{Procs: 3, Registry: proto.NewRegistry(), Network: nw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	err = cl.Run(func(p *core.Proc) error {
+		var id core.RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(p.DefaultSpace(), 16)
+		}
+		id = p.BroadcastID(0, id)
+		r := p.Map(id)
+		for i := 0; i < 20; i++ {
+			p.StartWrite(r)
+			r.Data.SetInt64(0, r.Data.Int64(0)+1)
+			p.EndWrite(r)
+		}
+		p.GlobalBarrier()
+		p.StartRead(r)
+		got := r.Data.Int64(0)
+		p.EndRead(r)
+		if got != 60 {
+			return fmt.Errorf("got %d, want 60", got)
+		}
+		// The update protocol over TCP, too.
+		sp, err := p.NewSpace("update")
+		if err != nil {
+			return err
+		}
+		var uid core.RegionID
+		if p.ID() == 1 {
+			uid = p.GMalloc(sp, 8)
+		}
+		uid = p.BroadcastID(1, uid)
+		ur := p.Map(uid)
+		p.StartRead(ur)
+		p.EndRead(ur)
+		p.Barrier(sp)
+		if p.ID() == 1 {
+			p.StartWrite(ur)
+			ur.Data.SetInt64(0, 5)
+			p.EndWrite(ur)
+		}
+		p.Barrier(sp)
+		p.StartRead(ur)
+		v := ur.Data.Int64(0)
+		p.EndRead(ur)
+		if v != 5 {
+			return fmt.Errorf("update over tcp: got %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidCount(t *testing.T) {
+	if _, err := NewLoopbackNetwork(0); err == nil {
+		t.Fatal("expected error")
+	}
+}

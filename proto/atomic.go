@@ -1,0 +1,187 @@
+package proto
+
+import (
+	"fmt"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/core"
+)
+
+// AtomicInfo returns the registry entry for the atomic read-modify-write
+// protocol, the "better management of accesses to a counter" that speeds
+// up TSP in Section 5.2.
+//
+// A write section acquires the region's home-side queue and fetches the
+// current contents in a single round trip; ending the section ships the
+// modified contents back and releases the queue in one (asynchronous)
+// message, so the home can hand the fresh data to the next waiter
+// immediately. Compare the invalidation protocol, where each counter
+// bump costs an ownership transfer through whichever processor last
+// touched the counter.
+//
+// Read sections always fetch fresh contents from the home.
+func AtomicInfo() core.Info {
+	return core.Info{
+		Name:        "atomic",
+		New:         func() core.Protocol { return &atomicProto{} },
+		Optimizable: false, // RMW sections are ordering-sensitive
+		Null: core.PointSet(0).
+			With(core.PointMap).
+			With(core.PointUnmap).
+			With(core.PointEndRead),
+	}
+}
+
+// Protocol verbs.
+const (
+	atAcq    uint64 = iota + 1 // requester → home: acquire+fetch (B=seq)
+	atRel                      // holder → home: contents + release (payload)
+	atRelAck                   // home → ex-holder: release processed
+	atGet                      // reader → home: fetch snapshot (B=seq)
+)
+
+// atHome is the home-side per-region queue state.
+type atHome struct {
+	holder  amnet.NodeID // -1 when free
+	waiting []core.PendingReq
+}
+
+type atomicProto struct {
+	core.Base
+	outstanding int
+	drainSeq    uint64
+}
+
+func (a *atomicProto) Name() string { return "atomic" }
+
+func (a *atomicProto) RegionCreated(ctx *core.Ctx, r *core.Region) {
+	if r.IsHome() {
+		r.Dir.PData = &atHome{holder: -1}
+	}
+}
+
+// atHomeState returns the home-side queue, creating it lazily (regions
+// can enter the protocol through ChangeProtocol, which resets directory
+// state).
+func atHomeState(r *core.Region) *atHome {
+	h, _ := r.Dir.PData.(*atHome)
+	if h == nil {
+		h = &atHome{holder: -1}
+		r.Dir.PData = h
+	}
+	return h
+}
+
+// StartWrite acquires the home-side queue and fetches the contents: one
+// round trip for remote processors, a direct queue operation at the home
+// (home accesses cost no messages, as on the paper's hardware).
+func (a *atomicProto) StartWrite(ctx *core.Ctx, r *core.Region) {
+	if r.IsHome() {
+		h := atHomeState(r)
+		if h.holder < 0 {
+			h.holder = ctx.ID()
+			return // the home copy is authoritative
+		}
+		seq := ctx.NewWaiter()
+		h.waiting = append(h.waiting, core.PendingReq{Src: ctx.ID(), Seq: seq})
+		m := ctx.Wait(seq)
+		copy(r.Data, m.Payload)
+		return
+	}
+	seq := ctx.NewWaiter()
+	ctx.SendProto(r.Home, uint64(r.ID), seq, atAcq, uint64(r.Space.ID), nil)
+	m := ctx.Wait(seq)
+	copy(r.Data, m.Payload)
+}
+
+// EndWrite ships the contents back and releases the queue asynchronously;
+// the home releases directly.
+func (a *atomicProto) EndWrite(ctx *core.Ctx, r *core.Region) {
+	if r.IsHome() {
+		a.release(ctx, r, ctx.ID())
+		return
+	}
+	a.outstanding++
+	ctx.SendProto(r.Home, uint64(r.ID), 0, atRel, uint64(r.Space.ID), r.Data)
+}
+
+// release hands the region's queue to the next waiter at the home. The
+// current contents of r.Data are authoritative. Caller holds the runtime
+// mutex at the home.
+func (a *atomicProto) release(ctx *core.Ctx, r *core.Region, from amnet.NodeID) {
+	h := atHomeState(r)
+	if h.holder != from {
+		panic(fmt.Sprintf("proto: atomic: proc %d: release of %v by %d, holder %d", ctx.ID(), r.ID, from, h.holder))
+	}
+	if len(h.waiting) == 0 {
+		h.holder = -1
+		return
+	}
+	next := h.waiting[0]
+	h.waiting = h.waiting[1:]
+	h.holder = next.Src
+	if next.Src == ctx.ID() {
+		ctx.Complete(next.Seq, amnet.Msg{Payload: append([]byte(nil), r.Data...)})
+		return
+	}
+	ctx.SendComplete(next.Src, next.Seq, 0, r.Data)
+}
+
+// StartRead fetches a fresh snapshot from the home.
+func (a *atomicProto) StartRead(ctx *core.Ctx, r *core.Region) {
+	if r.IsHome() {
+		return
+	}
+	seq := ctx.NewWaiter()
+	ctx.SendProto(r.Home, uint64(r.ID), seq, atGet, uint64(r.Space.ID), nil)
+	m := ctx.Wait(seq)
+	copy(r.Data, m.Payload)
+}
+
+func (a *atomicProto) Barrier(ctx *core.Ctx, sp *core.Space) {
+	a.drain(ctx)
+	ctx.DefaultBarrier()
+}
+
+func (a *atomicProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
+	a.drain(ctx)
+}
+
+func (a *atomicProto) drain(ctx *core.Ctx) {
+	if a.outstanding == 0 {
+		return
+	}
+	a.drainSeq = ctx.NewWaiter()
+	ctx.Wait(a.drainSeq)
+}
+
+func (a *atomicProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
+	if r == nil {
+		panic(fmt.Sprintf("proto: atomic: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))
+	}
+	switch m.C {
+	case atAcq:
+		h := atHomeState(r)
+		if h.holder < 0 {
+			h.holder = m.Src
+			ctx.SendComplete(m.Src, m.B, 0, r.Data)
+			return
+		}
+		h.waiting = append(h.waiting, core.PendingReq{Src: m.Src, Seq: m.B})
+	case atRel:
+		copy(r.Data, m.Payload)
+		ctx.SendProto(m.Src, m.A, 0, atRelAck, m.D, nil)
+		a.release(ctx, r, m.Src)
+	case atRelAck:
+		a.outstanding--
+		if a.outstanding == 0 && a.drainSeq != 0 {
+			seq := a.drainSeq
+			a.drainSeq = 0
+			ctx.Complete(seq, amnet.Msg{})
+		}
+	case atGet:
+		ctx.SendComplete(m.Src, m.B, 0, r.Data)
+	default:
+		panic(fmt.Sprintf("proto: atomic: bad verb %d", m.C))
+	}
+}

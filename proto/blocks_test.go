@@ -1,0 +1,129 @@
+package proto
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/acedsm/ace/internal/core"
+)
+
+func TestWriteThroughPhases(t *testing.T) {
+	const procs, phases = 4, 6
+	run(t, procs, "writethrough", func(p *core.Proc) error {
+		sp := p.DefaultSpace()
+		ids := make([]core.RegionID, procs)
+		for root := 0; root < procs; root++ {
+			var mine core.RegionID
+			if p.ID() == root {
+				mine = p.GMalloc(sp, 16)
+			}
+			ids[root] = p.BroadcastID(root, mine)
+		}
+		// Scattered writers: proc p writes region (p+1) mod procs — the
+		// point of writethrough over homewrite.
+		target := p.Map(ids[(p.ID()+1)%procs])
+		for ph := 1; ph <= phases; ph++ {
+			p.StartWrite(target)
+			target.Data.SetInt64(0, int64(p.ID()*100+ph))
+			p.EndWrite(target)
+			p.Barrier(sp)
+			for q := 0; q < procs; q++ {
+				r := p.Map(ids[q])
+				p.StartRead(r)
+				writer := (q + procs - 1) % procs
+				if got := r.Data.Int64(0); got != int64(writer*100+ph) {
+					return fmt.Errorf("proc %d phase %d region %d: got %d", p.ID(), ph, q, got)
+				}
+				p.EndRead(r)
+				p.Unmap(r)
+			}
+			p.Barrier(sp)
+		}
+		return nil
+	})
+}
+
+func TestWriteThroughPartialWrites(t *testing.T) {
+	// StartWrite fetches current contents, so a writer touching one slot
+	// must preserve the others.
+	run(t, 2, "writethrough", func(p *core.Proc) error {
+		sp := p.DefaultSpace()
+		var id core.RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(sp, 24)
+			r := p.Map(id)
+			p.StartWrite(r)
+			r.Data.SetInt64(0, 10)
+			r.Data.SetInt64(1, 20)
+			r.Data.SetInt64(2, 30)
+			p.EndWrite(r)
+		}
+		id = p.BroadcastID(0, id)
+		p.Barrier(sp)
+		if p.ID() == 1 {
+			r := p.Map(id)
+			p.StartWrite(r)
+			r.Data.SetInt64(1, 99) // touch only the middle slot
+			p.EndWrite(r)
+		}
+		p.Barrier(sp)
+		r := p.Map(id)
+		p.StartRead(r)
+		if r.Data.Int64(0) != 10 || r.Data.Int64(1) != 99 || r.Data.Int64(2) != 30 {
+			return fmt.Errorf("partial write clobbered: %d %d %d",
+				r.Data.Int64(0), r.Data.Int64(1), r.Data.Int64(2))
+		}
+		p.EndRead(r)
+		p.Barrier(sp)
+		return nil
+	})
+}
+
+func TestDrainBlock(t *testing.T) {
+	// The Drain block's accounting, exercised directly through the
+	// writethrough protocol instance.
+	var d Drain
+	if d.Outstanding() != 0 {
+		t.Fatal("fresh drain not zero")
+	}
+	d.Add(3)
+	if d.Outstanding() != 3 {
+		t.Fatal("Add failed")
+	}
+	// Ack below zero must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-ack should panic")
+		}
+	}()
+	d.outstanding = 0
+	d.Ack(nil)
+}
+
+func TestSelfInvalidateOnlyRemote(t *testing.T) {
+	run(t, 2, "writethrough", func(p *core.Proc) error {
+		sp := p.DefaultSpace()
+		var id core.RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(sp, 8)
+			r := p.Map(id)
+			p.StartWrite(r)
+			r.Data.SetInt64(0, 5)
+			p.EndWrite(r)
+		}
+		id = p.BroadcastID(0, id)
+		p.Barrier(sp)
+		r := p.Map(id)
+		p.StartRead(r)
+		p.EndRead(r)
+		p.Barrier(sp) // self-invalidates remote copies
+		if p.ID() == 0 {
+			if r.State != 0 && !r.IsHome() {
+				return fmt.Errorf("unexpected state")
+			}
+		} else if r.State != 0 {
+			return fmt.Errorf("remote copy not invalidated at barrier")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,267 @@
+package proto
+
+import (
+	"fmt"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/core"
+)
+
+// UpdateInfo returns the registry entry for the dynamic update protocol.
+//
+// Writers do not acquire exclusive ownership: a completed write section
+// ships the region's contents to the home, which applies them and forwards
+// the update to every registered sharer. Reads hit the continuously
+// updated local copy after a single cold fetch. A barrier drains the
+// processor's outstanding updates (each is acknowledged once every sharer
+// has applied it), so classic phase-parallel programs keep their meaning.
+//
+// The protocol assumes writes to a region do not race (one writer per
+// region at a time, e.g. by ownership convention or phase structure);
+// racing whole-region updates are applied in home-arrival order, last
+// writer wins. This is the "dynamic update" protocol of Sections 2.1 and
+// 3.3, where it speeds EM3D up 3.5x over the invalidation protocol.
+func UpdateInfo() core.Info {
+	return core.Info{
+		Name:        "update",
+		New:         func() core.Protocol { return &updateProto{} },
+		Optimizable: true,
+		// end_read is NOT null: updates that arrive while a region is in
+		// an open section are deferred and applied (and acknowledged)
+		// when the section closes, so the end handlers are load-bearing.
+		// Contrast staticupdate, whose phase contract lets it declare
+		// end_read null.
+		Null: core.PointSet(0).
+			With(core.PointMap).
+			With(core.PointUnmap),
+	}
+}
+
+// Local cache states.
+const (
+	duInvalid int32 = iota
+	duValid
+)
+
+// Protocol verbs.
+const (
+	duRead    uint64 = iota + 1 // remote → home: register sharer, fetch data (B=seq)
+	duWrite                     // writer → home: apply and propagate (payload=data)
+	duPush                      // home → sharer: apply update (B=tag, payload=data)
+	duPushAck                   // sharer → home: update applied (B=tag)
+	duAck                       // home → writer: update fully propagated
+)
+
+// updateProto is the per-(space, processor) instance.
+type updateProto struct {
+	core.Base
+	outstanding int    // updates this processor has shipped but not had acknowledged
+	drainSeq    uint64 // waiter blocked in Barrier/FlushSpace, 0 if none
+	nextTag     uint64
+	xacts       map[uint64]duXact // home side: in-flight propagations by tag
+}
+
+// duXact tracks one update propagation at the home.
+type duXact struct {
+	writer   amnet.NodeID
+	acksLeft int
+}
+
+// duHome is the home-side per-region state: work deferred while the home
+// itself holds the region in an open section.
+type duHome struct {
+	pendingApply [][]byte          // update payloads awaiting application
+	applySrc     []amnet.NodeID    // their writers
+	pendingReads []core.PendingReq // sharer fetches awaiting a quiet region
+}
+
+// duPend is the sharer-side per-region state: an update deferred while the
+// local processor holds the region in an open section.
+type duPend struct {
+	payload []byte
+	tags    []uint64
+}
+
+func (u *updateProto) Name() string { return "update" }
+
+func (u *updateProto) InitSpace(ctx *core.Ctx, sp *core.Space) {
+	u.xacts = make(map[uint64]duXact)
+}
+
+func (u *updateProto) StartRead(ctx *core.Ctx, r *core.Region) {
+	u.ensureValid(ctx, r)
+}
+
+func (u *updateProto) StartWrite(ctx *core.Ctx, r *core.Region) {
+	u.ensureValid(ctx, r)
+}
+
+// ensureValid fetches a copy from the home on first touch, registering
+// this processor as a sharer.
+func (u *updateProto) ensureValid(ctx *core.Ctx, r *core.Region) {
+	if r.IsHome() || r.State == duValid {
+		return
+	}
+	seq := ctx.NewWaiter()
+	ctx.SendProto(r.Home, uint64(r.ID), seq, duRead, uint64(r.Space.ID), nil)
+	m := ctx.Wait(seq)
+	copy(r.Data, m.Payload)
+	r.State = duValid
+}
+
+func (u *updateProto) EndRead(ctx *core.Ctx, r *core.Region) {
+	u.sectionEnd(ctx, r)
+}
+
+func (u *updateProto) EndWrite(ctx *core.Ctx, r *core.Region) {
+	// Ship the completed write to the home for application and
+	// propagation. The home is included via a self-send so deferral
+	// logic is uniform.
+	u.outstanding++
+	ctx.SendProto(r.Home, uint64(r.ID), 0, duWrite, uint64(r.Space.ID), r.Data)
+	u.sectionEnd(ctx, r)
+}
+
+// sectionEnd performs work deferred while the region was in use.
+func (u *updateProto) sectionEnd(ctx *core.Ctx, r *core.Region) {
+	if r.InUse() {
+		return
+	}
+	if r.IsHome() {
+		u.homeDrain(ctx, r)
+		return
+	}
+	if pend, ok := r.PState.(*duPend); ok && pend != nil {
+		r.PState = nil
+		copy(r.Data, pend.payload)
+		for _, tag := range pend.tags {
+			ctx.SendProto(r.Home, uint64(r.ID), tag, duPushAck, uint64(r.Space.ID), nil)
+		}
+	}
+}
+
+// homeDrain applies queued updates and serves queued fetches at the home
+// once the region is quiet.
+func (u *updateProto) homeDrain(ctx *core.Ctx, r *core.Region) {
+	h, _ := r.Dir.PData.(*duHome)
+	if h == nil {
+		return
+	}
+	for i, payload := range h.pendingApply {
+		u.applyUpdate(ctx, r, h.applySrc[i], payload)
+	}
+	h.pendingApply, h.applySrc = nil, nil
+	reads := h.pendingReads
+	h.pendingReads = nil
+	for _, req := range reads {
+		r.Dir.Sharers.Add(req.Src)
+		ctx.SendComplete(req.Src, req.Seq, 0, r.Data)
+	}
+}
+
+// applyUpdate installs an update at the home and propagates it to sharers.
+func (u *updateProto) applyUpdate(ctx *core.Ctx, r *core.Region, writer amnet.NodeID, payload []byte) {
+	copy(r.Data, payload)
+	targets := r.Dir.Sharers
+	targets.Remove(writer)
+	if targets.Empty() {
+		ctx.SendProto(writer, uint64(r.ID), 0, duAck, uint64(r.Space.ID), nil)
+		return
+	}
+	u.nextTag++
+	tag := u.nextTag
+	u.xacts[tag] = duXact{writer: writer, acksLeft: targets.Count()}
+	targets.ForEach(func(n amnet.NodeID) {
+		ctx.SendProto(n, uint64(r.ID), tag, duPush, uint64(r.Space.ID), payload)
+	})
+}
+
+func (u *updateProto) Barrier(ctx *core.Ctx, sp *core.Space) {
+	u.drain(ctx)
+	ctx.DefaultBarrier()
+}
+
+// drain blocks until every update this processor shipped has been applied
+// by all sharers.
+func (u *updateProto) drain(ctx *core.Ctx) {
+	if u.outstanding == 0 {
+		return
+	}
+	u.drainSeq = ctx.NewWaiter()
+	ctx.Wait(u.drainSeq)
+}
+
+func (u *updateProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
+	// After a drain the home copies are authoritative and no protocol
+	// traffic is in flight; the runtime's reset does the rest.
+	u.drain(ctx)
+}
+
+func (u *updateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
+	if r == nil {
+		panic(fmt.Sprintf("proto: update: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))
+	}
+	switch m.C {
+	case duRead:
+		if r.Writers > 0 {
+			h := homeState(r)
+			h.pendingReads = append(h.pendingReads, core.PendingReq{Src: m.Src, Seq: m.B})
+			return
+		}
+		r.Dir.Sharers.Add(m.Src)
+		ctx.SendComplete(m.Src, m.B, 0, r.Data)
+	case duWrite:
+		if r.InUse() {
+			h := homeState(r)
+			h.pendingApply = append(h.pendingApply, append([]byte(nil), m.Payload...))
+			h.applySrc = append(h.applySrc, m.Src)
+			return
+		}
+		u.applyUpdate(ctx, r, m.Src, m.Payload)
+	case duPush:
+		if r.InUse() {
+			pend, _ := r.PState.(*duPend)
+			if pend == nil {
+				pend = &duPend{}
+				r.PState = pend
+			}
+			pend.payload = append(pend.payload[:0], m.Payload...)
+			pend.tags = append(pend.tags, m.B)
+			return
+		}
+		copy(r.Data, m.Payload)
+		r.State = duValid
+		ctx.SendProto(m.Src, m.A, m.B, duPushAck, m.D, nil)
+	case duPushAck:
+		x, ok := u.xacts[m.B]
+		if !ok {
+			panic(fmt.Sprintf("proto: update: proc %d: stray push ack tag %d", ctx.ID(), m.B))
+		}
+		x.acksLeft--
+		if x.acksLeft > 0 {
+			u.xacts[m.B] = x
+			return
+		}
+		delete(u.xacts, m.B)
+		ctx.SendProto(x.writer, m.A, 0, duAck, m.D, nil)
+	case duAck:
+		u.outstanding--
+		if u.outstanding == 0 && u.drainSeq != 0 {
+			seq := u.drainSeq
+			u.drainSeq = 0
+			ctx.Complete(seq, amnet.Msg{})
+		}
+	default:
+		panic(fmt.Sprintf("proto: update: bad verb %d", m.C))
+	}
+}
+
+// homeState lazily allocates the home-side deferred-work state.
+func homeState(r *core.Region) *duHome {
+	h, _ := r.Dir.PData.(*duHome)
+	if h == nil {
+		h = &duHome{}
+		r.Dir.PData = h
+	}
+	return h
+}

@@ -1,0 +1,31 @@
+package proto
+
+import "github.com/acedsm/ace/internal/core"
+
+// NullInfo returns the registry entry for the null protocol: every access
+// point is a null handler, so the compiler's direct-dispatch pass removes
+// the calls entirely. Barriers and locks keep their default semantics.
+//
+// The null protocol performs no coherence actions. It is correct only when
+// each processor accesses home-local regions, or regions whose contents
+// were fully propagated before the protocol was installed — the situation
+// in Water's intra-molecular phase, where the program alternates between a
+// null protocol and an update protocol (Section 2.2 of the paper).
+func NullInfo() core.Info {
+	return core.Info{
+		Name:        "null",
+		New:         func() core.Protocol { return &nullProto{} },
+		Optimizable: true,
+		Null: core.PointSet(0).
+			With(core.PointMap).
+			With(core.PointUnmap).
+			With(core.PointStartRead).
+			With(core.PointEndRead).
+			With(core.PointStartWrite).
+			With(core.PointEndWrite),
+	}
+}
+
+type nullProto struct{ core.Base }
+
+func (*nullProto) Name() string { return "null" }

@@ -1,0 +1,183 @@
+package proto
+
+import (
+	"fmt"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/core"
+)
+
+// StaticUpdateInfo returns the registry entry for the static update
+// protocol — essentially Falsafi et al.'s application-specific protocol
+// for EM3D (Section 3.3).
+//
+// The protocol exploits static access patterns: during the first
+// iteration, remote reads fetch from the home and the home records the
+// reader in the region's persistent sharer list. A write marks its region
+// dirty. At each barrier, every dirty home region is pushed to exactly its
+// recorded sharers, then the barrier completes; subsequent iterations
+// therefore run without a single read miss.
+//
+// Writes must be home-local (the EM3D pattern: each processor updates its
+// own nodes and reads its neighbors'). The protocol panics on a remote
+// write section, making the assumption checkable.
+func StaticUpdateInfo() core.Info {
+	return core.Info{
+		Name:        "staticupdate",
+		New:         func() core.Protocol { return &staticUpdateProto{} },
+		Optimizable: true,
+		Null: core.PointSet(0).
+			With(core.PointMap).
+			With(core.PointUnmap).
+			With(core.PointEndRead).
+			With(core.PointStartWrite),
+	}
+}
+
+// Protocol verbs.
+const (
+	suRead    uint64 = iota + 1 // remote → home: register sharer, fetch (B=seq)
+	suPush                      // home → sharer: barrier-time update (payload)
+	suPushAck                   // sharer → home: push applied
+)
+
+// staticUpdateProto is the per-(space, processor) instance.
+type staticUpdateProto struct {
+	core.Base
+	dirty       []*core.Region // home regions written since the last barrier
+	outstanding int            // pushes shipped, not yet acknowledged
+	drainSeq    uint64
+}
+
+// suPend defers a push that arrived while the region was in a section.
+type suPend struct {
+	payload []byte
+	acks    int
+}
+
+func (s *staticUpdateProto) Name() string { return "staticupdate" }
+
+func (s *staticUpdateProto) StartRead(ctx *core.Ctx, r *core.Region) {
+	if r.IsHome() || r.State == duValid {
+		return
+	}
+	seq := ctx.NewWaiter()
+	ctx.SendProto(r.Home, uint64(r.ID), seq, suRead, uint64(r.Space.ID), nil)
+	m := ctx.Wait(seq)
+	copy(r.Data, m.Payload)
+	r.State = duValid
+}
+
+func (s *staticUpdateProto) StartWrite(ctx *core.Ctx, r *core.Region) {
+	if !r.IsHome() {
+		panic(fmt.Sprintf("proto: staticupdate: proc %d: remote write to %v (writes must be home-local)", ctx.ID(), r.ID))
+	}
+}
+
+func (s *staticUpdateProto) EndWrite(ctx *core.Ctx, r *core.Region) {
+	if r.PState == nil {
+		r.PState = markerDirty
+		s.dirty = append(s.dirty, r)
+	}
+	if r.Writers == 0 {
+		// Serve sharer fetches that arrived during the write section.
+		if q, ok := r.Dir.PData.([]core.PendingReq); ok && len(q) > 0 {
+			r.Dir.PData = nil
+			for _, req := range q {
+				r.Dir.Sharers.Add(req.Src)
+				ctx.SendComplete(req.Src, req.Seq, 0, r.Data)
+			}
+		}
+	}
+}
+
+func (s *staticUpdateProto) EndRead(ctx *core.Ctx, r *core.Region) {
+	s.applyDeferred(ctx, r)
+}
+
+// applyDeferred installs a push deferred while the region was in use.
+func (s *staticUpdateProto) applyDeferred(ctx *core.Ctx, r *core.Region) {
+	if r.InUse() || r.IsHome() {
+		return
+	}
+	if pend, ok := r.PState.(*suPend); ok && pend != nil {
+		r.PState = nil
+		copy(r.Data, pend.payload)
+		for i := 0; i < pend.acks; i++ {
+			ctx.SendProto(r.Home, uint64(r.ID), 0, suPushAck, uint64(r.Space.ID), nil)
+		}
+	}
+}
+
+// Barrier pushes every dirty region to its recorded sharers, waits for all
+// acknowledgements, and then performs the underlying barrier.
+func (s *staticUpdateProto) Barrier(ctx *core.Ctx, sp *core.Space) {
+	for _, r := range s.dirty {
+		r.PState = nil
+		r.Dir.Sharers.ForEach(func(n amnet.NodeID) {
+			s.outstanding++
+			ctx.SendProto(n, uint64(r.ID), 0, suPush, uint64(sp.ID), r.Data)
+		})
+	}
+	s.dirty = s.dirty[:0]
+	s.drain(ctx)
+	ctx.DefaultBarrier()
+}
+
+func (s *staticUpdateProto) drain(ctx *core.Ctx) {
+	if s.outstanding == 0 {
+		return
+	}
+	s.drainSeq = ctx.NewWaiter()
+	ctx.Wait(s.drainSeq)
+}
+
+func (s *staticUpdateProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
+	// Writes are home-local, so homes are authoritative; just forget the
+	// dirty list and make sure no pushes are in flight.
+	s.dirty = nil
+	s.drain(ctx)
+}
+
+func (s *staticUpdateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
+	if r == nil {
+		panic(fmt.Sprintf("proto: staticupdate: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))
+	}
+	switch m.C {
+	case suRead:
+		if r.Writers > 0 {
+			q, _ := r.Dir.PData.([]core.PendingReq)
+			r.Dir.PData = append(q, core.PendingReq{Src: m.Src, Seq: m.B})
+			return
+		}
+		r.Dir.Sharers.Add(m.Src)
+		ctx.SendComplete(m.Src, m.B, 0, r.Data)
+	case suPush:
+		if r.InUse() {
+			pend, _ := r.PState.(*suPend)
+			if pend == nil {
+				pend = &suPend{}
+				r.PState = pend
+			}
+			pend.payload = append(pend.payload[:0], m.Payload...)
+			pend.acks++
+			return
+		}
+		copy(r.Data, m.Payload)
+		r.State = duValid
+		ctx.SendProto(m.Src, m.A, 0, suPushAck, m.D, nil)
+	case suPushAck:
+		s.outstanding--
+		if s.outstanding == 0 && s.drainSeq != 0 {
+			seq := s.drainSeq
+			s.drainSeq = 0
+			ctx.Complete(seq, amnet.Msg{})
+		}
+	default:
+		panic(fmt.Sprintf("proto: staticupdate: bad verb %d", m.C))
+	}
+}
+
+// markerDirty is a sentinel stored in Region.PState on home regions that
+// are on the dirty list.
+var markerDirty = new(struct{})
