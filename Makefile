@@ -1,0 +1,23 @@
+GO ?= go
+
+# Packages whose lock-free instrumentation paths must stay race-clean.
+RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench BenchmarkBracket -benchmem -run '^$$' .

@@ -48,10 +48,34 @@
 // added by implementing the Protocol interface and registering an Info —
 // the analogue of the paper's protocol-registration script; see package
 // proto for worked examples.
+//
+// # Observability
+//
+// Setting Options.Trace enables the runtime's observability layer:
+// per-space operation counters and latency histograms, network traffic
+// counters with send→deliver latency sampling, and (when TraceConfig
+// .Events is positive) a bounded per-processor event ring exported as
+// Chrome trace_event JSON. Snapshots are read with Proc.Snapshot (one
+// processor) or Cluster.Metrics (whole cluster), and the event trace is
+// written with Cluster.WriteTrace:
+//
+//	cl, _ := ace.NewCluster(ace.Options{
+//		Procs: 8,
+//		Trace: &ace.TraceConfig{Metrics: true, Events: 1 << 16},
+//	})
+//	cl.Run(work)
+//	m := cl.Metrics()                  // ace.Metrics: ops, latency, net
+//	fmt.Println(m.Ops.Get(ace.OpMap))  // e.g. total Map invocations
+//	f, _ := os.Create("trace.json")    // chrome://tracing / Perfetto
+//	cl.WriteTrace(f)
+//
+// With Options.Trace nil the instrumentation is disabled and a bracketed
+// operation costs one atomic load and one branch — no allocation.
 package ace
 
 import (
 	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/trace"
 	"github.com/acedsm/ace/proto"
 )
 
@@ -91,9 +115,51 @@ type (
 	// ReduceOp selects an AllReduce combining operator.
 	ReduceOp = core.ReduceOp
 	// OpStats counts runtime primitive invocations.
+	//
+	// Deprecated: use Metrics (from Proc.Snapshot or Cluster.Metrics),
+	// which carries the same counts keyed by space and protocol plus
+	// invocation latency.
 	OpStats = core.OpStats
 	// Base is an embeddable no-op Protocol implementation.
 	Base = core.Base
+)
+
+// Observability type re-exports. See the corresponding internal/trace
+// documentation on each.
+type (
+	// TraceConfig selects what the observability layer records; assign
+	// one to Options.Trace.
+	TraceConfig = trace.Config
+	// Metrics is a cluster- or processor-level observability snapshot.
+	Metrics = trace.Metrics
+	// SpaceMetrics is one space's operation counts and latencies.
+	SpaceMetrics = trace.SpaceMetrics
+	// OpCounts is a per-operation counter vector.
+	OpCounts = trace.OpCounts
+	// Histogram is a power-of-two latency histogram snapshot.
+	Histogram = trace.Histogram
+	// NetSnapshot is an endpoint- or cluster-level traffic snapshot.
+	NetSnapshot = trace.NetSnapshot
+	// TraceOp names an instrumented runtime primitive.
+	TraceOp = trace.Op
+	// TraceEvent is one completed operation in the event ring.
+	TraceEvent = trace.Event
+)
+
+// The instrumented runtime primitives, indexing OpCounts and
+// Metrics.OpLatency.
+const (
+	OpGMalloc        = trace.OpGMalloc
+	OpMap            = trace.OpMap
+	OpUnmap          = trace.OpUnmap
+	OpStartRead      = trace.OpStartRead
+	OpEndRead        = trace.OpEndRead
+	OpStartWrite     = trace.OpStartWrite
+	OpEndWrite       = trace.OpEndWrite
+	OpBarrier        = trace.OpBarrier
+	OpLock           = trace.OpLock
+	OpUnlock         = trace.OpUnlock
+	OpChangeProtocol = trace.OpChangeProtocol
 )
 
 // Reduction operators.

@@ -1,6 +1,8 @@
 package ace_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -16,9 +18,13 @@ func (c *countingProto) Name() string { return "counting" }
 
 // TestPublicAPIEndToEnd exercises the whole public surface: cluster
 // construction with the default (full) registry, spaces, regions,
-// sections, locks, barriers, collectives and ChangeProtocol.
+// sections, locks, barriers, collectives, ChangeProtocol and the
+// observability layer.
 func TestPublicAPIEndToEnd(t *testing.T) {
-	cl, err := ace.NewCluster(ace.Options{Procs: 4})
+	cl, err := ace.NewCluster(ace.Options{
+		Procs: 4,
+		Trace: &ace.TraceConfig{Metrics: true, Events: 1024},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +72,34 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cl.NetSnapshot().MsgsSent == 0 {
+	m := cl.Metrics()
+	if m.Net.MsgsSent == 0 {
 		t.Error("no traffic recorded")
 	}
-	if cl.OpTotals().StartWrites != 4*25 {
-		t.Errorf("op totals: %+v", cl.OpTotals())
+	if got := m.Ops.Get(ace.OpStartWrite); got != 4*25 {
+		t.Errorf("start_write count = %d, want %d", got, 4*25)
+	}
+	// The new metrics agree with the legacy counters on the same run.
+	legacy := cl.OpTotals()
+	if m.Ops.Get(ace.OpStartWrite) != legacy.StartWrites ||
+		m.Ops.Get(ace.OpLock) != legacy.Locks ||
+		m.Ops.Get(ace.OpBarrier) != legacy.Barriers ||
+		m.Ops.Get(ace.OpChangeProtocol) != legacy.ProtocolChanges {
+		t.Errorf("metrics %v disagree with legacy op totals %+v", m.Ops, legacy)
+	}
+	if len(m.Spaces) == 0 || m.Spaces[0].Protocol == "" {
+		t.Errorf("space metrics missing: %+v", m.Spaces)
+	}
+	// The event ring retained operations and exports valid Chrome JSON.
+	if len(cl.TraceEvents()) == 0 {
+		t.Error("no trace events retained")
+	}
+	var buf bytes.Buffer
+	if err := cl.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("WriteTrace produced invalid JSON")
 	}
 }
 

@@ -100,6 +100,43 @@ func BenchmarkFig7b(b *testing.B) {
 	}
 }
 
+// BenchmarkBracket measures the cost a StartRead/EndRead pair adds under
+// each observability mode. The disabled mode is the regression guard for
+// the near-zero-cost claim: it must report 0 B/op.
+func BenchmarkBracket(b *testing.B) {
+	modes := []struct {
+		name string
+		cfg  *TraceConfig
+	}{
+		{"disabled", nil},
+		{"metrics", &TraceConfig{Metrics: true}},
+		{"events", &TraceConfig{Metrics: true, Events: 4096}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			cl, err := NewCluster(Options{Procs: 1, Trace: m.cfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			err = cl.Run(func(p *Proc) error {
+				id := p.GMalloc(p.DefaultSpace(), 8)
+				r := p.Map(id)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.StartRead(r)
+					p.EndRead(r)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkTable4 measures every compiler kernel at every optimization
 // level plus the hand-written version (Table 4).
 func BenchmarkTable4(b *testing.B) {

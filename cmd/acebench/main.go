@@ -9,26 +9,48 @@
 // processor count with -procs. Times are wall-clock on the in-process
 // cluster; the comparisons' shape, not the absolute numbers, is the
 // reproduction target (see EXPERIMENTS.md).
+//
+// The -metrics and -trace flags switch acebench into instrumented mode:
+// instead of an experiment it runs the single benchmark named by -app on
+// the Ace runtime with the observability layer enabled, printing the
+// metrics tables (-metrics) and/or writing the event trace as Chrome
+// trace_event JSON loadable in chrome://tracing or Perfetto (-trace):
+//
+//	acebench -metrics -app em3d
+//	acebench -trace out.json -app tsp -custom
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/acedsm/ace/internal/bench"
+	"github.com/acedsm/ace/internal/trace"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig7a, fig7b, table4, or all")
-		procs = flag.Int("procs", 8, "number of logical processors")
-		scale = flag.String("scale", "default", "workload scale: small, default, or paper")
-		runs  = flag.Int("runs", 3, "runs per measurement (best run reported)")
+		exp      = flag.String("exp", "all", "experiment: fig7a, fig7b, table4, or all")
+		procs    = flag.Int("procs", 8, "number of logical processors")
+		scale    = flag.String("scale", "default", "workload scale: small, default, or paper")
+		runs     = flag.Int("runs", 3, "runs per measurement (best run reported)")
+		metrics  = flag.Bool("metrics", false, "instrumented mode: print metrics for one -app run")
+		traceOut = flag.String("trace", "", "instrumented mode: write Chrome trace JSON for one -app run to `file`")
+		app      = flag.String("app", "em3d", "benchmark for instrumented mode: "+strings.Join(bench.AppNames(), ", "))
+		custom   = flag.Bool("custom", false, "instrumented mode: use the application-specific protocol")
+		events   = flag.Int("events", 1<<16, "instrumented mode: per-processor event ring capacity for -trace")
 	)
 	flag.Parse()
 
 	w := bench.WorkloadsFor(bench.Scale(*scale), *procs)
+	if *metrics || *traceOut != "" {
+		if !runObserved(w, *app, *custom, *metrics, *traceOut, *events) {
+			os.Exit(1)
+		}
+		return
+	}
 	ok := true
 	switch *exp {
 	case "fig7a":
@@ -50,6 +72,51 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// runObserved runs one benchmark on the Ace runtime with the
+// observability layer on, printing metrics and/or writing a Chrome
+// trace.
+func runObserved(w bench.Workloads, app string, custom, metrics bool, traceOut string, events int) bool {
+	fn, ok := bench.App(w, app, custom)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "acebench: unknown app %q (%s)\n", app, strings.Join(bench.AppNames(), ", "))
+		return false
+	}
+	cfg := &trace.Config{Metrics: true}
+	if traceOut != "" {
+		cfg.Events = events
+	}
+	o, err := bench.RunAceObserved(w.Procs, fn, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acebench: %s: %v\n", app, err)
+		return false
+	}
+	proto := "sc"
+	if custom {
+		proto = "custom"
+	}
+	fmt.Printf("=== %s (%s protocol, %d procs): %v total ===\n", app, proto, w.Procs, o.Result.Total)
+	if metrics {
+		fmt.Println(bench.FormatMetrics(o.Metrics))
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acebench: %v\n", err)
+			return false
+		}
+		werr := trace.WriteChromeTrace(f, o.Events, w.Procs)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "acebench: writing %s: %v\n", traceOut, werr)
+			return false
+		}
+		fmt.Printf("wrote %d events to %s (load in chrome://tracing or Perfetto)\n", len(o.Events), traceOut)
+	}
+	return true
 }
 
 func runFig7a(w bench.Workloads, runs int) bool {

@@ -88,11 +88,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	snap := cl.NetSnapshot()
+	m := cl.Metrics()
 	for i, v := range results {
 		fmt.Printf("proc %d: %v\n", i, v)
 	}
-	fmt.Printf("(%d messages, %d bytes)\n", snap.MsgsSent, snap.BytesSent)
+	fmt.Printf("(%d messages, %d bytes)\n", m.Net.MsgsSent, m.Net.BytesSent)
 }
 
 func fatal(err error) {

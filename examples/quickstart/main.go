@@ -79,6 +79,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	snap := cl.NetSnapshot()
-	fmt.Printf("cluster traffic: %d messages, %d bytes\n", snap.MsgsSent, snap.BytesSent)
+	m := cl.Metrics()
+	fmt.Printf("cluster traffic: %d messages, %d bytes\n", m.Net.MsgsSent, m.Net.BytesSent)
 }

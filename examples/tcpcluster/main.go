@@ -65,7 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	snap := cl.NetSnapshot()
+	m := cl.Metrics()
 	fmt.Printf("50 producer-consumer iterations over TCP: %v\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("traffic: %d messages, %d bytes — all over real sockets\n", snap.MsgsSent, snap.BytesSent)
+	fmt.Printf("traffic: %d messages, %d bytes — all over real sockets\n", m.Net.MsgsSent, m.Net.BytesSent)
 }

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/acedsm/ace/internal/trace"
 )
 
 // NodeID identifies a logical processor in the cluster. Nodes are numbered
@@ -30,7 +32,7 @@ type NodeID int32
 type HandlerID uint16
 
 // MaxHandlers bounds the handler table size on every endpoint.
-const MaxHandlers = 256
+const MaxHandlers = trace.MaxHandlers
 
 // Msg is a single active message. A, B, C and D are small scalar arguments
 // (typically a region id, a waiter sequence number, and auxiliary values);
@@ -151,13 +153,13 @@ func (e *chanEndpoint) Send(m Msg) {
 		panic(fmt.Sprintf("amnet: send to invalid node %d", m.Dst))
 	}
 	m.Src = e.id
-	e.stats.count(&e.stats.MsgsSent, &e.stats.BytesSent, m)
+	e.stats.CountSend(headerBytes + len(m.Payload))
 	dst := e.nw.eps[m.Dst]
 	var due time.Time
 	if e.nw.cfg.Latency > 0 && m.Dst != m.Src {
 		due = time.Now().Add(e.nw.cfg.Latency)
 	}
-	dst.box.push(item{msg: m, due: due})
+	dst.box.push(item{msg: m, due: due, sent: e.stats.SendStamp()})
 }
 
 func (e *chanEndpoint) Stats() *Stats { return &e.stats }
@@ -174,12 +176,13 @@ func (e *chanEndpoint) pump(wg *sync.WaitGroup) {
 				time.Sleep(d)
 			}
 		}
+		e.stats.ObserveDeliver(it.sent)
 		e.dispatch(it.msg)
 	}
 }
 
 func (e *chanEndpoint) dispatch(m Msg) {
-	e.stats.count(&e.stats.MsgsRecv, &e.stats.BytesRecv, m)
+	e.stats.CountRecv(uint16(m.Handler), headerBytes+len(m.Payload))
 	h := e.handlers[m.Handler]
 	if h == nil {
 		panic(fmt.Sprintf("amnet: node %d: no handler %d registered (msg from %d)", e.id, m.Handler, m.Src))

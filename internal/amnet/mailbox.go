@@ -6,10 +6,12 @@ import (
 )
 
 // item is a queued message plus its earliest delivery time (zero for
-// immediate delivery).
+// immediate delivery) and, when latency sampling is on, its send stamp
+// on the trace clock.
 type item struct {
-	msg Msg
-	due time.Time
+	msg  Msg
+	due  time.Time
+	sent int64
 }
 
 // mailbox is an unbounded MPSC queue: many senders, one pump. Unboundedness

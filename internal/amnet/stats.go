@@ -1,67 +1,21 @@
 package amnet
 
-import "sync/atomic"
+import "github.com/acedsm/ace/internal/trace"
 
-// Stats holds per-endpoint traffic counters. All fields are updated
-// atomically and may be read while the network is live; a consistent
-// snapshot requires the network to be quiescent (for example, inside a
-// barrier).
-type Stats struct {
-	MsgsSent  atomic.Uint64
-	BytesSent atomic.Uint64
-	MsgsRecv  atomic.Uint64
-	BytesRecv atomic.Uint64
+// Stats holds per-endpoint traffic counters.
+//
+// Deprecated: Stats is an alias for trace.NetStats, the unified
+// observability layer's endpoint telemetry (message/byte counters,
+// per-handler breakdown, sampled send→deliver latency). New code should
+// use the aggregated views — core.Cluster.Metrics / core.Proc.Snapshot —
+// rather than reading endpoint counters directly.
+type Stats = trace.NetStats
 
-	// PerHandler counts messages received per handler id.
-	PerHandler [MaxHandlers]atomic.Uint64
-}
-
-func (s *Stats) count(msgs, bytes *atomic.Uint64, m Msg) {
-	msgs.Add(1)
-	// Account scalar header words plus payload, approximating the wire
-	// footprint of the message.
-	bytes.Add(uint64(headerBytes + len(m.Payload)))
-	if msgs == &s.MsgsRecv {
-		s.PerHandler[m.Handler].Add(1)
-	}
-}
+// Snapshot is a plain-value copy of Stats suitable for arithmetic.
+//
+// Deprecated: Snapshot is an alias for trace.NetSnapshot.
+type Snapshot = trace.NetSnapshot
 
 // headerBytes is the accounted fixed cost of a message: dst, src, handler,
 // four 8-byte scalar arguments and a length word.
 const headerBytes = 4 + 4 + 2 + 4*8 + 4
-
-// Snapshot is a plain-value copy of Stats suitable for arithmetic.
-type Snapshot struct {
-	MsgsSent, BytesSent uint64
-	MsgsRecv, BytesRecv uint64
-}
-
-// Snapshot returns the current counter values.
-func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		MsgsSent:  s.MsgsSent.Load(),
-		BytesSent: s.BytesSent.Load(),
-		MsgsRecv:  s.MsgsRecv.Load(),
-		BytesRecv: s.BytesRecv.Load(),
-	}
-}
-
-// Sub returns the element-wise difference s - o.
-func (s Snapshot) Sub(o Snapshot) Snapshot {
-	return Snapshot{
-		MsgsSent:  s.MsgsSent - o.MsgsSent,
-		BytesSent: s.BytesSent - o.BytesSent,
-		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
-		BytesRecv: s.BytesRecv - o.BytesRecv,
-	}
-}
-
-// Add returns the element-wise sum s + o.
-func (s Snapshot) Add(o Snapshot) Snapshot {
-	return Snapshot{
-		MsgsSent:  s.MsgsSent + o.MsgsSent,
-		BytesSent: s.BytesSent + o.BytesSent,
-		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
-		BytesRecv: s.BytesRecv + o.BytesRecv,
-	}
-}

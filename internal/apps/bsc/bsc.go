@@ -53,7 +53,9 @@ func Run(rt rtiface.RT, cfg Config) (apputil.Result, error) {
 	if cfg.Blocks < 2 || cfg.BlockSize < 1 || cfg.Bandwidth < 1 {
 		return res, fmt.Errorf("bsc: bad config %+v", cfg)
 	}
-	srt, hasSpaces := rt.(rtiface.SpaceRT)
+	srt, _ := rt.(rtiface.SpaceRT)
+	hasSpaces := srt != nil &&
+		rt.Capabilities().Has(rtiface.CapSpaces|rtiface.CapCustomProtocols)
 	useSpace := cfg.Proto != "" && hasSpaces
 	if cfg.Proto != "" && !hasSpaces {
 		return res, fmt.Errorf("bsc: runtime %s has no spaces for protocol %q", rt.Name(), cfg.Proto)

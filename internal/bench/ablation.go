@@ -41,7 +41,7 @@ func URCSweep(procs int, capacities []int) (map[int]uint64, error) {
 			cl.Close()
 			return nil, fmt.Errorf("urc sweep capacity %d: %w", capacity, err)
 		}
-		out[capacity] = cl.NetSnapshot().MsgsSent
+		out[capacity] = cl.Metrics().Net.MsgsSent
 		cl.Close()
 	}
 	return out, nil
@@ -83,7 +83,7 @@ func LatencySweep(procs int, latencies []time.Duration) ([]LatencyPoint, error) 
 				}
 				return err
 			})
-			res.Msgs = cl.NetSnapshot().MsgsSent
+			res.Msgs = cl.Metrics().Net.MsgsSent
 			return res, err
 		}
 		sc, err := runOne("")
@@ -168,7 +168,7 @@ func GranularitySweep(procs int, totalWords int, sizes []int) ([]GranularityPoin
 			cl.Close()
 			return nil, err
 		}
-		out = append(out, GranularityPoint{Words: words, Msgs: cl.NetSnapshot().MsgsSent, Time: time.Since(start)})
+		out = append(out, GranularityPoint{Words: words, Msgs: cl.Metrics().Net.MsgsSent, Time: time.Since(start)})
 		cl.Close()
 	}
 	return out, nil

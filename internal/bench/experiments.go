@@ -101,6 +101,27 @@ func apps(w Workloads, custom bool) []struct {
 	}
 }
 
+// App returns the named benchmark closure for a workload set (custom
+// selects the application-specific protocols instead of sequential
+// consistency), reporting ok=false for an unknown name.
+func App(w Workloads, name string, custom bool) (AppFunc, bool) {
+	for _, a := range apps(w, custom) {
+		if a.name == name {
+			return a.fn, true
+		}
+	}
+	return nil, false
+}
+
+// AppNames lists the benchmark names accepted by App.
+func AppNames() []string {
+	var names []string
+	for _, a := range apps(Workloads{}, false) {
+		names = append(names, a.name)
+	}
+	return names
+}
+
 // timeOf returns the comparable time for a result: per-iteration time for
 // the iterative benchmarks, total time otherwise (Section 5.1).
 func timeOf(r apputil.Result) time.Duration {

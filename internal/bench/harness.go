@@ -11,22 +11,40 @@ import (
 	"github.com/acedsm/ace/internal/core"
 	"github.com/acedsm/ace/internal/crl"
 	"github.com/acedsm/ace/internal/rtiface"
+	"github.com/acedsm/ace/internal/trace"
 	"github.com/acedsm/ace/proto"
 )
 
 // AppFunc runs one benchmark on a runtime-neutral interface.
 type AppFunc func(rt rtiface.RT) (apputil.Result, error)
 
+// Observed is the outcome of an instrumented run: the benchmark result
+// plus the cluster-wide observability snapshot and (when the trace
+// config retained events) the event log.
+type Observed struct {
+	Result  apputil.Result
+	Metrics trace.Metrics
+	Events  []trace.Event
+}
+
 // RunAce executes app on a fresh Ace cluster of procs processors and
 // returns processor 0's result with cluster traffic totals filled in.
 func RunAce(procs int, app AppFunc) (apputil.Result, error) {
-	cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry()})
+	o, err := RunAceObserved(procs, app, nil)
+	return o.Result, err
+}
+
+// RunAceObserved executes app on a fresh Ace cluster with the given
+// trace configuration (nil runs uninstrumented) and returns processor
+// 0's result together with the cluster metrics and retained events.
+func RunAceObserved(procs int, app AppFunc, cfg *trace.Config) (Observed, error) {
+	cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry(), Trace: cfg})
 	if err != nil {
-		return apputil.Result{}, err
+		return Observed{}, err
 	}
 	defer cl.Close()
 	var mu sync.Mutex
-	var res apputil.Result
+	var o Observed
 	err = cl.Run(func(p *core.Proc) error {
 		r, err := app(rtiface.NewAce(p))
 		if err != nil {
@@ -34,18 +52,19 @@ func RunAce(procs int, app AppFunc) (apputil.Result, error) {
 		}
 		if p.ID() == 0 {
 			mu.Lock()
-			res = r
+			o.Result = r
 			mu.Unlock()
 		}
 		return nil
 	})
 	if err != nil {
-		return res, err
+		return o, err
 	}
-	snap := cl.NetSnapshot()
-	res.Msgs = snap.MsgsSent
-	res.Bytes = snap.BytesSent
-	return res, nil
+	o.Metrics = cl.Metrics()
+	o.Events = cl.TraceEvents()
+	o.Result.Msgs = o.Metrics.Net.MsgsSent
+	o.Result.Bytes = o.Metrics.Net.BytesSent
+	return o, nil
 }
 
 // RunCRL executes app on a fresh CRL cluster of procs processors.
@@ -72,8 +91,8 @@ func RunCRL(procs int, app AppFunc) (apputil.Result, error) {
 	if err != nil {
 		return res, err
 	}
-	snap := cl.NetSnapshot()
-	res.Msgs = snap.MsgsSent
-	res.Bytes = snap.BytesSent
+	m := cl.Metrics()
+	res.Msgs = m.Net.MsgsSent
+	res.Bytes = m.Net.BytesSent
 	return res, nil
 }

@@ -3,11 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/trace"
 )
 
 // Options configures a cluster.
@@ -31,6 +34,13 @@ type Options struct {
 	// Latency, for the in-process network, delays every inter-node
 	// message by the given duration. Ignored when Network is set.
 	Latency time.Duration
+
+	// Trace, if non-nil, enables the observability layer (package
+	// trace): per-space operation counters and latency histograms,
+	// network send→deliver latency sampling, and — when Trace.Events is
+	// positive — per-processor event rings exported by WriteTrace. Nil
+	// disables instrumentation at near-zero cost.
+	Trace *trace.Config
 }
 
 // Cluster is a set of logical processors sharing regions through the Ace
@@ -78,6 +88,11 @@ func NewCluster(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("core: network has %d endpoints, want %d", len(eps), opts.Procs)
 	}
 	c := &Cluster{opts: opts, reg: reg, net: nw, ownNet: own}
+	if opts.Trace != nil && opts.Trace.Metrics {
+		for _, ep := range eps {
+			ep.Stats().EnableLatencySampling(true)
+		}
+	}
 	c.procs = make([]*Proc, opts.Procs)
 	for i := range c.procs {
 		c.procs[i] = newProc(c, eps[i])
@@ -126,9 +141,42 @@ func (c *Cluster) Close() error {
 	return nil
 }
 
+// Metrics aggregates the observability snapshot across all processors:
+// per-space operation counts and latency histograms (populated when
+// Options.Trace enabled them) plus network traffic counters (always
+// live). Call it only while the cluster is quiescent (before Run, after
+// Run, or inside a barrier) for a consistent view.
+func (c *Cluster) Metrics() trace.Metrics {
+	var m trace.Metrics
+	for _, p := range c.procs {
+		m = m.Add(p.Snapshot())
+	}
+	return m
+}
+
+// TraceEvents returns the retained events from every processor's ring,
+// ordered by start time. Empty unless Options.Trace.Events was positive.
+func (c *Cluster) TraceEvents() []trace.Event {
+	var evs []trace.Event
+	for _, p := range c.procs {
+		evs = append(evs, p.rec.Events()...)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	return evs
+}
+
+// WriteTrace writes the retained events as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto. Call it after Run.
+func (c *Cluster) WriteTrace(w io.Writer) error {
+	return trace.WriteChromeTrace(w, c.TraceEvents(), c.Procs())
+}
+
 // NetSnapshot aggregates traffic counters across all processors. Call it
 // only while the cluster is quiescent (before Run, after Run, or inside a
 // barrier) for a consistent view.
+//
+// Deprecated: use Metrics, whose Net field carries the same counters
+// plus send→deliver latency.
 func (c *Cluster) NetSnapshot() amnet.Snapshot {
 	var s amnet.Snapshot
 	for _, p := range c.procs {
@@ -139,6 +187,10 @@ func (c *Cluster) NetSnapshot() amnet.Snapshot {
 
 // OpTotals aggregates runtime operation counters across processors. The
 // same quiescence caveat as NetSnapshot applies.
+//
+// Deprecated: use Metrics, which carries the same counts (keyed by
+// space and protocol) plus invocation latency, when Options.Trace
+// enables them.
 func (c *Cluster) OpTotals() OpStats {
 	var t OpStats
 	for _, p := range c.procs {

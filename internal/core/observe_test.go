@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/acedsm/ace/internal/trace"
+)
+
+// TestMetricsParityWithOpStats runs a workload touching every
+// instrumented primitive and checks the new per-space metrics agree with
+// the legacy OpStats counters on the same run.
+func TestMetricsParityWithOpStats(t *testing.T) {
+	cl, err := NewCluster(Options{Procs: 4, Trace: &trace.Config{Metrics: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(p *Proc) error {
+		sp, err := p.NewSpace("sc")
+		if err != nil {
+			return err
+		}
+		var id RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(sp, 16)
+		}
+		id = p.BroadcastID(0, id)
+		r := p.Map(id)
+		for i := 0; i < 10; i++ {
+			p.Lock(r)
+			p.StartWrite(r)
+			r.Data.SetInt64(0, r.Data.Int64(0)+1)
+			p.EndWrite(r)
+			p.Unlock(r)
+		}
+		p.Barrier(sp)
+		p.StartRead(r)
+		got := r.Data.Int64(0)
+		p.EndRead(r)
+		if got != 40 {
+			return fmt.Errorf("count = %d, want 40", got)
+		}
+		if err := p.ChangeProtocol(sp, "sc"); err != nil {
+			return err
+		}
+		p.Unmap(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cl.Metrics()
+	legacy := cl.OpTotals()
+	pairs := []struct {
+		op   trace.Op
+		want uint64
+	}{
+		{trace.OpGMalloc, legacy.GMallocs},
+		{trace.OpMap, legacy.Maps},
+		{trace.OpUnmap, legacy.Unmaps},
+		{trace.OpStartRead, legacy.StartReads},
+		{trace.OpEndRead, legacy.EndReads},
+		{trace.OpStartWrite, legacy.StartWrites},
+		{trace.OpEndWrite, legacy.EndWrites},
+		{trace.OpBarrier, legacy.Barriers},
+		{trace.OpLock, legacy.Locks},
+		{trace.OpUnlock, legacy.Unlocks},
+		{trace.OpChangeProtocol, legacy.ProtocolChanges},
+	}
+	for _, pr := range pairs {
+		if got := m.Ops.Get(pr.op); got != pr.want {
+			t.Errorf("%v: metrics %d != legacy %d", pr.op, got, pr.want)
+		}
+		if h := m.OpLatency[pr.op]; h.Count != pr.want {
+			t.Errorf("%v: latency count %d != op count %d", pr.op, h.Count, pr.want)
+		}
+	}
+	// Per-proc snapshots sum to the cluster aggregate.
+	var perProc uint64
+	for _, p := range cl.procs {
+		perProc += p.Snapshot().Ops.Total()
+	}
+	if perProc != m.Ops.Total() {
+		t.Errorf("per-proc sum %d != cluster total %d", perProc, m.Ops.Total())
+	}
+	// Spaces: default space 0 plus the collectively created space 1.
+	if len(m.Spaces) != 2 || m.Spaces[1].Protocol != "sc" {
+		t.Errorf("spaces: %+v", m.Spaces)
+	}
+	if m.Net.MsgsSent == 0 || m.Net.MsgsSent != m.Net.MsgsRecv {
+		t.Errorf("net totals inconsistent: %+v", m.Net)
+	}
+	if m.Net.Deliver.Count == 0 {
+		t.Error("no send→deliver latency samples with metrics enabled")
+	}
+}
+
+// TestSnapshotDuringRun reads metrics concurrently with the processors'
+// execution; under -race this checks the snapshot path against the
+// bracket hot path.
+func TestSnapshotDuringRun(t *testing.T) {
+	cl, err := NewCluster(Options{Procs: 4, Trace: &trace.Config{Metrics: true, Events: 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = cl.Metrics()
+				_ = cl.TraceEvents()
+			}
+		}
+	}()
+	err = cl.Run(func(p *Proc) error {
+		var id RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(p.DefaultSpace(), 8)
+		}
+		id = p.BroadcastID(0, id)
+		r := p.Map(id)
+		for i := 0; i < 200; i++ {
+			p.StartWrite(r)
+			p.EndWrite(r)
+			p.StartRead(r)
+			p.EndRead(r)
+		}
+		p.GlobalBarrier()
+		return nil
+	})
+	close(stop)
+	reader.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Metrics().Ops.Get(trace.OpStartWrite); got != 4*200 {
+		t.Errorf("start_write = %d, want %d", got, 4*200)
+	}
+	if len(cl.TraceEvents()) == 0 {
+		t.Error("no events retained")
+	}
+}

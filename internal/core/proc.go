@@ -6,6 +6,7 @@ import (
 
 	"github.com/acedsm/ace/internal/amnet"
 	"github.com/acedsm/ace/internal/memory"
+	"github.com/acedsm/ace/internal/trace"
 )
 
 // Proc is one logical processor's handle on the runtime. All methods are
@@ -41,6 +42,7 @@ type Proc struct {
 	collAcc  map[uint64]*collAcc
 
 	stats OpStats
+	rec   *trace.Recorder
 }
 
 type waiter struct{ ch chan amnet.Msg }
@@ -61,6 +63,7 @@ func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
 		waiters:  make(map[uint64]*waiter),
 		collGot:  make(map[uint64][]byte),
 		collWait: make(map[uint64]uint64),
+		rec:      trace.NewRecorder(int(ep.ID()), c.opts.Trace),
 	}
 	p.ctx = &Ctx{p: p}
 	if p.id == 0 {
@@ -94,10 +97,25 @@ func (p *Proc) DefaultSpace() *Space {
 }
 
 // Stats returns a copy of this processor's operation counters.
+//
+// Deprecated: use Snapshot, which carries the same counts keyed by
+// space and protocol plus invocation latency (when Options.Trace
+// enables them) and this processor's network traffic.
 func (p *Proc) Stats() OpStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// Snapshot returns this processor's observability snapshot: per-space
+// operation counts and latency histograms (populated when Options.Trace
+// enabled metrics) plus this endpoint's traffic counters (always live).
+// It may be called concurrently with the processor's execution; the ops
+// half is then a momentary view.
+func (p *Proc) Snapshot() trace.Metrics {
+	m := p.rec.Snapshot()
+	m.Net = p.ep.Stats().Snapshot()
+	return m
 }
 
 // addSpace creates a space locally. Caller holds p.mu and guarantees the
@@ -114,6 +132,7 @@ func (p *Proc) addSpace(protoName string) *Space {
 		proc:      p,
 	}
 	p.spaces = append(p.spaces, sp)
+	p.rec.AddSpace(sp.ID, protoName)
 	sp.Proto.InitSpace(p.ctx, sp)
 	return sp
 }
@@ -141,8 +160,10 @@ func (p *Proc) GMalloc(sp *Space, size int) RegionID {
 	if size <= 0 {
 		panic(fmt.Sprintf("core: GMalloc size %d", size))
 	}
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpGMalloc, sp.ID, t)
 	p.nextSeq++
 	id := memory.MakeID(int32(p.id), p.nextSeq)
 	r := &Region{
@@ -164,6 +185,7 @@ func (p *Proc) GMalloc(sp *Space, size int) RegionID {
 // is the first encounter. The data is not necessarily valid until a
 // StartRead or StartWrite.
 func (p *Proc) Map(id RegionID) *Region {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Maps++
@@ -173,6 +195,7 @@ func (p *Proc) Map(id RegionID) *Region {
 	}
 	r.MapCount++
 	r.Space.Proto.Map(p.ctx, r)
+	p.rec.End(trace.OpMap, r.Space.ID, t)
 	return r
 }
 
@@ -213,8 +236,10 @@ func (p *Proc) materialize(id RegionID, size, spaceID int) *Region {
 // Unmap releases one map of r. Cached data survives unmapping and remains
 // under coherence (CRL-style unmapped-region caching).
 func (p *Proc) Unmap(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpUnmap, r.Space.ID, t)
 	p.stats.Unmaps++
 	if r.MapCount <= 0 {
 		panic(fmt.Sprintf("core: proc %d: unmap of unmapped region %v", p.id, r.ID))
@@ -226,8 +251,10 @@ func (p *Proc) Unmap(r *Region) {
 // StartRead opens a read section on r. On return r.Data is valid for
 // reading under the space's protocol.
 func (p *Proc) StartRead(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpStartRead, r.Space.ID, t)
 	p.stats.StartReads++
 	r.Space.Proto.StartRead(p.ctx, r)
 	r.Readers++
@@ -235,8 +262,10 @@ func (p *Proc) StartRead(r *Region) {
 
 // EndRead closes a read section on r.
 func (p *Proc) EndRead(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpEndRead, r.Space.ID, t)
 	p.stats.EndReads++
 	if r.Readers <= 0 {
 		panic(fmt.Sprintf("core: proc %d: EndRead without StartRead on %v", p.id, r.ID))
@@ -248,8 +277,10 @@ func (p *Proc) EndRead(r *Region) {
 // StartWrite opens a write section on r. On return r.Data is valid for
 // writing under the space's protocol.
 func (p *Proc) StartWrite(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpStartWrite, r.Space.ID, t)
 	p.stats.StartWrites++
 	r.Space.Proto.StartWrite(p.ctx, r)
 	r.Writers++
@@ -257,8 +288,10 @@ func (p *Proc) StartWrite(r *Region) {
 
 // EndWrite closes a write section on r.
 func (p *Proc) EndWrite(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpEndWrite, r.Space.ID, t)
 	p.stats.EndWrites++
 	if r.Writers <= 0 {
 		panic(fmt.Sprintf("core: proc %d: EndWrite without StartWrite on %v", p.id, r.ID))
@@ -270,8 +303,10 @@ func (p *Proc) EndWrite(r *Region) {
 // Barrier executes a barrier with the semantics of sp's protocol (for
 // example, a static update protocol propagates updates here).
 func (p *Proc) Barrier(sp *Space) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpBarrier, sp.ID, t)
 	p.stats.Barriers++
 	sp.Proto.Barrier(p.ctx, sp)
 }
@@ -286,16 +321,20 @@ func (p *Proc) GlobalBarrier() {
 // Lock acquires the region lock with the semantics of the region's
 // protocol.
 func (p *Proc) Lock(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpLock, r.Space.ID, t)
 	p.stats.Locks++
 	r.Space.Proto.Lock(p.ctx, r)
 }
 
 // Unlock releases the region lock.
 func (p *Proc) Unlock(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpUnlock, r.Space.ID, t)
 	p.stats.Unlocks++
 	r.Space.Proto.Unlock(p.ctx, r)
 }
@@ -324,8 +363,10 @@ func (p *Proc) ChangeProtocol(sp *Space, protoName string) error {
 	if err := p.verifyCollective(fmt.Sprintf("chgproto:%d:%s", sp.ID, protoName)); err != nil {
 		return err
 	}
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpChangeProtocol, sp.ID, t)
 	p.stats.ProtocolChanges++
 	p.ctx.DefaultBarrier()
 	sp.Proto.FlushSpace(p.ctx, sp)
@@ -350,6 +391,7 @@ func (p *Proc) ChangeProtocol(sp *Space, protoName string) error {
 	sp.ProtoName = protoName
 	sp.Epoch++
 	sp.PData = nil
+	p.rec.SetProtocol(sp.ID, protoName)
 	sp.Proto.InitSpace(p.ctx, sp)
 	p.ctx.DefaultBarrier()
 	return nil
@@ -479,32 +521,40 @@ func (s OpStats) Add(o OpStats) OpStats {
 
 // StartReadBare opens a read section without bookkeeping.
 func (p *Proc) StartReadBare(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpStartRead, r.Space.ID, t)
 	p.stats.StartReads++
 	r.Space.Proto.StartRead(p.ctx, r)
 }
 
 // EndReadBare closes a read section without bookkeeping.
 func (p *Proc) EndReadBare(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpEndRead, r.Space.ID, t)
 	p.stats.EndReads++
 	r.Space.Proto.EndRead(p.ctx, r)
 }
 
 // StartWriteBare opens a write section without bookkeeping.
 func (p *Proc) StartWriteBare(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpStartWrite, r.Space.ID, t)
 	p.stats.StartWrites++
 	r.Space.Proto.StartWrite(p.ctx, r)
 }
 
 // EndWriteBare closes a write section without bookkeeping.
 func (p *Proc) EndWriteBare(r *Region) {
+	t := p.rec.Begin()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.rec.End(trace.OpEndWrite, r.Space.ID, t)
 	p.stats.EndWrites++
 	r.Space.Proto.EndWrite(p.ctx, r)
 }

@@ -28,6 +28,7 @@ import (
 
 	"github.com/acedsm/ace/internal/amnet"
 	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/trace"
 )
 
 // Options configures a CRL cluster.
@@ -84,7 +85,14 @@ func (c *Cluster) Run(fn func(p *Proc) error) error {
 // Close shuts the cluster down.
 func (c *Cluster) Close() error { return c.inner.Close() }
 
+// Metrics aggregates the observability snapshot across all processors
+// (quiescent clusters only). CRL does not expose Options.Trace, so only
+// the network half is populated.
+func (c *Cluster) Metrics() trace.Metrics { return c.inner.Metrics() }
+
 // NetSnapshot aggregates traffic counters (quiescent clusters only).
+//
+// Deprecated: use Metrics, whose Net field carries the same counters.
 func (c *Cluster) NetSnapshot() amnet.Snapshot { return c.inner.NetSnapshot() }
 
 // Region is a CRL region handle: rgn_map's return value.

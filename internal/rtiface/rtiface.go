@@ -5,16 +5,31 @@
 package rtiface
 
 import (
-	"errors"
 	"fmt"
 
 	"github.com/acedsm/ace/internal/core"
 	"github.com/acedsm/ace/internal/crl"
 )
 
-// ErrUnsupported reports that a runtime lacks a capability (CRL has no
-// spaces or customizable protocols).
-var ErrUnsupported = errors.New("rtiface: operation not supported by this runtime")
+// Capability is a bitset of optional runtime facilities. Benchmarks
+// probe Capabilities once up front instead of handling per-call
+// "unsupported" errors (the old ErrUnsupported sentinel).
+type Capability uint32
+
+// The optional facilities.
+const (
+	// CapSpaces: the runtime has spaces (NewSpace, MallocIn,
+	// BarrierSpace via SpaceRT).
+	CapSpaces Capability = 1 << iota
+	// CapCustomProtocols: spaces may bind protocols other than the
+	// default sequentially consistent one.
+	CapCustomProtocols
+	// CapChangeProtocol: a space's protocol may be switched at runtime.
+	CapChangeProtocol
+)
+
+// Has reports whether c includes every capability in want.
+func (c Capability) Has(want Capability) bool { return c&want == want }
 
 // Handle is an opaque mapped-region handle.
 type Handle interface {
@@ -57,6 +72,10 @@ type RT interface {
 
 	// Name identifies the runtime ("ace" or "crl") for reporting.
 	Name() string
+
+	// Capabilities reports the optional facilities this runtime
+	// supports. A runtime reporting CapSpaces also implements SpaceRT.
+	Capabilities() Capability
 }
 
 // SpaceRT extends RT with Ace's space and protocol facilities. Benchmarks
@@ -84,6 +103,12 @@ func NewAce(p *core.Proc) *AceRT { return &AceRT{P: p} }
 
 // Name returns "ace".
 func (a *AceRT) Name() string { return "ace" }
+
+// Capabilities: Ace has spaces, customizable protocols and runtime
+// protocol changes.
+func (a *AceRT) Capabilities() Capability {
+	return CapSpaces | CapCustomProtocols | CapChangeProtocol
+}
 
 func (a *AceRT) ID() int    { return a.P.ID() }
 func (a *AceRT) Procs() int { return a.P.Procs() }
@@ -170,6 +195,10 @@ func NewCRL(p *crl.Proc) *CRLRT { return &CRLRT{P: p} }
 
 // Name returns "crl".
 func (c *CRLRT) Name() string { return "crl" }
+
+// Capabilities: CRL has none of the optional facilities (one fixed
+// protocol, no spaces).
+func (c *CRLRT) Capabilities() Capability { return 0 }
 
 func (c *CRLRT) ID() int    { return c.P.ID() }
 func (c *CRLRT) Procs() int { return c.P.Procs() }

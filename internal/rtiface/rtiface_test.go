@@ -97,7 +97,11 @@ func TestAdapterNamesAndSpaces(t *testing.T) {
 		if rt.Name() != "ace" {
 			return fmt.Errorf("name = %q", rt.Name())
 		}
-		// SpaceRT capabilities.
+		// The capability bitset advertises the full space machinery.
+		caps := rt.Capabilities()
+		if !caps.Has(rtiface.CapSpaces | rtiface.CapCustomProtocols | rtiface.CapChangeProtocol) {
+			return fmt.Errorf("ace capabilities = %b", caps)
+		}
 		var srt rtiface.SpaceRT = rt
 		sp, err := srt.NewSpace("update")
 		if err != nil {
@@ -138,6 +142,10 @@ func TestCRLHasNoSpaces(t *testing.T) {
 		}
 		if _, ok := any(rt).(rtiface.SpaceRT); ok {
 			return fmt.Errorf("CRL adapter must not claim SpaceRT")
+		}
+		if caps := rt.Capabilities(); caps.Has(rtiface.CapSpaces) ||
+			caps.Has(rtiface.CapCustomProtocols) || caps.Has(rtiface.CapChangeProtocol) {
+			return fmt.Errorf("CRL capabilities = %b, want none", caps)
 		}
 		return nil
 	})

@@ -35,22 +35,31 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)-1))
 }
 
-// Min returns the minimum of xs (+Inf for empty input).
-func Min(xs []float64) float64 {
-	m := math.Inf(1)
-	for _, x := range xs {
+// Min returns the minimum of xs. For empty input it returns 0 with
+// ok=false (instead of the +Inf sentinel it used to return, which leaked
+// into reports when a sweep produced no samples).
+func Min(xs []float64) (m float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m = xs[0]
+	for _, x := range xs[1:] {
 		m = math.Min(m, x)
 	}
-	return m
+	return m, true
 }
 
-// Max returns the maximum of xs (-Inf for empty input).
-func Max(xs []float64) float64 {
-	m := math.Inf(-1)
-	for _, x := range xs {
+// Max returns the maximum of xs. For empty input it returns 0 with
+// ok=false.
+func Max(xs []float64) (m float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m = xs[0]
+	for _, x := range xs[1:] {
 		m = math.Max(m, x)
 	}
-	return m
+	return m, true
 }
 
 // Table renders rows of columns with aligned widths.

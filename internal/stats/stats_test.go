@@ -28,11 +28,16 @@ func TestStdDev(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	xs := []float64{3, -1, 7, 2}
-	if Min(xs) != -1 || Max(xs) != 7 {
-		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	mn, ok1 := Min(xs)
+	mx, ok2 := Max(xs)
+	if mn != -1 || mx != 7 || !ok1 || !ok2 {
+		t.Errorf("Min/Max = %v,%v / %v,%v", mn, ok1, mx, ok2)
 	}
-	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
-		t.Error("empty Min/Max should be infinities")
+	if mn, ok := Min(nil); mn != 0 || ok {
+		t.Errorf("Min(nil) = %v, %v, want 0, false", mn, ok)
+	}
+	if mx, ok := Max(nil); mx != 0 || ok {
+		t.Errorf("Max(nil) = %v, %v, want 0, false", mx, ok)
 	}
 }
 
@@ -47,7 +52,9 @@ func TestMeanBoundsProperty(t *testing.T) {
 			}
 		}
 		m := Mean(xs)
-		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return m >= mn-1e-9 && m <= mx+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

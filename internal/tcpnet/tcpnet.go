@@ -145,8 +145,11 @@ func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) {
 	e.handlers[id] = fn
 }
 
-// frame layout: [u32 total][i32 dst][i32 src][u16 handler][4 × u64][payload].
-const frameHeader = 4 + 4 + 4 + 2 + 32
+// frame layout: [u32 total][i32 dst][i32 src][u16 handler][4 × u64]
+// [i64 send stamp][payload]. The send stamp is on the sender's trace
+// clock (0 when latency sampling is off); it is meaningful because this
+// network's nodes share one process.
+const frameHeader = 4 + 4 + 4 + 2 + 32 + 8
 
 // Send encodes and writes the message on the destination's connection.
 // TCP gives per-connection FIFO, matching the fabric contract.
@@ -162,6 +165,7 @@ func (e *endpoint) Send(m amnet.Msg) {
 	binary.LittleEndian.PutUint64(buf[22:], m.B)
 	binary.LittleEndian.PutUint64(buf[30:], m.C)
 	binary.LittleEndian.PutUint64(buf[38:], m.D)
+	binary.LittleEndian.PutUint64(buf[46:], uint64(e.stats.SendStamp()))
 	copy(buf[frameHeader:], m.Payload)
 	s := e.out[m.Dst]
 	s.mu.Lock()
@@ -200,10 +204,11 @@ func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
 				C:       binary.LittleEndian.Uint64(body[26:]),
 				D:       binary.LittleEndian.Uint64(body[34:]),
 			}
+			sent := int64(binary.LittleEndian.Uint64(body[42:]))
 			if len(body) > frameHeader-4 {
 				m.Payload = body[frameHeader-4:]
 			}
-			e.box.push(m)
+			e.box.push(frame{msg: m, sent: sent})
 		}
 	}()
 }
@@ -212,10 +217,12 @@ func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
 func (e *endpoint) pump(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
-		m, ok := e.box.pop()
+		f, ok := e.box.pop()
 		if !ok {
 			return
 		}
+		e.stats.ObserveDeliver(f.sent)
+		m := f.msg
 		e.countRecv(m)
 		h := e.handlers[m.Handler]
 		if h == nil {
@@ -226,14 +233,18 @@ func (e *endpoint) pump(wg *sync.WaitGroup) {
 }
 
 func (e *endpoint) countSend(m amnet.Msg) {
-	e.stats.MsgsSent.Add(1)
-	e.stats.BytesSent.Add(uint64(frameHeader + len(m.Payload)))
+	e.stats.CountSend(frameHeader + len(m.Payload))
 }
 
 func (e *endpoint) countRecv(m amnet.Msg) {
-	e.stats.MsgsRecv.Add(1)
-	e.stats.BytesRecv.Add(uint64(frameHeader + len(m.Payload)))
-	e.stats.PerHandler[m.Handler].Add(1)
+	e.stats.CountRecv(uint16(m.Handler), frameHeader+len(m.Payload))
+}
+
+// frame is a decoded message plus its sender's trace-clock stamp (0 when
+// latency sampling was off at the sender).
+type frame struct {
+	msg  amnet.Msg
+	sent int64
 }
 
 // queue is an unbounded MPSC mailbox (the no-deadlock property of the
@@ -241,7 +252,7 @@ func (e *endpoint) countRecv(m amnet.Msg) {
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []amnet.Msg
+	items  []frame
 	closed bool
 }
 
@@ -251,31 +262,31 @@ func newQueue() *queue {
 	return q
 }
 
-func (q *queue) push(m amnet.Msg) {
+func (q *queue) push(f frame) {
 	q.mu.Lock()
 	if !q.closed {
-		q.items = append(q.items, m)
+		q.items = append(q.items, f)
 	}
 	q.mu.Unlock()
 	q.cond.Signal()
 }
 
-func (q *queue) pop() (amnet.Msg, bool) {
+func (q *queue) pop() (frame, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {
-		return amnet.Msg{}, false
+		return frame{}, false
 	}
-	m := q.items[0]
-	q.items[0] = amnet.Msg{}
+	f := q.items[0]
+	q.items[0] = frame{}
 	q.items = q.items[1:]
 	if len(q.items) == 0 && cap(q.items) > 1024 {
 		q.items = nil
 	}
-	return m, true
+	return f, true
 }
 
 func (q *queue) close() {

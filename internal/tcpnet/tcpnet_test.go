@@ -128,3 +128,60 @@ func TestInvalidCount(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// TestStatsMatchTraffic asserts the endpoint counters agree exactly with
+// the frames a loopback exchange actually put on the wire.
+func TestStatsMatchTraffic(t *testing.T) {
+	nw, err := NewLoopbackNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	eps := nw.Endpoints()
+	eps[0].Stats().EnableLatencySampling(true)
+
+	const n = 50
+	payloads := []int{0, 1, 7, 64, 1024}
+	wantBytes := uint64(0)
+	done := make(chan struct{})
+	seen := 0
+	eps[1].Register(5, func(m amnet.Msg) {
+		seen++
+		if seen == n {
+			close(done)
+		}
+	})
+	for i := 0; i < n; i++ {
+		pl := payloads[i%len(payloads)]
+		eps[0].Send(amnet.Msg{Dst: 1, Handler: 5, A: uint64(i), Payload: make([]byte, pl)})
+		wantBytes += uint64(frameHeader + pl)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d of %d delivered", seen, n)
+	}
+
+	sent := eps[0].Stats().Snapshot()
+	recv := eps[1].Stats().Snapshot()
+	if sent.MsgsSent != n {
+		t.Errorf("MsgsSent = %d, want %d", sent.MsgsSent, n)
+	}
+	if sent.BytesSent != wantBytes {
+		t.Errorf("BytesSent = %d, want %d", sent.BytesSent, wantBytes)
+	}
+	if recv.MsgsRecv != n {
+		t.Errorf("MsgsRecv = %d, want %d", recv.MsgsRecv, n)
+	}
+	if recv.BytesRecv != wantBytes {
+		t.Errorf("BytesRecv = %d, want %d", recv.BytesRecv, wantBytes)
+	}
+	if got := eps[1].Stats().PerHandler[5].Load(); got != n {
+		t.Errorf("PerHandler[5] = %d, want %d", got, n)
+	}
+	// Sampling was enabled on the sender: the receiver observed the
+	// stamped frames.
+	if recv.Deliver.Count != n {
+		t.Errorf("deliver samples = %d, want %d", recv.Deliver.Count, n)
+	}
+}

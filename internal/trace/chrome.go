@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file exports event rings in the Chrome trace_event JSON format
+// (the "JSON Array Format" with a traceEvents wrapper), loadable in
+// chrome://tracing and https://ui.perfetto.dev. Each bracketed runtime
+// operation becomes one complete ("X") event; processors appear as
+// threads of a single "ace" process, so the per-processor timelines
+// stack in the viewer.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events as Chrome trace_event JSON. Events may
+// come from multiple processors' rings in any order; they are sorted by
+// start time. procs, when positive, emits thread-name metadata for
+// processors 0..procs-1 so the viewer labels the rows.
+func WriteChromeTrace(w io.Writer, events []Event, procs int) error {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	out.TraceEvents = make([]chromeEvent, 0, len(sorted)+procs+1)
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 0,
+		Args: map[string]any{"name": "ace"},
+	})
+	for p := 0; p < procs; p++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: p,
+			Args: map[string]any{"name": "proc " + strconv.Itoa(p)},
+		})
+	}
+	for _, ev := range sorted {
+		ce := chromeEvent{
+			Name: ev.Op.String(),
+			Cat:  "op",
+			Ph:   "X",
+			TS:   float64(ev.TS) / 1e3,
+			Dur:  float64(ev.Dur) / 1e3,
+			PID:  0,
+			TID:  int(ev.Proc),
+		}
+		if ev.Space >= 0 {
+			ce.Args = map[string]any{"space": int(ev.Space), "proto": ev.Proto}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,104 @@
+package trace
+
+// OpCounts is a plain-value vector of per-operation invocation counts,
+// indexable by Op.
+type OpCounts [NumOps]uint64
+
+// Get returns the count for op.
+func (c OpCounts) Get(op Op) uint64 {
+	if op < NumOps {
+		return c[op]
+	}
+	return 0
+}
+
+// Total returns the sum over all operations.
+func (c OpCounts) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Add returns the element-wise sum of two count vectors.
+func (c OpCounts) Add(o OpCounts) OpCounts {
+	for i := range c {
+		c[i] += o[i]
+	}
+	return c
+}
+
+// Sub returns the element-wise difference c - o.
+func (c OpCounts) Sub(o OpCounts) OpCounts {
+	for i := range c {
+		c[i] -= o[i]
+	}
+	return c
+}
+
+// SpaceMetrics is one space's metrics on one processor (or, after
+// aggregation, across processors).
+type SpaceMetrics struct {
+	// Space is the space id.
+	Space int
+	// Protocol is the space's protocol name at snapshot time.
+	Protocol string
+	// Ops counts protocol invocations on the space.
+	Ops OpCounts
+	// Latency holds one invocation-latency histogram per operation.
+	Latency [NumOps]Histogram
+}
+
+func (m SpaceMetrics) merge(o SpaceMetrics) SpaceMetrics {
+	m.Ops = m.Ops.Add(o.Ops)
+	for i := range m.Latency {
+		m.Latency[i] = m.Latency[i].Add(o.Latency[i])
+	}
+	if m.Protocol == "" {
+		m.Protocol = o.Protocol
+	}
+	return m
+}
+
+// Metrics is the unified observability snapshot: operation counts and
+// latencies (total and per space) plus network traffic. It is the value
+// returned by the public instrumentation API (Proc.Snapshot,
+// Cluster.Metrics).
+type Metrics struct {
+	// Ops counts protocol invocations across all spaces.
+	Ops OpCounts
+	// OpLatency aggregates invocation latency across all spaces.
+	OpLatency [NumOps]Histogram
+	// Spaces breaks the counts down by space and protocol.
+	Spaces []SpaceMetrics
+	// Net aggregates the endpoint traffic counters.
+	Net NetSnapshot
+}
+
+// Add merges two metrics snapshots: counts and histograms sum, and
+// per-space entries merge by space id.
+func (m Metrics) Add(o Metrics) Metrics {
+	m.Ops = m.Ops.Add(o.Ops)
+	for i := range m.OpLatency {
+		m.OpLatency[i] = m.OpLatency[i].Add(o.OpLatency[i])
+	}
+	merged := make([]SpaceMetrics, len(m.Spaces))
+	copy(merged, m.Spaces)
+	for _, osp := range o.Spaces {
+		found := false
+		for i := range merged {
+			if merged[i].Space == osp.Space {
+				merged[i] = merged[i].merge(osp)
+				found = true
+				break
+			}
+		}
+		if !found {
+			merged = append(merged, osp)
+		}
+	}
+	m.Spaces = merged
+	m.Net = m.Net.Add(o.Net)
+	return m
+}

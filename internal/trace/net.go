@@ -1,0 +1,114 @@
+package trace
+
+import "sync/atomic"
+
+// MaxHandlers bounds the per-handler receive breakdown; it matches the
+// network fabric's handler-table size (amnet.MaxHandlers is defined as
+// this constant).
+const MaxHandlers = 256
+
+// NetStats is one network endpoint's traffic telemetry: message and byte
+// counters for both directions, a per-handler receive breakdown, and a
+// sampled send→deliver latency histogram. All updates are atomic; the
+// struct may be read while the network is live, but a consistent
+// snapshot requires the network to be quiescent (for example, inside a
+// barrier).
+type NetStats struct {
+	MsgsSent  atomic.Uint64
+	BytesSent atomic.Uint64
+	MsgsRecv  atomic.Uint64
+	BytesRecv atomic.Uint64
+
+	// PerHandler counts messages received per handler id.
+	PerHandler [MaxHandlers]atomic.Uint64
+
+	sampling atomic.Bool
+	deliver  hist
+}
+
+// CountSend records one sent message of the given wire footprint.
+func (s *NetStats) CountSend(wire int) {
+	s.MsgsSent.Add(1)
+	s.BytesSent.Add(uint64(wire))
+}
+
+// CountRecv records one received message of the given wire footprint,
+// destined for the given handler.
+func (s *NetStats) CountRecv(handler uint16, wire int) {
+	s.MsgsRecv.Add(1)
+	s.BytesRecv.Add(uint64(wire))
+	if int(handler) < MaxHandlers {
+		s.PerHandler[handler].Add(1)
+	}
+}
+
+// EnableLatencySampling switches send→deliver latency sampling on or
+// off. Off (the default) makes SendStamp free apart from one atomic
+// load.
+func (s *NetStats) EnableLatencySampling(on bool) { s.sampling.Store(on) }
+
+// SendStamp returns a send timestamp to attach to an outgoing message,
+// or 0 when latency sampling is disabled. Transports carry the stamp to
+// the destination and hand it to the receiving endpoint's
+// ObserveDeliver.
+func (s *NetStats) SendStamp() int64 {
+	if !s.sampling.Load() {
+		return 0
+	}
+	return Now()
+}
+
+// ObserveDeliver records the send→deliver latency of a message stamped
+// with sentNS at its source. A zero stamp (sampling disabled at send
+// time) is ignored. Timestamps are on the process-local trace clock, so
+// the measurement is meaningful for in-process transports (the channel
+// network and the loopback TCP network).
+func (s *NetStats) ObserveDeliver(sentNS int64) {
+	if sentNS == 0 {
+		return
+	}
+	s.deliver.observe(Now() - sentNS)
+}
+
+// Snapshot returns the current counter values.
+func (s *NetStats) Snapshot() NetSnapshot {
+	return NetSnapshot{
+		MsgsSent:  s.MsgsSent.Load(),
+		BytesSent: s.BytesSent.Load(),
+		MsgsRecv:  s.MsgsRecv.Load(),
+		BytesRecv: s.BytesRecv.Load(),
+		Deliver:   s.deliver.snapshot(),
+	}
+}
+
+// NetSnapshot is a plain-value copy of NetStats suitable for arithmetic.
+type NetSnapshot struct {
+	MsgsSent, BytesSent uint64
+	MsgsRecv, BytesRecv uint64
+
+	// Deliver is the sampled send→deliver latency distribution of
+	// messages received by this endpoint.
+	Deliver Histogram
+}
+
+// Sub returns the element-wise difference s - o.
+func (s NetSnapshot) Sub(o NetSnapshot) NetSnapshot {
+	return NetSnapshot{
+		MsgsSent:  s.MsgsSent - o.MsgsSent,
+		BytesSent: s.BytesSent - o.BytesSent,
+		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
+		BytesRecv: s.BytesRecv - o.BytesRecv,
+		Deliver:   s.Deliver.Sub(o.Deliver),
+	}
+}
+
+// Add returns the element-wise sum s + o.
+func (s NetSnapshot) Add(o NetSnapshot) NetSnapshot {
+	return NetSnapshot{
+		MsgsSent:  s.MsgsSent + o.MsgsSent,
+		BytesSent: s.BytesSent + o.BytesSent,
+		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
+		BytesRecv: s.BytesRecv + o.BytesRecv,
+		Deliver:   s.Deliver.Add(o.Deliver),
+	}
+}

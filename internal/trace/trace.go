@@ -1,0 +1,286 @@
+// Package trace is the Ace runtime's unified observability layer: one
+// subsystem holding the counters, latency histograms and event traces
+// that were previously scattered across core.OpStats, amnet.Stats and
+// ad-hoc bench counters.
+//
+// Three surfaces:
+//
+//   - Recorder: per-processor monotonic counters and latency histograms
+//     for every protocol invocation point (Map, Unmap, StartRead, ...,
+//     Barrier, Lock, Unlock), keyed by space and protocol name.
+//   - NetStats: per-endpoint message/byte counters with per-handler
+//     breakdown and sampled send→deliver latency.
+//   - A bounded per-processor event ring exported as Chrome trace_event
+//     JSON, so a whole run can be inspected in chrome://tracing or
+//     Perfetto (see WriteChromeTrace).
+//
+// All hot-path entry points are nil-safe, allocation-free, and guarded
+// by an atomic enable flag: with instrumentation disabled a bracket
+// costs one atomic load and one branch.
+//
+// Snapshots (Metrics, NetSnapshot, Histogram) are plain values safe to
+// copy, compare and aggregate; live state (Recorder, NetStats) is
+// updated with atomics and may be snapshotted concurrently with use.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op names an instrumented runtime primitive. The first eleven mirror
+// the legacy core.OpStats fields one for one.
+type Op uint8
+
+// The instrumented operations.
+const (
+	OpGMalloc Op = iota
+	OpMap
+	OpUnmap
+	OpStartRead
+	OpEndRead
+	OpStartWrite
+	OpEndWrite
+	OpBarrier
+	OpLock
+	OpUnlock
+	OpChangeProtocol
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"gmalloc", "map", "unmap", "start_read", "end_read",
+	"start_write", "end_write", "barrier", "lock", "unlock",
+	"change_protocol",
+}
+
+func (o Op) String() string {
+	if o < NumOps {
+		return opNames[o]
+	}
+	return "invalid_op"
+}
+
+// Config selects what the observability layer records. A nil *Config
+// anywhere in the API means "disabled".
+type Config struct {
+	// Metrics enables per-space operation counters and latency
+	// histograms, and send→deliver latency sampling on the network
+	// endpoints.
+	Metrics bool
+
+	// Events, when positive, is the per-processor event ring capacity:
+	// the last Events bracketed operations per processor are retained
+	// and exported by WriteChromeTrace. Zero disables event tracing.
+	// Event tracing implies metrics collection.
+	Events int
+}
+
+// epoch anchors the package's monotonic clock. All trace timestamps are
+// nanoseconds since process start, comparable across goroutines (and
+// across the in-process network transports).
+var epoch = time.Now()
+
+// Now returns the current trace timestamp in nanoseconds.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// Event is one completed bracketed operation in the event ring.
+type Event struct {
+	// TS is the operation's start, in nanoseconds since the trace epoch.
+	TS int64
+	// Dur is the operation's duration in nanoseconds.
+	Dur int64
+	// Proc is the processor the operation ran on.
+	Proc int32
+	// Space is the space the operation addressed (-1 if none).
+	Space int32
+	// Op is the operation.
+	Op Op
+	// Proto is the space's protocol name at the time of the operation.
+	Proto string
+}
+
+// spaceCounters is the live per-space state: one counter and one
+// histogram per operation, plus the protocol name (swapped atomically on
+// ChangeProtocol).
+type spaceCounters struct {
+	proto atomic.Pointer[string]
+	ops   [NumOps]atomic.Uint64
+	lat   [NumOps]hist
+}
+
+// Recorder collects one processor's operation metrics and events. The
+// zero value and the nil pointer are valid, permanently disabled
+// recorders. Begin/End are safe to call from any goroutine; AddSpace and
+// SetProtocol must be externally ordered with respect to End calls that
+// name the space (the runtime guarantees this: spaces are created before
+// they are used).
+type Recorder struct {
+	proc    int32
+	enabled atomic.Bool
+	spaces  atomic.Pointer[[]*spaceCounters]
+
+	evOn   atomic.Bool
+	mu     sync.Mutex // guards the ring and space growth
+	events []Event
+	evNext uint64
+}
+
+// NewRecorder creates the recorder for processor proc under cfg. A nil
+// or all-zero cfg yields a disabled recorder that still tracks space
+// names (so enabling later via Enable observes a correct space table).
+func NewRecorder(proc int, cfg *Config) *Recorder {
+	r := &Recorder{proc: int32(proc)}
+	if cfg != nil && (cfg.Metrics || cfg.Events > 0) {
+		r.enabled.Store(true)
+		if cfg.Events > 0 {
+			r.events = make([]Event, cfg.Events)
+			r.evOn.Store(true)
+		}
+	}
+	return r
+}
+
+// Enable switches metric collection on or off at runtime.
+func (r *Recorder) Enable(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether the recorder is collecting.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// AddSpace registers space id with the given protocol name. Spaces are
+// dense, created in id order; AddSpace is idempotent for already-known
+// ids.
+func (r *Recorder) AddSpace(id int, proto string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var cur []*spaceCounters
+	if p := r.spaces.Load(); p != nil {
+		cur = *p
+	}
+	if id < len(cur) {
+		return
+	}
+	// Copy-on-write so End may index the slice with a bare atomic load.
+	grown := make([]*spaceCounters, id+1)
+	copy(grown, cur)
+	for i := len(cur); i <= id; i++ {
+		sc := &spaceCounters{}
+		name := proto
+		sc.proto.Store(&name)
+		grown[i] = sc
+	}
+	r.spaces.Store(&grown)
+}
+
+// SetProtocol records that space id switched to the named protocol.
+func (r *Recorder) SetProtocol(id int, proto string) {
+	if r == nil {
+		return
+	}
+	if p := r.spaces.Load(); p != nil && id >= 0 && id < len(*p) {
+		(*p)[id].proto.Store(&proto)
+	}
+}
+
+// Begin opens a bracketed operation, returning a timestamp token to pass
+// to End. It returns 0 when the recorder is disabled, which makes the
+// matching End a single branch. Zero-allocation.
+func (r *Recorder) Begin() int64 {
+	if r == nil || !r.enabled.Load() {
+		return 0
+	}
+	return Now()
+}
+
+// End closes a bracketed operation started at begin, attributing it to
+// op on the given space (-1 for no space). A zero begin (disabled
+// recorder) returns immediately. Zero-allocation.
+func (r *Recorder) End(op Op, space int, begin int64) {
+	if begin == 0 {
+		return
+	}
+	end := Now()
+	d := end - begin
+	if d < 0 {
+		d = 0
+	}
+	var proto string
+	if p := r.spaces.Load(); p != nil && space >= 0 && space < len(*p) {
+		sc := (*p)[space]
+		sc.ops[op].Add(1)
+		sc.lat[op].observe(d)
+		proto = *sc.proto.Load()
+	}
+	if r.evOn.Load() {
+		r.pushEvent(Event{TS: begin, Dur: d, Proc: r.proc, Space: int32(space), Op: op, Proto: proto})
+	}
+}
+
+func (r *Recorder) pushEvent(ev Event) {
+	r.mu.Lock()
+	if n := uint64(len(r.events)); n > 0 {
+		r.events[r.evNext%n] = ev
+		r.evNext++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.events))
+	if n == 0 {
+		return nil
+	}
+	if r.evNext <= n {
+		out := make([]Event, r.evNext)
+		copy(out, r.events[:r.evNext])
+		return out
+	}
+	out := make([]Event, 0, n)
+	idx := r.evNext % n
+	out = append(out, r.events[idx:]...)
+	out = append(out, r.events[:idx]...)
+	return out
+}
+
+// Snapshot returns the recorder's metrics: per-space operation counts
+// and latency histograms plus the cross-space totals. The network half
+// of the returned Metrics is zero; callers holding the matching endpoint
+// fill it in.
+func (r *Recorder) Snapshot() Metrics {
+	var m Metrics
+	if r == nil {
+		return m
+	}
+	p := r.spaces.Load()
+	if p == nil {
+		return m
+	}
+	for id, sc := range *p {
+		sm := SpaceMetrics{Space: id, Protocol: *sc.proto.Load()}
+		for op := Op(0); op < NumOps; op++ {
+			sm.Ops[op] = sc.ops[op].Load()
+			sm.Latency[op] = sc.lat[op].snapshot()
+		}
+		m.Ops = m.Ops.Add(sm.Ops)
+		for op := Op(0); op < NumOps; op++ {
+			m.OpLatency[op] = m.OpLatency[op].Add(sm.Latency[op])
+		}
+		m.Spaces = append(m.Spaces, sm)
+	}
+	return m
+}

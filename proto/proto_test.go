@@ -177,7 +177,7 @@ func TestUpdateCheaperThanSCForProducerConsumer(t *testing.T) {
 			}
 			return nil
 		})
-		msgs = cl.NetSnapshot().MsgsSent
+		msgs = cl.Metrics().Net.MsgsSent
 		return msgs
 	}
 	sc := measure("sc")
@@ -264,7 +264,7 @@ func TestStaticUpdateNoSteadyStateMisses(t *testing.T) {
 			return err
 		}
 		if p.ID() == 0 {
-			iter1 = p.Cluster().NetSnapshot().MsgsSent
+			iter1 = p.Cluster().Metrics().Net.MsgsSent
 		}
 		p.GlobalBarrier()
 		for i := 2; i <= 6; i++ {
@@ -274,7 +274,7 @@ func TestStaticUpdateNoSteadyStateMisses(t *testing.T) {
 		}
 		p.GlobalBarrier()
 		if p.ID() == 0 {
-			iterN = p.Cluster().NetSnapshot().MsgsSent
+			iterN = p.Cluster().Metrics().Net.MsgsSent
 		}
 		return nil
 	})
