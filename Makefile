@@ -3,9 +3,9 @@ GO ?= go
 # Packages whose lock-free instrumentation paths must stay race-clean.
 RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-smoke
 
-ci: vet build test race
+ci: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,5 +19,14 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# bench regenerates the committed benchmark artifacts: the bracket
+# overhead numbers and the fabric report (BENCH_fabric.json, which keeps
+# its embedded pre-fast-path baseline for the before/after comparison).
 bench:
 	$(GO) test -bench BenchmarkBracket -benchmem -run '^$$' .
+	$(GO) run ./cmd/acebench -exp fabric -baseline BENCH_fabric.json -out BENCH_fabric.json
+
+# bench-smoke runs the fabric benchmarks briefly so CI catches a stalled
+# or asserting fast path without paying for full measurements.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkFabric' -benchtime=100ms -run '^$$' ./internal/bench

@@ -3,6 +3,7 @@
 //	acebench -exp fig7a   # Ace runtime vs CRL, sequentially consistent
 //	acebench -exp fig7b   # single protocol vs application-specific protocols
 //	acebench -exp table4  # compiler optimization levels vs hand-written code
+//	acebench -exp fabric  # message-fabric latency/throughput (BENCH_fabric.json)
 //	acebench -exp all
 //
 // Workload sizes are selected with -scale (small | default | paper) and the
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +43,8 @@ func main() {
 		app      = flag.String("app", "em3d", "benchmark for instrumented mode: "+strings.Join(bench.AppNames(), ", "))
 		custom   = flag.Bool("custom", false, "instrumented mode: use the application-specific protocol")
 		events   = flag.Int("events", 1<<16, "instrumented mode: per-processor event ring capacity for -trace")
+		out      = flag.String("out", "BENCH_fabric.json", "fabric experiment: output `file`")
+		baseline = flag.String("baseline", "", "fabric experiment: prior BENCH_fabric.json to embed as the comparison baseline")
 	)
 	flag.Parse()
 
@@ -61,12 +65,14 @@ func main() {
 		ok = runTable4(*procs)
 	case "ablation":
 		ok = runAblation(*procs)
+	case "fabric":
+		ok = runFabric(*procs, *out, *baseline)
 	case "all":
 		ok = runFig7a(w, *runs)
 		ok = runFig7b(w, *runs) && ok
 		ok = runTable4(*procs) && ok
 	default:
-		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, all)\n", *exp)
 		os.Exit(2)
 	}
 	if !ok {
@@ -116,6 +122,55 @@ func runObserved(w bench.Workloads, app string, custom, metrics bool, traceOut s
 		}
 		fmt.Printf("wrote %d events to %s (load in chrome://tracing or Perfetto)\n", len(o.Events), traceOut)
 	}
+	return true
+}
+
+// runFabric measures the message fabric (roundtrip latency and many-to-
+// one throughput on both transports) and writes the BENCH_fabric.json
+// artifact. A prior report passed with -baseline is embedded so the
+// artifact documents the before/after delta.
+func runFabric(procs int, out, baselinePath string) bool {
+	const (
+		perSender = 40000
+		rounds    = 30000
+		payload   = 16
+	)
+	var base []bench.FabricResult
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabric: %v\n", err)
+			return false
+		}
+		var prior bench.FabricReport
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "fabric: parsing %s: %v\n", baselinePath, err)
+			return false
+		}
+		// A report that already embeds the pre-fast-path baseline keeps
+		// it, so regenerating the artifact stays anchored to the original
+		// comparison point.
+		base = prior.Baseline
+		if base == nil {
+			base = prior.Results
+		}
+	}
+	fmt.Printf("=== Fabric: message latency and throughput (%d nodes, %d B payloads) ===\n", procs, payload)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabric: %v\n", err)
+		return false
+	}
+	rep, err := bench.WriteFabricReport(f, procs, perSender, rounds, payload, base)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabric: %v\n", err)
+		return false
+	}
+	fmt.Println(bench.FormatFabric(rep.Results, rep.Baseline))
+	fmt.Printf("wrote %s\n", out)
 	return true
 }
 

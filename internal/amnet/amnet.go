@@ -11,10 +11,23 @@
 //
 // Mailboxes are unbounded, which preserves the classic Active Messages
 // liveness argument: a send never blocks, so a handler can always complete,
-// so every mailbox is eventually drained.
+// so every mailbox is eventually drained. The pump drains the mailbox in
+// batches (one lock acquisition per burst, not per message); see mailbox.
+//
+// # Buffer ownership
+//
+// The fabric pools buffers on its hot path (see Alloc/Recycle). Ownership
+// of a message payload moves in one direction: the sender gives up the
+// payload at Send (it must not mutate it afterwards), and the receiving
+// handler becomes the payload's sole owner at dispatch. A handler — or
+// whatever the handler hands the payload to — may pass the buffer to
+// Recycle once it has no further use for it, returning it to the pool;
+// not recycling is always safe and merely leaves the buffer to the
+// garbage collector.
 package amnet
 
 import (
+	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -36,8 +49,11 @@ const MaxHandlers = trace.MaxHandlers
 
 // Msg is a single active message. A, B, C and D are small scalar arguments
 // (typically a region id, a waiter sequence number, and auxiliary values);
-// bulk data travels in Payload. The receiving handler must treat Payload as
-// read-only; it may be aliased by transport internals.
+// bulk data travels in Payload. On delivery the handler is the payload's
+// sole owner (see the package comment's ownership contract): it may read
+// it, retain it, or return it to the fabric's buffer pool with Recycle
+// when done. It must not mutate a payload it plans to recycle while any
+// copy of the slice escapes.
 type Msg struct {
 	Dst, Src NodeID
 	Handler  HandlerID
@@ -48,7 +64,8 @@ type Msg struct {
 
 // Handler is the function type invoked for a delivered message. It runs on
 // the destination node's pump goroutine and must not block on network
-// events (it may send messages).
+// events (it may send messages). The handler owns m.Payload; passing it
+// to Recycle when finished keeps the fabric's buffer pool warm.
 type Handler func(Msg)
 
 // Endpoint is one node's attachment to the network.
@@ -62,11 +79,24 @@ type Endpoint interface {
 	// after Start is a programming error.
 	Register(id HandlerID, fn Handler)
 	// Send enqueues m for delivery to m.Dst. It never blocks and is safe
-	// to call from handlers and from compute threads concurrently. The
-	// payload is not copied; the caller must not mutate it after Send.
+	// to call from handlers and from compute threads concurrently.
+	// Ownership of the payload passes to the fabric: the caller must not
+	// mutate it after Send (transports that copy synchronously are
+	// identified by the PayloadCopier interface).
 	Send(m Msg)
 	// Stats returns this endpoint's traffic counters.
 	Stats() *Stats
+}
+
+// PayloadCopier is implemented by endpoints whose Send copies the
+// payload into transport-owned memory before returning. For such
+// transports a sender that needs the buffer back immediately (for
+// example, a runtime that would otherwise defensively clone) may skip
+// the copy of its own.
+type PayloadCopier interface {
+	// CopiesPayloadOnSend reports whether Send has finished reading the
+	// payload by the time it returns.
+	CopiesPayloadOnSend() bool
 }
 
 // Network is a set of connected endpoints, one per node.
@@ -80,8 +110,11 @@ type Network interface {
 type ChanConfig struct {
 	// Nodes is the number of endpoints to create.
 	Nodes int
-	// Latency, if nonzero, delays every message's delivery by the given
-	// duration after its send time, modelling a fixed network latency.
+	// Latency, if nonzero, delays every inter-node message's delivery by
+	// the given duration after its send time, modelling a fixed network
+	// latency. Each message is delivered at its own due time: messages
+	// sent ε apart arrive ε apart, and latency-free traffic (self-sends)
+	// is not queued behind delayed messages.
 	Latency time.Duration
 }
 
@@ -166,19 +199,79 @@ func (e *chanEndpoint) Stats() *Stats { return &e.stats }
 
 func (e *chanEndpoint) pump(wg *sync.WaitGroup) {
 	defer wg.Done()
+	if e.nw.cfg.Latency > 0 {
+		e.pumpDelayed()
+		return
+	}
+	// Fast path: no modelled latency, so every item is deliverable the
+	// moment it is popped. Batches amortize the mailbox lock and wakeup
+	// over bursts.
+	var scratch []item
 	for {
-		it, ok := e.box.pop()
+		batch, ok := e.box.popAll(scratch)
 		if !ok {
 			return
 		}
-		if !it.due.IsZero() {
-			if d := time.Until(it.due); d > 0 {
-				time.Sleep(d)
+		for i := range batch {
+			e.deliver(batch[i])
+			batch[i] = item{} // drop payload references promptly
+		}
+		scratch = batch
+	}
+}
+
+// pumpDelayed delivers each message at its own due time using a timer-
+// driven delay queue, so a delayed message never adds head-of-line
+// latency to traffic behind it. Per-pair FIFO is preserved: a pair's due
+// times are nondecreasing (fixed latency, monotone send times), the heap
+// breaks due-time ties by arrival sequence, and latency-free pairs
+// (self-sends, whose due time is zero) can have no earlier message
+// waiting in the heap.
+func (e *chanEndpoint) pumpDelayed() {
+	var scratch []item
+	var dq delayQueue
+	var seq uint64
+	for {
+		batch, ok, closed := e.box.tryPopAll(scratch)
+		if !ok {
+			if closed {
+				// Close-then-drain: deliver what remains without
+				// waiting out the residual latency.
+				for dq.Len() > 0 {
+					e.deliver(heap.Pop(&dq).(delayed).item)
+				}
+				return
+			}
+			if dq.Len() == 0 {
+				e.box.await(0)
+				continue
+			}
+			if d := time.Until(dq[0].due); d > 0 {
+				e.box.await(d)
+				continue
 			}
 		}
-		e.stats.ObserveDeliver(it.sent)
-		e.dispatch(it.msg)
+		for i := range batch {
+			it := batch[i]
+			if it.due.IsZero() {
+				e.deliver(it)
+			} else {
+				heap.Push(&dq, delayed{item: it, seq: seq})
+				seq++
+			}
+			batch[i] = item{}
+		}
+		scratch = batch
+		now := time.Now()
+		for dq.Len() > 0 && !dq[0].due.After(now) {
+			e.deliver(heap.Pop(&dq).(delayed).item)
+		}
 	}
+}
+
+func (e *chanEndpoint) deliver(it item) {
+	e.stats.ObserveDeliver(it.sent)
+	e.dispatch(it.msg)
 }
 
 func (e *chanEndpoint) dispatch(m Msg) {
@@ -188,4 +281,31 @@ func (e *chanEndpoint) dispatch(m Msg) {
 		panic(fmt.Sprintf("amnet: node %d: no handler %d registered (msg from %d)", e.id, m.Handler, m.Src))
 	}
 	h(m)
+}
+
+// delayed is one entry in the delay queue; seq breaks due-time ties in
+// arrival order so equal-due messages from one sender keep FIFO.
+type delayed struct {
+	item
+	seq uint64
+}
+
+type delayQueue []delayed
+
+func (q delayQueue) Len() int { return len(q) }
+func (q delayQueue) Less(i, j int) bool {
+	if q[i].due.Equal(q[j].due) {
+		return q[i].seq < q[j].seq
+	}
+	return q[i].due.Before(q[j].due)
+}
+func (q delayQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *delayQueue) Push(x any)        { *q = append(*q, x.(delayed)) }
+func (q *delayQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = delayed{}
+	*q = old[:n-1]
+	return it
 }

@@ -14,55 +14,113 @@ type item struct {
 	sent int64
 }
 
-// mailbox is an unbounded MPSC queue: many senders, one pump. Unboundedness
-// is load-bearing — see the package comment.
+// mailbox is an unbounded MPSC queue: many senders, one pump.
+// Unboundedness is load-bearing — see the package comment. The pump
+// drains in batches: popAll swaps the whole pending slice out under one
+// lock acquisition, so a burst of n messages costs the consumer one
+// lock/wake instead of n.
+//
+// Wakeups use an edge-triggered capacity-1 channel rather than a
+// sync.Cond so the pump can wait for "new input or a delivery timer",
+// which the latency-modelling pump needs (select over notify and a
+// time.Timer).
 type mailbox struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
 	q      []item
 	closed bool
+
+	// notify holds one token when items may be pending. push stores the
+	// token after appending; consumers re-check the queue after taking
+	// it, so a wakeup is never lost (at most one is spurious).
+	notify chan struct{}
+	// done is closed by close(); it wakes consumers permanently.
+	done chan struct{}
 }
 
 func newMailbox() *mailbox {
-	b := &mailbox{}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &mailbox{
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
 }
 
 func (b *mailbox) push(it item) {
 	b.mu.Lock()
-	if !b.closed {
-		b.q = append(b.q, it)
+	if b.closed {
+		b.mu.Unlock()
+		return
 	}
+	b.q = append(b.q, it)
 	b.mu.Unlock()
-	b.cond.Signal()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
 }
 
-// pop blocks until an item is available or the mailbox is closed. It
-// reports ok=false only when the mailbox is closed and drained.
-func (b *mailbox) pop() (item, bool) {
+// popAll blocks until at least one item is pending, then swaps the whole
+// pending slice with `into` (reset to length zero) and returns it. It
+// reports ok=false only when the mailbox is closed and fully drained.
+// The caller owns the returned slice until it passes it back in.
+func (b *mailbox) popAll(into []item) (batch []item, ok bool) {
+	for {
+		batch, ok, closed := b.tryPopAll(into)
+		if ok {
+			return batch, true
+		}
+		if closed {
+			return batch, false
+		}
+		select {
+		case <-b.notify:
+		case <-b.done:
+		}
+	}
+}
+
+// tryPopAll is the non-blocking variant: it returns the pending batch
+// (ok=true) or an empty slice, plus whether the mailbox is closed.
+func (b *mailbox) tryPopAll(into []item) (batch []item, ok, closed bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	for len(b.q) == 0 && !b.closed {
-		b.cond.Wait()
+	if len(b.q) > 0 {
+		batch = b.q
+		b.q = into[:0]
+		b.mu.Unlock()
+		return batch, true, false
 	}
-	if len(b.q) == 0 {
-		return item{}, false
-	}
-	it := b.q[0]
-	// Slide rather than reslice forever; amortized O(1) with periodic
-	// compaction to keep the backing array from growing without bound.
-	b.q[0] = item{}
-	b.q = b.q[1:]
-	if len(b.q) == 0 && cap(b.q) > 1024 {
-		b.q = nil
-	}
-	return it, true
+	closed = b.closed
+	b.mu.Unlock()
+	return into[:0], false, closed
 }
 
+// await blocks until new input may be pending, the mailbox is closed, or
+// — when d > 0 — the timeout elapses.
+func (b *mailbox) await(d time.Duration) {
+	if d <= 0 {
+		select {
+		case <-b.notify:
+		case <-b.done:
+		}
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-b.notify:
+	case <-b.done:
+	case <-t.C:
+	}
+}
+
+// close marks the mailbox closed and wakes all consumers. Items already
+// queued remain poppable (close-then-drain semantics).
 func (b *mailbox) close() {
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
 	b.closed = true
 	b.mu.Unlock()
-	b.cond.Broadcast()
+	close(b.done)
 }

@@ -1,0 +1,253 @@
+package bench
+
+// Fabric microbenchmarks: latency (roundtrip) and throughput (many-to-one
+// small-message streams) of the Active Messages fabric itself, on both
+// transports. Every Ace primitive — SC fetches, barriers, locks,
+// collectives — bottoms out here, so per-message fabric overhead bounds
+// everything the paper's E1 claim measures. The same measurements back
+// the committed BENCH_fabric.json artifact (`acebench -exp fabric` or
+// `make bench`).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/tcpnet"
+)
+
+// Handler ids used by the fabric microbenchmarks (any id clear of the
+// runtime's reserved range works; these match none of core's).
+const (
+	fabPing amnet.HandlerID = 40
+	fabPong amnet.HandlerID = 41
+	fabSink amnet.HandlerID = 42
+)
+
+// FabricResult is one fabric measurement, JSON-shaped for
+// BENCH_fabric.json.
+type FabricResult struct {
+	Name      string  `json:"name"`      // e.g. "throughput/tcp"
+	Transport string  `json:"transport"` // "chan" or "tcp"
+	Nodes     int     `json:"nodes"`
+	Payload   int     `json:"payload_bytes"`
+	Msgs      int     `json:"messages"`
+	Seconds   float64 `json:"seconds"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	NsPerMsg   float64 `json:"ns_per_msg"`
+}
+
+// FabricReport is the BENCH_fabric.json document.
+type FabricReport struct {
+	Generated string         `json:"generated_by"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results   []FabricResult `json:"results"`
+	// Baseline, when present, carries the same measurements taken at the
+	// pre-fast-path commit, so the artifact itself documents the delta.
+	Baseline []FabricResult `json:"pre_fastpath_baseline,omitempty"`
+}
+
+// newFabric builds a network of n nodes on the named transport.
+func newFabric(transport string, n int) (amnet.Network, error) {
+	switch transport {
+	case "chan":
+		return amnet.NewChanNetwork(amnet.ChanConfig{Nodes: n})
+	case "tcp":
+		return tcpnet.NewLoopbackNetwork(n)
+	default:
+		return nil, fmt.Errorf("bench: unknown transport %q", transport)
+	}
+}
+
+// payloadSource returns a per-send payload supplier honoring the
+// fabric's ownership contract: on transports whose Send copies
+// synchronously (amnet.PayloadCopier) one buffer is reused for every
+// send; on by-reference transports each send gives up a pooled buffer,
+// which the receiving handler recycles.
+func payloadSource(ep amnet.Endpoint, payload int) func() []byte {
+	if payload <= 0 {
+		return func() []byte { return nil }
+	}
+	if pc, ok := ep.(amnet.PayloadCopier); ok && pc.CopiesPayloadOnSend() {
+		buf := make([]byte, payload)
+		return func() []byte { return buf }
+	}
+	return func() []byte { return amnet.Alloc(payload) }
+}
+
+// FabricRoundtrip measures rounds ping-pong roundtrips between node 0 and
+// node 1 and returns the elapsed time. The reply is sent from the pong
+// handler, so one roundtrip is two full send→deliver→dispatch traversals.
+func FabricRoundtrip(nw amnet.Network, rounds, payload int) (time.Duration, error) {
+	eps := nw.Endpoints()
+	if len(eps) < 2 {
+		return 0, fmt.Errorf("bench: roundtrip needs 2 nodes")
+	}
+	done := make(chan struct{})
+	data := payloadSource(eps[0], payload)
+	eps[1].Register(fabPing, func(m amnet.Msg) {
+		amnet.Recycle(m.Payload)
+		eps[1].Send(amnet.Msg{Dst: 0, Handler: fabPong, A: m.A})
+	})
+	eps[0].Register(fabPong, func(m amnet.Msg) {
+		if int(m.A) == rounds {
+			close(done)
+			return
+		}
+		eps[0].Send(amnet.Msg{Dst: 1, Handler: fabPing, A: m.A + 1, Payload: data()})
+	})
+	start := time.Now()
+	eps[0].Send(amnet.Msg{Dst: 1, Handler: fabPing, A: 1, Payload: data()})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		return 0, fmt.Errorf("bench: roundtrip stalled")
+	}
+	return time.Since(start), nil
+}
+
+// FabricThroughput blasts perSender small messages from every node to a
+// single sink handler on node 0 (the many-to-one pattern of barriers,
+// locks and directory homes) and returns the elapsed time until the sink
+// has seen all of them.
+func FabricThroughput(nw amnet.Network, perSender, payload int) (time.Duration, error) {
+	eps := nw.Endpoints()
+	n := len(eps)
+	total := uint64(perSender * (n - 1))
+	var seen atomic.Uint64
+	done := make(chan struct{})
+	eps[0].Register(fabSink, func(m amnet.Msg) {
+		amnet.Recycle(m.Payload)
+		if seen.Add(1) == total {
+			close(done)
+		}
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for src := 1; src < n; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			ep := eps[src]
+			data := payloadSource(ep, payload)
+			for i := 0; i < perSender; i++ {
+				ep.Send(amnet.Msg{Dst: 0, Handler: fabSink, A: uint64(i), Payload: data()})
+			}
+		}(src)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		return 0, fmt.Errorf("bench: throughput stalled at %d/%d", seen.Load(), total)
+	}
+	return time.Since(start), nil
+}
+
+// fabricReps is how many times each fabric measurement runs; the best
+// run is reported — the usual noise reduction for wall-clock numbers on
+// a shared machine (cf. bestRows for the figure experiments).
+const fabricReps = 3
+
+// bestOf runs a measurement fabricReps times on fresh networks and
+// returns the fastest elapsed time.
+func bestOf(mk func() (amnet.Network, error), run func(amnet.Network) (time.Duration, error)) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < fabricReps; i++ {
+		nw, err := mk()
+		if err != nil {
+			return 0, err
+		}
+		el, err := run(nw)
+		nw.Close()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}
+
+// MeasureFabric runs the standard fabric measurement suite (roundtrip on
+// 2 nodes, throughput on `nodes` nodes, both transports, small payloads)
+// and returns the per-benchmark best of three runs.
+func MeasureFabric(nodes, perSender, rounds, payload int) ([]FabricResult, error) {
+	var out []FabricResult
+	for _, tr := range []string{"chan", "tcp"} {
+		tr := tr
+		el, err := bestOf(
+			func() (amnet.Network, error) { return newFabric(tr, 2) },
+			func(nw amnet.Network) (time.Duration, error) { return FabricRoundtrip(nw, rounds, payload) },
+		)
+		if err != nil {
+			return nil, fmt.Errorf("%s roundtrip: %w", tr, err)
+		}
+		msgs := 2 * rounds
+		out = append(out, FabricResult{
+			Name: "roundtrip/" + tr, Transport: tr, Nodes: 2, Payload: payload,
+			Msgs: msgs, Seconds: el.Seconds(),
+			MsgsPerSec: float64(msgs) / el.Seconds(),
+			NsPerMsg:   float64(el.Nanoseconds()) / float64(msgs),
+		})
+
+		el, err = bestOf(
+			func() (amnet.Network, error) { return newFabric(tr, nodes) },
+			func(nw amnet.Network) (time.Duration, error) { return FabricThroughput(nw, perSender, payload) },
+		)
+		if err != nil {
+			return nil, fmt.Errorf("%s throughput: %w", tr, err)
+		}
+		msgs = perSender * (nodes - 1)
+		out = append(out, FabricResult{
+			Name: "throughput/" + tr, Transport: tr, Nodes: nodes, Payload: payload,
+			Msgs: msgs, Seconds: el.Seconds(),
+			MsgsPerSec: float64(msgs) / el.Seconds(),
+			NsPerMsg:   float64(el.Nanoseconds()) / float64(msgs),
+		})
+	}
+	return out, nil
+}
+
+// WriteFabricReport runs MeasureFabric and writes the JSON document.
+// baseline, when non-nil, is embedded for before/after comparison.
+func WriteFabricReport(w io.Writer, nodes, perSender, rounds, payload int, baseline []FabricResult) (FabricReport, error) {
+	res, err := MeasureFabric(nodes, perSender, rounds, payload)
+	if err != nil {
+		return FabricReport{}, err
+	}
+	rep := FabricReport{
+		Generated:  "acebench -exp fabric",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    res,
+		Baseline:   baseline,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return rep, enc.Encode(rep)
+}
+
+// FormatFabric renders fabric results (and an optional baseline) as a
+// table with a speedup column.
+func FormatFabric(res, baseline []FabricResult) string {
+	base := map[string]FabricResult{}
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	var out string
+	out += fmt.Sprintf("%-16s %8s %8s %14s %12s %8s\n", "benchmark", "nodes", "payload", "msgs/sec", "ns/msg", "speedup")
+	for _, r := range res {
+		sp := "-"
+		if b, ok := base[r.Name]; ok && b.MsgsPerSec > 0 {
+			sp = fmt.Sprintf("%.2fx", r.MsgsPerSec/b.MsgsPerSec)
+		}
+		out += fmt.Sprintf("%-16s %8d %8d %14.0f %12.1f %8s\n", r.Name, r.Nodes, r.Payload, r.MsgsPerSec, r.NsPerMsg, sp)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+)
+
+// fabricNodes matches the acceptance configuration: 8 nodes, small
+// messages.
+const fabricNodes = 8
+
+// BenchmarkFabricRoundtrip measures one ping-pong roundtrip (two
+// send→deliver→dispatch traversals) between two nodes.
+func BenchmarkFabricRoundtrip(b *testing.B) {
+	for _, tr := range []string{"chan", "tcp"} {
+		b.Run(tr, func(b *testing.B) {
+			nw, err := newFabric(tr, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nw.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := FabricRoundtrip(nw, b.N, 0); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFabricThroughput measures many-to-one small-message delivery
+// on an 8-node network; the reported custom metric is messages per
+// second at the sink.
+func BenchmarkFabricThroughput(b *testing.B) {
+	for _, tr := range []string{"chan", "tcp"} {
+		b.Run(tr, func(b *testing.B) {
+			nw, err := newFabric(tr, fabricNodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nw.Close()
+			perSender := b.N
+			b.ReportAllocs()
+			b.ResetTimer()
+			el, err := FabricThroughput(nw, perSender, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msgs := perSender * (fabricNodes - 1)
+			b.ReportMetric(float64(msgs)/el.Seconds(), "msgs/sec")
+		})
+	}
+}
+
+// TestFabricMeasurement smoke-tests the measurement harness at a tiny
+// scale on both transports.
+func TestFabricMeasurement(t *testing.T) {
+	res, err := MeasureFabric(4, 200, 200, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		if r.MsgsPerSec <= 0 || r.NsPerMsg <= 0 {
+			t.Errorf("%s: non-positive rate: %+v", r.Name, r)
+		}
+	}
+	t.Logf("\n%s", FormatFabric(res, nil))
+}

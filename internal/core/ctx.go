@@ -89,24 +89,31 @@ func (c *Ctx) Complete(seq uint64, m amnet.Msg) {
 // level messages), B carries a waiter sequence when a reply is expected, C
 // is the protocol verb and D the space id (used by the destination to
 // dispatch when the region is not materialized there). The payload is
-// cloned, so callers may pass region data directly.
+// copied before Send returns, so callers may pass region data directly.
 func (c *Ctx) SendProto(dst amnet.NodeID, a, b, verb, spaceID uint64, payload []byte) {
 	c.p.ep.Send(amnet.Msg{
 		Dst: dst, Handler: hProto,
 		A: a, B: b, C: verb, D: spaceID,
-		Payload: clone(payload),
+		Payload: c.p.cloneForSend(payload),
 	})
 }
 
 // SendComplete sends a completion for the waiter seq on dst, carrying the
-// scalar a and an optional payload (cloned).
+// scalar a and an optional payload (copied before Send returns).
 func (c *Ctx) SendComplete(dst amnet.NodeID, seq, a uint64, payload []byte) {
 	c.p.ep.Send(amnet.Msg{
 		Dst: dst, Handler: hComplete,
 		A: a, B: seq,
-		Payload: clone(payload),
+		Payload: c.p.cloneForSend(payload),
 	})
 }
+
+// Recycle returns a delivered payload to the fabric's buffer pool. Call
+// it once the payload's contents have been consumed (for example after
+// copying a fetch reply into r.Data); the buffer must not be touched
+// afterwards. Recycling is optional — a payload that escapes to longer-
+// lived state can simply be retained and left to the garbage collector.
+func (c *Ctx) Recycle(payload []byte) { amnet.Recycle(payload) }
 
 // DefaultBarrier blocks until every processor has entered a barrier. It is
 // the building block protocols compose their Barrier semantics from.
@@ -136,11 +143,26 @@ func (c *Ctx) DefaultUnlock(r *Region) {
 // NetStats returns the processor's endpoint traffic counters.
 func (c *Ctx) NetStats() *amnet.Stats { return c.p.ep.Stats() }
 
+// cloneForSend prepares a payload for Endpoint.Send. On fabrics that
+// copy the payload synchronously (amnet.PayloadCopier) the caller's
+// buffer is passed straight through — Send has finished reading it by
+// the time it returns, so no defensive clone is needed. On by-reference
+// fabrics each send gets its own pooled copy, which also keeps the
+// one-owner rule: two destinations must never share a payload slice.
+func (p *Proc) cloneForSend(b []byte) []byte {
+	if p.fabricCopies {
+		return b
+	}
+	return clone(b)
+}
+
+// clone copies b into a pooled buffer (see amnet.Alloc). The copy is
+// handed to the fabric or to a waiter, whose consumer may recycle it.
 func clone(b []byte) []byte {
 	if b == nil {
 		return nil
 	}
-	out := make([]byte, len(b))
+	out := amnet.Alloc(len(b))
 	copy(out, b)
 	return out
 }

@@ -41,6 +41,11 @@ type Proc struct {
 	collWait map[uint64]uint64
 	collAcc  map[uint64]*collAcc
 
+	// fabricCopies is true when the endpoint's Send copies the payload
+	// before returning (amnet.PayloadCopier), letting the runtime pass
+	// region data to Send without a defensive clone of its own.
+	fabricCopies bool
+
 	stats OpStats
 	rec   *trace.Recorder
 }
@@ -66,6 +71,9 @@ func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
 		rec:      trace.NewRecorder(int(ep.ID()), c.opts.Trace),
 	}
 	p.ctx = &Ctx{p: p}
+	if pc, ok := ep.(amnet.PayloadCopier); ok && pc.CopiesPayloadOnSend() {
+		p.fabricCopies = true
+	}
 	if p.id == 0 {
 		p.barArr = make(map[uint64][]PendingReq)
 		p.collAcc = make(map[uint64]*collAcc)
@@ -443,6 +451,9 @@ func (p *Proc) registerHandlers() {
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		p.collDeliver(m)
+		// collDeliver clones every payload it keeps (accumulator entries
+		// and buffered broadcast values), so the wire buffer is free.
+		amnet.Recycle(m.Payload)
 	})
 	p.ep.Register(hProto, func(m amnet.Msg) {
 		p.mu.Lock()
@@ -459,6 +470,10 @@ func (p *Proc) registerHandlers() {
 			sp = p.spaces[spID]
 		}
 		sp.Proto.Deliver(p.ctx, sp, r, m)
+		// Deliver implementations consume the payload synchronously
+		// (copy into region data, clone into deferred queues, or forward
+		// through Send, which also copies); the wire buffer is free.
+		amnet.Recycle(m.Payload)
 	})
 }
 

@@ -84,6 +84,7 @@ func (s *SCProtocol) StartRead(ctx *Ctx, r *Region) {
 		ctx.SendProto(r.Home, uint64(r.ID), seq, scSReq, uint64(r.Space.ID), nil)
 		m := ctx.Wait(seq)
 		copy(r.Data, m.Payload)
+		ctx.Recycle(m.Payload)
 		r.State = scShared
 		r.Flags &^= scFlagFetchRead
 	}
@@ -101,6 +102,7 @@ func (s *SCProtocol) StartWrite(ctx *Ctx, r *Region) {
 		ctx.SendProto(r.Home, uint64(r.ID), seq, scWReq, uint64(r.Space.ID), nil)
 		m := ctx.Wait(seq)
 		copy(r.Data, m.Payload)
+		ctx.Recycle(m.Payload)
 		r.State = scExclusive
 		r.Flags &^= scFlagFetchWrite
 	}

@@ -99,7 +99,7 @@ func (p *Proc) collDeliver(m amnet.Msg) {
 			delete(p.collAcc, m.A)
 			result := reduce(m.C, acc.vals)
 			for n := 0; n < p.cl.Procs(); n++ {
-				p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: m.A, C: collOpResult, Payload: clone(result)})
+				p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: m.A, C: collOpResult, Payload: p.cloneForSend(result)})
 			}
 		}
 	}
@@ -142,7 +142,7 @@ func (p *Proc) Broadcast(root int, data []byte) []byte {
 			if n == root {
 				continue
 			}
-			p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: tag, C: collOpBcast, Payload: clone(data)})
+			p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: tag, C: collOpBcast, Payload: p.cloneForSend(data)})
 		}
 		return data
 	}

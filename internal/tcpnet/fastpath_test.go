@@ -1,0 +1,184 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/acedsm/ace/internal/amnet"
+)
+
+func TestQueueBatchedPop(t *testing.T) {
+	q := newQueue()
+	const n = 64
+	for i := 0; i < n; i++ {
+		q.push(frame{msg: amnet.Msg{A: uint64(i)}})
+	}
+	batch, ok := q.popAll(nil)
+	if !ok {
+		t.Fatal("popAll reported closed")
+	}
+	if len(batch) != n {
+		t.Fatalf("batched pop returned %d frames, want %d in one swap", len(batch), n)
+	}
+	for i, f := range batch {
+		if f.msg.A != uint64(i) {
+			t.Fatalf("out of order at %d: got %d", i, f.msg.A)
+		}
+	}
+}
+
+func TestQueueCloseWhileNonEmptyDrains(t *testing.T) {
+	q := newQueue()
+	for i := 0; i < 3; i++ {
+		q.push(frame{msg: amnet.Msg{A: uint64(i)}})
+	}
+	q.close()
+	batch, ok := q.popAll(nil)
+	if !ok || len(batch) != 3 {
+		t.Fatalf("pop after close = %d frames, ok=%v; want 3, true", len(batch), ok)
+	}
+	if _, ok := q.popAll(batch); ok {
+		t.Fatal("drained queue still reports frames after close")
+	}
+	// Pushes after close are dropped.
+	q.push(frame{msg: amnet.Msg{A: 9}})
+	if _, ok := q.popAll(nil); ok {
+		t.Fatal("push after close was queued")
+	}
+}
+
+func TestRegisterOutOfRange(t *testing.T) {
+	nw, err := NewLoopbackNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(MaxHandlers) did not panic")
+		}
+	}()
+	nw.Endpoints()[0].Register(amnet.MaxHandlers, func(amnet.Msg) {})
+}
+
+// TestConcurrentSendersFIFO drives several sender goroutines per source
+// node at one destination and checks per-pair FIFO survives the
+// coalescing writer. Run under -race this also exercises the writer
+// goroutines and pooled buffers for data races.
+func TestConcurrentSendersFIFO(t *testing.T) {
+	const nodes = 4
+	const perSender = 3000
+	nw, err := NewLoopbackNetwork(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	eps := nw.Endpoints()
+	var next [nodes]uint64
+	done := make(chan struct{})
+	seen := 0
+	eps[0].Register(11, func(m amnet.Msg) {
+		if m.A != next[m.Src] {
+			t.Errorf("src %d out of order: got %d, want %d", m.Src, m.A, next[m.Src])
+		}
+		next[m.Src]++
+		seen++
+		if seen == (nodes-1)*perSender {
+			close(done)
+		}
+	})
+	var wg sync.WaitGroup
+	for src := 1; src < nodes; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			payload := []byte("coalesce me")
+			for i := 0; i < perSender; i++ {
+				eps[src].Send(amnet.Msg{Dst: 0, Handler: 11, A: uint64(i), Payload: payload})
+			}
+		}(src)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("only %d of %d delivered", seen, (nodes-1)*perSender)
+	}
+}
+
+// TestPayloadOwnershipAcrossPool checks a delivered payload stays intact
+// when the receiving handler retains it while later traffic reuses pooled
+// buffers, and that recycling inside the handler is safe.
+func TestPayloadOwnershipAcrossPool(t *testing.T) {
+	nw, err := NewLoopbackNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	eps := nw.Endpoints()
+	const n = 200
+	kept := make([][]byte, 0, n)
+	done := make(chan struct{})
+	eps[1].Register(12, func(m amnet.Msg) {
+		if len(kept)%2 == 0 {
+			// Retain every other payload; the fabric must not reuse it.
+			kept = append(kept, m.Payload)
+		} else {
+			kept = append(kept, append([]byte(nil), m.Payload...))
+			amnet.Recycle(m.Payload)
+		}
+		if len(kept) == n {
+			close(done)
+		}
+	})
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 32)
+		payload[0] = byte(i)
+		payload[31] = byte(i >> 8)
+		eps[0].Send(amnet.Msg{Dst: 1, Handler: 12, A: uint64(i), Payload: payload})
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d of %d delivered", len(kept), n)
+	}
+	for i, p := range kept {
+		if i%2 != 0 {
+			continue // recycled ones were copied
+		}
+		if p[0] != byte(i) || p[31] != byte(i>>8) {
+			t.Fatalf("retained payload %d corrupted: [%d %d]", i, p[0], p[31])
+		}
+	}
+}
+
+// TestCopiesPayloadOnSend asserts the transport advertises its
+// synchronous payload copy (the runtime skips its defensive clone based
+// on this), and that mutating the caller's buffer right after Send does
+// not corrupt the wire data.
+func TestCopiesPayloadOnSend(t *testing.T) {
+	nw, err := NewLoopbackNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	eps := nw.Endpoints()
+	pc, ok := eps[0].(amnet.PayloadCopier)
+	if !ok || !pc.CopiesPayloadOnSend() {
+		t.Fatal("tcpnet endpoint does not advertise synchronous payload copy")
+	}
+	got := make(chan []byte, 1)
+	eps[1].Register(13, func(m amnet.Msg) { got <- m.Payload })
+	buf := []byte("before")
+	eps[0].Send(amnet.Msg{Dst: 1, Handler: 13, Payload: buf})
+	copy(buf, "XXXXXX") // caller reuses its buffer immediately
+	select {
+	case p := <-got:
+		if string(p) != "before" {
+			t.Fatalf("wire payload = %q, want %q", p, "before")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}

@@ -4,13 +4,24 @@
 // per node — carried by length-prefixed frames. It demonstrates the
 // paper's portability claim: Ace runs on any system with an Active
 // Messages mechanism (Section 1).
+//
+// The send path is coalescing: Send encodes the frame into a pooled
+// buffer and hands it to a per-connection writer goroutine, which drains
+// its queue into one large buffered write and flushes only when the
+// queue goes empty — a burst of n messages costs one flush syscall, a
+// lone message still flushes immediately, so throughput is gained
+// without a latency tax. Frame and payload buffers come from the
+// amnet buffer pool (amnet.Alloc/Recycle); a delivered Msg.Payload is
+// owned by the handler per the fabric's ownership contract.
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 
 	"github.com/acedsm/ace/internal/amnet"
@@ -50,6 +61,7 @@ func NewLoopbackNetwork(n int) (amnet.Network, error) {
 					acceptErr <- err
 					return
 				}
+				tuneConn(conn)
 				var hello [4]byte
 				if _, err := io.ReadFull(conn, hello[:]); err != nil {
 					acceptErr <- err
@@ -68,13 +80,17 @@ func NewLoopbackNetwork(n int) (amnet.Network, error) {
 				nw.Close()
 				return nil, err
 			}
+			tuneConn(conn)
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(i))
 			if _, err := conn.Write(hello[:]); err != nil {
 				nw.Close()
 				return nil, err
 			}
-			nw.eps[i].out[j] = &sender{conn: conn}
+			s := newSender(conn)
+			nw.eps[i].out[j] = s
+			nw.wg.Add(1)
+			go s.run(&nw.wg, &nw.eps[i].stats)
 		}
 	}
 	acceptWG.Wait()
@@ -91,6 +107,20 @@ func NewLoopbackNetwork(n int) (amnet.Network, error) {
 		go ep.pump(&nw.wg)
 	}
 	return nw, nil
+}
+
+// tuneConn shapes a mesh connection for the coalescing writer: Nagle is
+// off (the writer already batches frames, so the kernel must not hold a
+// flushed batch back), and the socket buffers are pinned so throughput
+// does not ride on the kernel's autotuning warm-up.
+func tuneConn(conn net.Conn) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	tc.SetNoDelay(true)
+	tc.SetWriteBuffer(1 << 20)
+	tc.SetReadBuffer(1 << 20)
 }
 
 type network struct {
@@ -113,7 +143,7 @@ func (n *network) Close() error {
 		}
 		for _, s := range ep.out {
 			if s != nil {
-				s.conn.Close()
+				s.close()
 			}
 		}
 		ep.box.close()
@@ -122,10 +152,122 @@ func (n *network) Close() error {
 	return nil
 }
 
-// sender serializes writes on one outgoing connection.
+// maxPending bounds a sender's frame queue. Enqueueing past the bound
+// blocks until the writer drains — the same backpressure a blocking
+// per-message conn.Write used to provide, now paid once per batch
+// instead of once per message. The bound also caps queue reallocation:
+// the pending and draining slices ping-pong between producer and writer,
+// so at steady state enqueueing allocates nothing.
+const maxPending = 4096
+
+// sender owns one outgoing connection: Send enqueues encoded frames, the
+// writer goroutine drains them in batches through a buffered writer and
+// flushes when the queue goes empty. Frames are pooled; the writer
+// recycles each one after copying it into the write buffer.
 type sender struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu       sync.Mutex
+	notEmpty *sync.Cond // writer waits: queue has frames or closed
+	notFull  *sync.Cond // producers wait: queue below maxPending or closed
+	conn     net.Conn
+	queue    [][]byte
+	closed   bool
+}
+
+func newSender(conn net.Conn) *sender {
+	s := &sender{conn: conn}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue appends one encoded frame for the writer, blocking while the
+// queue is at capacity. After close, frames are dropped (Network.Close
+// documents that queued messages may be dropped).
+func (s *sender) enqueue(frame []byte) {
+	s.mu.Lock()
+	for len(s.queue) >= maxPending && !s.closed {
+		s.notFull.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		amnet.Recycle(frame)
+		return
+	}
+	s.queue = append(s.queue, frame)
+	s.mu.Unlock()
+	s.notEmpty.Signal()
+}
+
+// close asks the writer to flush what is queued and shut the connection
+// down.
+func (s *sender) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.notEmpty.Signal()
+	s.notFull.Broadcast()
+}
+
+// run is the writer goroutine: it swaps the whole queue out under one
+// lock, streams the batch into the buffered writer, and flushes only
+// once the queue is empty — so bursts coalesce into single syscalls
+// while a lone frame still goes out immediately.
+func (s *sender) run(wg *sync.WaitGroup, stats *amnet.Stats) {
+	defer wg.Done()
+	bw := bufio.NewWriterSize(s.conn, 64<<10)
+	var batch [][]byte
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.notEmpty.Wait()
+		}
+		if len(s.queue) == 0 { // closed and drained
+			s.mu.Unlock()
+			bw.Flush()
+			s.conn.Close()
+			return
+		}
+		batch, s.queue = s.queue, batch[:0]
+		closed := s.closed
+		s.mu.Unlock()
+		s.notFull.Broadcast()
+		for i, f := range batch {
+			_, err := bw.Write(f)
+			amnet.Recycle(f)
+			batch[i] = nil
+			if err != nil {
+				s.fail(err, closed)
+				return
+			}
+		}
+		// Flush only when no more frames are waiting; otherwise loop
+		// around and extend the batch.
+		s.mu.Lock()
+		empty := len(s.queue) == 0
+		s.mu.Unlock()
+		if empty {
+			if err := bw.Flush(); err != nil {
+				s.fail(err, closed)
+				return
+			}
+			stats.CountFlush()
+		}
+	}
+}
+
+// fail handles a write error: during shutdown it exits quietly (the
+// peer or Close tore the connection down); otherwise it keeps the old
+// crash-on-network-error posture.
+func (s *sender) fail(err error, closing bool) {
+	s.conn.Close()
+	s.mu.Lock()
+	wasClosed := s.closed || closing
+	s.closed = true
+	s.mu.Unlock()
+	s.notFull.Broadcast() // unblock producers; their frames are dropped
+	if !wasClosed {
+		panic(fmt.Sprintf("tcpnet: send: %v", err))
+	}
 }
 
 type endpoint struct {
@@ -142,8 +284,16 @@ func (e *endpoint) ID() amnet.NodeID { return e.id }
 func (e *endpoint) Nodes() int       { return len(e.nw.eps) }
 
 func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) {
+	if int(id) >= amnet.MaxHandlers {
+		panic(fmt.Sprintf("tcpnet: handler id %d out of range", id))
+	}
 	e.handlers[id] = fn
 }
+
+// CopiesPayloadOnSend reports that Send copies the payload into the
+// frame buffer before returning, so callers keep ownership of their
+// buffer (see amnet.PayloadCopier).
+func (e *endpoint) CopiesPayloadOnSend() bool { return true }
 
 // frame layout: [u32 total][i32 dst][i32 src][u16 handler][4 × u64]
 // [i64 send stamp][payload]. The send stamp is on the sender's trace
@@ -151,12 +301,17 @@ func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) {
 // network's nodes share one process.
 const frameHeader = 4 + 4 + 4 + 2 + 32 + 8
 
-// Send encodes and writes the message on the destination's connection.
-// TCP gives per-connection FIFO, matching the fabric contract.
+// Send encodes the message into a pooled frame buffer and enqueues it on
+// the destination's writer. The payload is copied here, synchronously;
+// per-connection writers preserve TCP's per-pair FIFO. Counters are
+// per-message and exact regardless of how frames later coalesce.
 func (e *endpoint) Send(m amnet.Msg) {
+	if int(m.Dst) < 0 || int(m.Dst) >= len(e.out) {
+		panic(fmt.Sprintf("tcpnet: send to invalid node %d", m.Dst))
+	}
 	m.Src = e.id
 	e.countSend(m)
-	buf := make([]byte, frameHeader+len(m.Payload))
+	buf := amnet.Alloc(frameHeader + len(m.Payload))
 	binary.LittleEndian.PutUint32(buf[0:], uint32(len(buf)-4))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(m.Dst))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Src))
@@ -167,68 +322,70 @@ func (e *endpoint) Send(m amnet.Msg) {
 	binary.LittleEndian.PutUint64(buf[38:], m.D)
 	binary.LittleEndian.PutUint64(buf[46:], uint64(e.stats.SendStamp()))
 	copy(buf[frameHeader:], m.Payload)
-	s := e.out[m.Dst]
-	s.mu.Lock()
-	_, err := s.conn.Write(buf)
-	s.mu.Unlock()
-	if err != nil {
-		panic(fmt.Sprintf("tcpnet: node %d: send to %d: %v", e.id, m.Dst, err))
-	}
+	e.out[m.Dst].enqueue(buf)
 }
 
 func (e *endpoint) Stats() *amnet.Stats { return &e.stats }
 
 // addReader starts a goroutine decoding frames from one incoming
-// connection into the node's queue.
+// connection into the node's queue. Reads are buffered, and each
+// payload lands in a pooled buffer owned by the eventual handler.
 func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
 	e.readers.Add(1)
 	go func() {
 		defer e.readers.Done()
 		defer conn.Close()
+		br := bufio.NewReaderSize(conn, 64<<10)
+		var hdr [frameHeader]byte
 		for {
-			var lenBuf [4]byte
-			if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
 				return // connection closed
 			}
-			total := binary.LittleEndian.Uint32(lenBuf[:])
-			body := make([]byte, total)
-			if _, err := io.ReadFull(conn, body); err != nil {
-				return
-			}
+			total := binary.LittleEndian.Uint32(hdr[:])
 			m := amnet.Msg{
-				Dst:     amnet.NodeID(int32(binary.LittleEndian.Uint32(body[0:]))),
-				Src:     amnet.NodeID(int32(binary.LittleEndian.Uint32(body[4:]))),
-				Handler: amnet.HandlerID(binary.LittleEndian.Uint16(body[8:])),
-				A:       binary.LittleEndian.Uint64(body[10:]),
-				B:       binary.LittleEndian.Uint64(body[18:]),
-				C:       binary.LittleEndian.Uint64(body[26:]),
-				D:       binary.LittleEndian.Uint64(body[34:]),
+				Dst:     amnet.NodeID(int32(binary.LittleEndian.Uint32(hdr[4:]))),
+				Src:     amnet.NodeID(int32(binary.LittleEndian.Uint32(hdr[8:]))),
+				Handler: amnet.HandlerID(binary.LittleEndian.Uint16(hdr[12:])),
+				A:       binary.LittleEndian.Uint64(hdr[14:]),
+				B:       binary.LittleEndian.Uint64(hdr[22:]),
+				C:       binary.LittleEndian.Uint64(hdr[30:]),
+				D:       binary.LittleEndian.Uint64(hdr[38:]),
 			}
-			sent := int64(binary.LittleEndian.Uint64(body[42:]))
-			if len(body) > frameHeader-4 {
-				m.Payload = body[frameHeader-4:]
+			sent := int64(binary.LittleEndian.Uint64(hdr[46:]))
+			if paylen := int(total) - (frameHeader - 4); paylen > 0 {
+				m.Payload = amnet.Alloc(paylen)
+				if _, err := io.ReadFull(br, m.Payload); err != nil {
+					return
+				}
 			}
 			e.box.push(frame{msg: m, sent: sent})
 		}
 	}()
 }
 
-// pump drains the queue and dispatches handlers, one at a time.
+// pump drains the queue in batches and dispatches handlers, one at a
+// time: one lock/wake per burst instead of per message.
 func (e *endpoint) pump(wg *sync.WaitGroup) {
 	defer wg.Done()
+	var scratch []frame
 	for {
-		f, ok := e.box.pop()
+		batch, ok := e.box.popAll(scratch)
 		if !ok {
 			return
 		}
-		e.stats.ObserveDeliver(f.sent)
-		m := f.msg
-		e.countRecv(m)
-		h := e.handlers[m.Handler]
-		if h == nil {
-			panic(fmt.Sprintf("tcpnet: node %d: no handler %d", e.id, m.Handler))
+		for i := range batch {
+			f := &batch[i]
+			e.stats.ObserveDeliver(f.sent)
+			m := f.msg
+			e.countRecv(m)
+			h := e.handlers[m.Handler]
+			if h == nil {
+				panic(fmt.Sprintf("tcpnet: node %d: no handler %d", e.id, m.Handler))
+			}
+			h(m)
+			batch[i] = frame{} // drop payload references promptly
 		}
-		h(m)
+		scratch = batch
 	}
 }
 
@@ -248,7 +405,8 @@ type frame struct {
 }
 
 // queue is an unbounded MPSC mailbox (the no-deadlock property of the
-// fabric depends on sends never blocking on the receiver).
+// fabric depends on sends never blocking on the receiver). The pump
+// drains it with popAll, one lock acquisition per burst.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -262,31 +420,47 @@ func newQueue() *queue {
 	return q
 }
 
+// deepWater is the pending depth past which push starts yielding the
+// processor after each frame. The mailbox must stay unbounded for the
+// runtime's deadlock-freedom argument (handlers may send while every
+// peer's queue is deep), so readers are never blocked — but on a
+// loaded scheduler the readers can otherwise starve the pump for long
+// stretches, ballooning the queue and defeating the buffer pool.
+// Gosched is only a hint: liveness is unaffected.
+const deepWater = 1024
+
 func (q *queue) push(f frame) {
 	q.mu.Lock()
-	if !q.closed {
-		q.items = append(q.items, f)
+	if q.closed {
+		q.mu.Unlock()
+		amnet.Recycle(f.msg.Payload)
+		return
 	}
+	q.items = append(q.items, f)
+	deep := len(q.items) >= deepWater
 	q.mu.Unlock()
 	q.cond.Signal()
+	if deep {
+		runtime.Gosched()
+	}
 }
 
-func (q *queue) pop() (frame, bool) {
+// popAll blocks until at least one frame is pending, then swaps the
+// whole pending slice with `into` (reset to length zero) and returns it.
+// ok is false only when the queue is closed and fully drained. The
+// caller owns the returned slice until it passes it back in.
+func (q *queue) popAll(into []frame) (batch []frame, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {
-		return frame{}, false
+		return into[:0], false
 	}
-	f := q.items[0]
-	q.items[0] = frame{}
-	q.items = q.items[1:]
-	if len(q.items) == 0 && cap(q.items) > 1024 {
-		q.items = nil
-	}
-	return f, true
+	batch = q.items
+	q.items = into[:0]
+	return batch, true
 }
 
 func (q *queue) close() {

@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -184,4 +185,74 @@ func TestStatsMatchTraffic(t *testing.T) {
 	if recv.Deliver.Count != n {
 		t.Errorf("deliver samples = %d, want %d", recv.Deliver.Count, n)
 	}
+	// Coalescing must not distort the per-message counters; the flush
+	// count only tells how the same messages were batched onto the wire.
+	if sent.Flushes == 0 {
+		t.Error("sender recorded no flushes")
+	}
+	if sent.Flushes > sent.MsgsSent {
+		t.Errorf("Flushes = %d exceeds MsgsSent = %d", sent.Flushes, sent.MsgsSent)
+	}
+}
+
+// TestStatsExactUnderConcurrentBurst asserts counter exactness while
+// many senders coalesce frames concurrently: the per-message counters
+// must equal the traffic regardless of how the writer batched it.
+func TestStatsExactUnderConcurrentBurst(t *testing.T) {
+	const nodes = 4
+	const perSender = 2000
+	const payload = 24
+	nw, err := NewLoopbackNetwork(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	eps := nw.Endpoints()
+	total := (nodes - 1) * perSender
+	done := make(chan struct{})
+	seen := 0
+	eps[0].Register(6, func(m amnet.Msg) {
+		seen++
+		if seen == total {
+			close(done)
+		}
+	})
+	var wg sync.WaitGroup
+	for src := 1; src < nodes; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			data := make([]byte, payload)
+			for i := 0; i < perSender; i++ {
+				eps[src].Send(amnet.Msg{Dst: 0, Handler: 6, Payload: data})
+			}
+		}(src)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("only %d of %d delivered", seen, total)
+	}
+	recv := eps[0].Stats().Snapshot()
+	if recv.MsgsRecv != uint64(total) {
+		t.Errorf("MsgsRecv = %d, want %d", recv.MsgsRecv, total)
+	}
+	if want := uint64(total * (frameHeader + payload)); recv.BytesRecv != want {
+		t.Errorf("BytesRecv = %d, want %d", recv.BytesRecv, want)
+	}
+	var sentMsgs, flushes uint64
+	for _, ep := range eps[1:] {
+		s := ep.Stats().Snapshot()
+		sentMsgs += s.MsgsSent
+		flushes += s.Flushes
+	}
+	if sentMsgs != uint64(total) {
+		t.Errorf("sum MsgsSent = %d, want %d", sentMsgs, total)
+	}
+	if flushes == 0 || flushes > sentMsgs {
+		t.Errorf("sum Flushes = %d, want in [1, %d]", flushes, sentMsgs)
+	}
+	t.Logf("coalescing factor: %d msgs / %d flushes = %.1f msgs/flush",
+		sentMsgs, flushes, float64(sentMsgs)/float64(flushes))
 }

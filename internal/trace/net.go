@@ -19,6 +19,12 @@ type NetStats struct {
 	MsgsRecv  atomic.Uint64
 	BytesRecv atomic.Uint64
 
+	// Flushes counts write-coalescing flushes on transports that batch
+	// frames into buffered writes (one flush hands one batch to the
+	// kernel). MsgsSent/Flushes is the mean coalescing factor; the
+	// per-message counters above stay exact regardless of batching.
+	Flushes atomic.Uint64
+
 	// PerHandler counts messages received per handler id.
 	PerHandler [MaxHandlers]atomic.Uint64
 
@@ -41,6 +47,9 @@ func (s *NetStats) CountRecv(handler uint16, wire int) {
 		s.PerHandler[handler].Add(1)
 	}
 }
+
+// CountFlush records one coalesced write of a batch of frames.
+func (s *NetStats) CountFlush() { s.Flushes.Add(1) }
 
 // EnableLatencySampling switches send→deliver latency sampling on or
 // off. Off (the default) makes SendStamp free apart from one atomic
@@ -77,6 +86,7 @@ func (s *NetStats) Snapshot() NetSnapshot {
 		BytesSent: s.BytesSent.Load(),
 		MsgsRecv:  s.MsgsRecv.Load(),
 		BytesRecv: s.BytesRecv.Load(),
+		Flushes:   s.Flushes.Load(),
 		Deliver:   s.deliver.snapshot(),
 	}
 }
@@ -85,6 +95,7 @@ func (s *NetStats) Snapshot() NetSnapshot {
 type NetSnapshot struct {
 	MsgsSent, BytesSent uint64
 	MsgsRecv, BytesRecv uint64
+	Flushes             uint64
 
 	// Deliver is the sampled send→deliver latency distribution of
 	// messages received by this endpoint.
@@ -98,6 +109,7 @@ func (s NetSnapshot) Sub(o NetSnapshot) NetSnapshot {
 		BytesSent: s.BytesSent - o.BytesSent,
 		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
 		BytesRecv: s.BytesRecv - o.BytesRecv,
+		Flushes:   s.Flushes - o.Flushes,
 		Deliver:   s.Deliver.Sub(o.Deliver),
 	}
 }
@@ -109,6 +121,7 @@ func (s NetSnapshot) Add(o NetSnapshot) NetSnapshot {
 		BytesSent: s.BytesSent + o.BytesSent,
 		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
 		BytesRecv: s.BytesRecv + o.BytesRecv,
+		Flushes:   s.Flushes + o.Flushes,
 		Deliver:   s.Deliver.Add(o.Deliver),
 	}
 }

@@ -86,12 +86,14 @@ func (a *atomicProto) StartWrite(ctx *core.Ctx, r *core.Region) {
 		h.waiting = append(h.waiting, core.PendingReq{Src: ctx.ID(), Seq: seq})
 		m := ctx.Wait(seq)
 		copy(r.Data, m.Payload)
+		ctx.Recycle(m.Payload)
 		return
 	}
 	seq := ctx.NewWaiter()
 	ctx.SendProto(r.Home, uint64(r.ID), seq, atAcq, uint64(r.Space.ID), nil)
 	m := ctx.Wait(seq)
 	copy(r.Data, m.Payload)
+	ctx.Recycle(m.Payload)
 }
 
 // EndWrite ships the contents back and releases the queue asynchronously;
@@ -136,6 +138,7 @@ func (a *atomicProto) StartRead(ctx *core.Ctx, r *core.Region) {
 	ctx.SendProto(r.Home, uint64(r.ID), seq, atGet, uint64(r.Space.ID), nil)
 	m := ctx.Wait(seq)
 	copy(r.Data, m.Payload)
+	ctx.Recycle(m.Payload)
 }
 
 func (a *atomicProto) Barrier(ctx *core.Ctx, sp *core.Space) {

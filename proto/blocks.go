@@ -47,6 +47,7 @@ func (f *Fetcher) Fetch(ctx *core.Ctx, r *core.Region) {
 	ctx.SendProto(r.Home, uint64(r.ID), seq, f.ReqVerb, uint64(r.Space.ID), nil)
 	m := ctx.Wait(seq)
 	copy(r.Data, m.Payload)
+	ctx.Recycle(m.Payload)
 }
 
 // Serve handles the home side of a fetch; call from Deliver when m.C ==

@@ -106,6 +106,7 @@ func (u *updateProto) ensureValid(ctx *core.Ctx, r *core.Region) {
 	ctx.SendProto(r.Home, uint64(r.ID), seq, duRead, uint64(r.Space.ID), nil)
 	m := ctx.Wait(seq)
 	copy(r.Data, m.Payload)
+	ctx.Recycle(m.Payload)
 	r.State = duValid
 }
 

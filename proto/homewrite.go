@@ -54,6 +54,7 @@ func (h *homeWriteProto) StartRead(ctx *core.Ctx, r *core.Region) {
 	ctx.SendProto(r.Home, uint64(r.ID), seq, hwRead, uint64(r.Space.ID), nil)
 	m := ctx.Wait(seq)
 	copy(r.Data, m.Payload)
+	ctx.Recycle(m.Payload)
 	r.State = duValid
 }
 

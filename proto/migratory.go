@@ -84,6 +84,7 @@ func (m *migratoryProto) acquire(ctx *core.Ctx, r *core.Region) {
 	ctx.SendProto(r.Home, uint64(r.ID), seq, mgReq, uint64(r.Space.ID), nil)
 	reply := ctx.Wait(seq)
 	copy(r.Data, reply.Payload)
+	ctx.Recycle(reply.Payload)
 	r.State = mgOwned
 	r.Flags &^= mgFlagFetching
 }

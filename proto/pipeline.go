@@ -63,6 +63,7 @@ func (p *pipelineProto) StartRead(ctx *core.Ctx, r *core.Region) {
 	ctx.SendProto(r.Home, uint64(r.ID), seq, ppRead, uint64(r.Space.ID), nil)
 	m := ctx.Wait(seq)
 	copy(r.Data, m.Payload)
+	ctx.Recycle(m.Payload)
 	r.State = duValid
 }
 

@@ -65,6 +65,7 @@ func (s *staticUpdateProto) StartRead(ctx *core.Ctx, r *core.Region) {
 	ctx.SendProto(r.Home, uint64(r.ID), seq, suRead, uint64(r.Space.ID), nil)
 	m := ctx.Wait(seq)
 	copy(r.Data, m.Payload)
+	ctx.Recycle(m.Payload)
 	r.State = duValid
 }
 
