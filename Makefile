@@ -3,9 +3,9 @@ GO ?= go
 # Packages whose lock-free instrumentation paths must stay race-clean.
 RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet
 
-.PHONY: ci vet build test race bench bench-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-allocs
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke bench-allocs
 
 vet:
 	$(GO) vet ./...
@@ -20,13 +20,21 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # bench regenerates the committed benchmark artifacts: the bracket
-# overhead numbers and the fabric report (BENCH_fabric.json, which keeps
-# its embedded pre-fast-path baseline for the before/after comparison).
+# overhead numbers and the fabric/bracket reports (each keeps its
+# embedded pre-optimization baseline for the before/after comparison).
 bench:
 	$(GO) test -bench BenchmarkBracket -benchmem -run '^$$' .
 	$(GO) run ./cmd/acebench -exp fabric -baseline BENCH_fabric.json -out BENCH_fabric.json
+	$(GO) run ./cmd/acebench -exp bracket -baseline BENCH_bracket.json -out BENCH_bracket.json
 
 # bench-smoke runs the fabric benchmarks briefly so CI catches a stalled
 # or asserting fast path without paying for full measurements.
 bench-smoke:
 	$(GO) test -bench 'BenchmarkFabric' -benchtime=100ms -run '^$$' ./internal/bench
+
+# bench-allocs is the regression gate for the lock-free bracket fast
+# path: with tracing disabled a hit bracket must not allocate. The awk
+# exit status fails the target if allocs/op is ever nonzero.
+bench-allocs:
+	$(GO) test -bench 'BenchmarkBracket/disabled' -benchmem -benchtime=200ms -run '^$$' . | tee /dev/stderr \
+	| awk '/^BenchmarkBracket/ { if ($$(NF-1) + 0 != 0) { print "FAIL: bracket fast path allocates: " $$0; bad = 1 } } END { exit bad }' >/dev/null

@@ -43,8 +43,8 @@ func main() {
 		app      = flag.String("app", "em3d", "benchmark for instrumented mode: "+strings.Join(bench.AppNames(), ", "))
 		custom   = flag.Bool("custom", false, "instrumented mode: use the application-specific protocol")
 		events   = flag.Int("events", 1<<16, "instrumented mode: per-processor event ring capacity for -trace")
-		out      = flag.String("out", "BENCH_fabric.json", "fabric experiment: output `file`")
-		baseline = flag.String("baseline", "", "fabric experiment: prior BENCH_fabric.json to embed as the comparison baseline")
+		out      = flag.String("out", "", "fabric/bracket experiment: output `file` (default BENCH_<exp>.json)")
+		baseline = flag.String("baseline", "", "fabric/bracket experiment: prior report to embed as the comparison baseline")
 	)
 	flag.Parse()
 
@@ -66,13 +66,15 @@ func main() {
 	case "ablation":
 		ok = runAblation(*procs)
 	case "fabric":
-		ok = runFabric(*procs, *out, *baseline)
+		ok = runFabric(*procs, reportPath(*out, "BENCH_fabric.json"), *baseline)
+	case "bracket":
+		ok = runBracket(*procs, reportPath(*out, "BENCH_bracket.json"), *baseline)
 	case "all":
 		ok = runFig7a(w, *runs)
 		ok = runFig7b(w, *runs) && ok
 		ok = runTable4(*procs) && ok
 	default:
-		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, all)\n", *exp)
 		os.Exit(2)
 	}
 	if !ok {
@@ -122,6 +124,62 @@ func runObserved(w bench.Workloads, app string, custom, metrics bool, traceOut s
 		}
 		fmt.Printf("wrote %d events to %s (load in chrome://tracing or Perfetto)\n", len(o.Events), traceOut)
 	}
+	return true
+}
+
+// reportPath returns out, or def when out is empty.
+func reportPath(out, def string) string {
+	if out == "" {
+		return def
+	}
+	return out
+}
+
+// runBracket measures the runtime's section brackets (hit solo, hit
+// under concurrent coherence churn, miss) and writes the
+// BENCH_bracket.json artifact. A prior report passed with -baseline is
+// embedded so the artifact documents the before/after delta.
+func runBracket(procs int, out, baselinePath string) bool {
+	const (
+		hitOps  = 4000000
+		missOps = 30000
+	)
+	var base []bench.BracketResult
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bracket: %v\n", err)
+			return false
+		}
+		var prior bench.BracketReport
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "bracket: parsing %s: %v\n", baselinePath, err)
+			return false
+		}
+		// A report that already embeds the pre-fast-path baseline keeps
+		// it, so regenerating the artifact stays anchored to the original
+		// comparison point.
+		base = prior.Baseline
+		if base == nil {
+			base = prior.Results
+		}
+	}
+	fmt.Printf("=== Bracket: section open/close cost, hit and miss (%d procs) ===\n", procs)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bracket: %v\n", err)
+		return false
+	}
+	rep, err := bench.WriteBracketReport(f, procs, hitOps, missOps, base)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bracket: %v\n", err)
+		return false
+	}
+	fmt.Println(bench.FormatBracket(rep.Results, rep.Baseline))
+	fmt.Printf("wrote %s\n", out)
 	return true
 }
 

@@ -15,20 +15,20 @@ import (
 func FormatMetrics(m trace.Metrics) string {
 	var b strings.Builder
 
-	ops := stats.NewTable("operation", "count", "mean", "p50", "p99")
+	ops := stats.NewTable("operation", "count", "fast hits", "mean", "p50", "p99")
 	for op := trace.Op(0); op < trace.NumOps; op++ {
 		h := m.OpLatency[op]
 		if h.Count == 0 && m.Ops[op] == 0 {
 			continue
 		}
-		ops.AddRow(op.String(), m.Ops[op],
+		ops.AddRow(op.String(), m.Ops[op], m.FastOps[op],
 			round(h.Mean()), round(h.Quantile(0.5)), round(h.Quantile(0.99)))
 	}
 	b.WriteString(ops.String())
 
 	if len(m.Spaces) > 0 {
 		b.WriteString("\n")
-		sp := stats.NewTable("space", "protocol", "ops", "busiest op", "count")
+		sp := stats.NewTable("space", "protocol", "ops", "fast hits", "busiest op", "count")
 		for _, s := range m.Spaces {
 			top, topN := trace.Op(0), uint64(0)
 			for op := trace.Op(0); op < trace.NumOps; op++ {
@@ -40,7 +40,7 @@ func FormatMetrics(m trace.Metrics) string {
 			if topN > 0 {
 				busiest = top.String()
 			}
-			sp.AddRow(s.Space, s.Protocol, s.Ops.Total(), busiest, topN)
+			sp.AddRow(s.Space, s.Protocol, s.Ops.Total(), s.FastOps.Total(), busiest, topN)
 		}
 		b.WriteString(sp.String())
 	}

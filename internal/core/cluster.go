@@ -194,7 +194,7 @@ func (c *Cluster) NetSnapshot() amnet.Snapshot {
 func (c *Cluster) OpTotals() OpStats {
 	var t OpStats
 	for _, p := range c.procs {
-		t = t.Add(p.stats)
+		t = t.Add(p.Stats())
 	}
 	return t
 }

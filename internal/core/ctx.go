@@ -2,18 +2,23 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/acedsm/ace/internal/amnet"
 )
 
 // Ctx provides the services protocol implementations build on: sending
 // protocol messages, blocking the application thread on a waiter, default
-// barrier and lock implementations, and access to the region table. Every
-// Ctx method must be called with the owning processor's runtime mutex held
-// — which is always the case inside Protocol methods, since the runtime
-// invokes them under the mutex.
+// barrier and lock implementations, and access to the region table. Each
+// space owns a Ctx bound to its engine lock; protocol routines always
+// receive that Ctx, so Wait can release the engine while blocked. The
+// proc-level Ctx (no engine) backs the runtime's own collectives and
+// lookups.
 type Ctx struct {
 	p *Proc
+	// eng is the engine lock the caller holds while running protocol
+	// code, released across Wait; nil for the proc-level Ctx.
+	eng *sync.Mutex
 }
 
 // ID returns the processor id.
@@ -23,53 +28,89 @@ func (c *Ctx) ID() amnet.NodeID { return c.p.id }
 func (c *Ctx) Procs() int { return c.p.cl.Procs() }
 
 // Region returns the local view of id, or nil if not materialized here.
-func (c *Ctx) Region(id RegionID) *Region { return c.p.regions.Get(id) }
+func (c *Ctx) Region(id RegionID) *Region {
+	c.p.regMu.RLock()
+	r := c.p.regions.Get(id)
+	c.p.regMu.RUnlock()
+	return r
+}
 
 // EnsureRegion returns the local view of id, materializing it with the
 // given size and space if absent. Push-based protocols use this when data
-// arrives for a region the local processor has never mapped.
+// arrives for a region the local processor has never mapped. The caller
+// must hold the engine lock of the space named by spaceID — always the
+// case inside Deliver, which runs under the addressed space's engine.
 func (c *Ctx) EnsureRegion(id RegionID, size, spaceID int) *Region {
-	if r := c.p.regions.Get(id); r != nil {
+	if r := c.Region(id); r != nil {
 		return r
 	}
-	return c.p.materialize(id, size, spaceID)
+	return c.p.materialize(id, size, c.p.space(spaceID))
 }
 
-// ForEachRegion visits every locally known region. The table must not be
-// mutated during iteration.
+// ForEachRegion visits every locally known region. The visited set is a
+// snapshot: regions materialized during the iteration may be missed.
 func (c *Ctx) ForEachRegion(fn func(*Region)) {
-	c.p.regions.ForEach(func(_ RegionID, r *Region) { fn(r) })
+	for _, r := range c.p.regionList() {
+		fn(r)
+	}
 }
 
 // Space returns the space with the given id.
 func (c *Ctx) Space(id int) *Space {
-	if id < 0 || id >= len(c.p.spaces) {
-		panic(fmt.Sprintf("core: proc %d: unknown space %d", c.p.id, id))
-	}
-	return c.p.spaces[id]
+	return c.p.space(id)
 }
+
+// DisableFast atomically withdraws r's fast-path eligibility bits.
+// Protocol code that is about to mutate the coherence state of a region
+// other than the one the runtime invoked it for (bulk invalidation
+// loops, barrier-time self-invalidation) must call it first, so a
+// concurrent fast bracket cannot commit against the stale state; the
+// runtime handles the invoked region itself.
+func (c *Ctx) DisableFast(r *Region) { r.disableFast() }
+
+// RefreshFast recomputes and republishes r's eligibility bits from its
+// space's protocol. Call it (with the space's engine held) after bulk
+// mutations disabled the fast path with DisableFast.
+func (c *Ctx) RefreshFast(r *Region) { r.Space.refreshFast(r) }
 
 // NewWaiter allocates a waiter and returns its sequence number. The
 // application thread passes the number in a request message (field B by
 // convention) and calls Wait; the reply handler calls Complete.
 func (c *Ctx) NewWaiter() uint64 {
-	c.p.nextWaiter++
-	seq := c.p.nextWaiter
-	c.p.waiters[seq] = &waiter{ch: make(chan amnet.Msg, 1)}
+	p := c.p
+	p.wMu.Lock()
+	p.nextWaiter++
+	seq := p.nextWaiter
+	p.waiters[seq] = &waiter{ch: make(chan amnet.Msg, 1)}
+	p.wMu.Unlock()
 	return seq
 }
 
-// Wait blocks until Complete is called for seq, releasing the runtime
-// mutex while blocked and reacquiring it before returning. Only the
-// application thread may call Wait.
+// Wait blocks until Complete is called for seq, releasing the caller's
+// engine lock (if any) while blocked and reacquiring it before
+// returning. Only the application thread may call Wait. The waiter is
+// retired here, not in Complete: the pump may complete a waiter in the
+// window between the application thread's NewWaiter and its Wait, and
+// the entry must still be present when Wait looks it up (the buffered
+// channel holds the already-delivered message).
 func (c *Ctx) Wait(seq uint64) amnet.Msg {
-	w := c.p.waiters[seq]
+	p := c.p
+	p.wMu.Lock()
+	w := p.waiters[seq]
+	p.wMu.Unlock()
 	if w == nil {
-		panic(fmt.Sprintf("core: proc %d: wait on unknown waiter %d", c.p.id, seq))
+		panic(fmt.Sprintf("core: proc %d: wait on unknown waiter %d", p.id, seq))
 	}
-	c.p.mu.Unlock()
+	if c.eng != nil {
+		c.eng.Unlock()
+	}
 	m := <-w.ch
-	c.p.mu.Lock()
+	if c.eng != nil {
+		c.eng.Lock()
+	}
+	p.wMu.Lock()
+	delete(p.waiters, seq)
+	p.wMu.Unlock()
 	return m
 }
 
@@ -77,11 +118,13 @@ func (c *Ctx) Wait(seq uint64) amnet.Msg {
 // from a Deliver handler (for locally served requests it may also be
 // called from the application thread). Complete never blocks.
 func (c *Ctx) Complete(seq uint64, m amnet.Msg) {
-	w := c.p.waiters[seq]
+	p := c.p
+	p.wMu.Lock()
+	w := p.waiters[seq]
+	p.wMu.Unlock()
 	if w == nil {
-		panic(fmt.Sprintf("core: proc %d: complete of unknown waiter %d", c.p.id, seq))
+		panic(fmt.Sprintf("core: proc %d: complete of unknown waiter %d", p.id, seq))
 	}
-	delete(c.p.waiters, seq)
 	w.ch <- m
 }
 
@@ -117,6 +160,8 @@ func (c *Ctx) Recycle(payload []byte) { amnet.Recycle(payload) }
 
 // DefaultBarrier blocks until every processor has entered a barrier. It is
 // the building block protocols compose their Barrier semantics from.
+// barGen is application-thread-private, so no lock is taken: barrier
+// arrivals contend with nothing.
 func (c *Ctx) DefaultBarrier() {
 	p := c.p
 	p.barGen++

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/acedsm/ace/internal/trace"
+)
+
+// These tests stress the lock-free bracket fast path against the message
+// pump. They are most valuable under -race: the fast path commits section
+// entry/exit with a CAS on the region's hot word while the pump delivers
+// protocol messages that mutate coherence state, and the disable-bits-
+// before-Deliver discipline is what keeps the two from racing.
+
+// TestFastPathStressSiblingInvalidation hammers hit brackets on each
+// processor's home region while its left neighbor generates coherence
+// traffic against that same region (exclusive-write increments). The
+// pump's deliveries (revokes, grants, directory updates) race the app
+// thread's fast CASes; SC must still deliver monotonic values and the
+// exact final count.
+func TestFastPathStressSiblingInvalidation(t *testing.T) {
+	const (
+		nprocs = 4
+		writes = 200
+		reads  = 30
+	)
+	run(t, nprocs, func(p *Proc) error {
+		me := p.ID()
+		mine := p.GMalloc(p.DefaultSpace(), 8)
+		regs := make([]*Region, nprocs)
+		for i := 0; i < nprocs; i++ {
+			regs[i] = p.Map(p.BroadcastID(i, mine))
+		}
+		p.GlobalBarrier()
+
+		victim := regs[(me+1)%nprocs]
+		last := int64(-1)
+		for w := 0; w < writes; w++ {
+			p.StartWrite(victim)
+			victim.Data.SetInt64(0, victim.Data.Int64(0)+1)
+			p.EndWrite(victim)
+			for i := 0; i < reads; i++ {
+				p.StartRead(regs[me])
+				v := regs[me].Data.Int64(0)
+				p.EndRead(regs[me])
+				if v < last {
+					return fmt.Errorf("proc %d: value went backwards: %d after %d", me, v, last)
+				}
+				last = v
+			}
+		}
+		p.GlobalBarrier()
+
+		p.StartRead(regs[me])
+		got := regs[me].Data.Int64(0)
+		p.EndRead(regs[me])
+		if got != writes {
+			return fmt.Errorf("proc %d: final value %d, want %d", me, got, writes)
+		}
+
+		// Quiescent epilogue: with no traffic in flight the home's
+		// directory settles, so all but the first of these brackets must
+		// commit on the fast path.
+		before := p.FastHits()[trace.OpStartRead]
+		for i := 0; i < 100; i++ {
+			p.StartRead(regs[me])
+			p.EndRead(regs[me])
+		}
+		if hits := p.FastHits()[trace.OpStartRead] - before; hits < 99 {
+			return fmt.Errorf("proc %d: %d/100 quiescent brackets hit the fast path, want >= 99", me, hits)
+		}
+		p.GlobalBarrier()
+		return nil
+	})
+}
+
+// TestFastPathStressChangeProtocol interleaves bracket hammering with
+// collective protocol changes. ChangeProtocol must withdraw every
+// region's published fast bits before resetting coherence state: a stale
+// bit surviving the flush would let a post-change fast read observe
+// pre-flush data, which the per-round value check catches.
+func TestFastPathStressChangeProtocol(t *testing.T) {
+	const rounds = 20
+	run(t, 4, func(p *Proc) error {
+		sp, err := p.NewSpace("sc")
+		if err != nil {
+			return err
+		}
+		var id RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(sp, 8)
+		}
+		r := p.Map(p.BroadcastID(0, id))
+		p.GlobalBarrier()
+
+		for round := 0; round < rounds; round++ {
+			if p.ID() == round%p.Procs() {
+				p.StartWrite(r)
+				r.Data.SetInt64(0, int64(round+1))
+				p.EndWrite(r)
+			}
+			// Concurrent readers may observe the previous or the new
+			// value, never anything else.
+			for i := 0; i < 100; i++ {
+				p.StartRead(r)
+				v := r.Data.Int64(0)
+				p.EndRead(r)
+				if v != int64(round) && v != int64(round+1) {
+					return fmt.Errorf("proc %d round %d: read %d", p.ID(), round, v)
+				}
+			}
+			p.GlobalBarrier()
+			if err := p.ChangeProtocol(sp, "sc"); err != nil {
+				return err
+			}
+			p.StartRead(r)
+			v := r.Data.Int64(0)
+			p.EndRead(r)
+			if v != int64(round+1) {
+				return fmt.Errorf("proc %d round %d: post-change read %d, want %d", p.ID(), round, v, round+1)
+			}
+			p.GlobalBarrier()
+		}
+		return nil
+	})
+}
+
+// TestFastHitCounters checks the bookkeeping around fast hits: every hit
+// is still counted as an operation, the hit counts are a subset of the
+// operation counts, and the observability layer's FastOps agree with the
+// runtime's own counters.
+func TestFastHitCounters(t *testing.T) {
+	cl, err := NewCluster(Options{Procs: 1, Trace: &trace.Config{Metrics: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const k = 1000
+	err = cl.Run(func(p *Proc) error {
+		r := p.Map(p.GMalloc(p.DefaultSpace(), 16))
+		for i := 0; i < k; i++ {
+			p.StartRead(r)
+			p.StartRead(r) // nested sections exercise counts > 1
+			p.EndRead(r)
+			p.EndRead(r)
+		}
+		for i := 0; i < k; i++ {
+			p.StartWrite(r)
+			r.Data.SetInt64(0, int64(i))
+			p.EndWrite(r)
+		}
+		st := p.Stats()
+		if st.StartReads != 2*k || st.EndReads != 2*k || st.StartWrites != k || st.EndWrites != k {
+			return fmt.Errorf("op counts: %+v", st)
+		}
+		fast := p.FastHits()
+		if fast[trace.OpStartRead] > st.StartReads || fast[trace.OpEndRead] > st.EndReads {
+			return fmt.Errorf("fast hits exceed op counts: %v vs %+v", fast, st)
+		}
+		// A single-proc home region is permanently quiescent: at most the
+		// first bracket of each kind takes the slow path.
+		if fast[trace.OpStartRead] < 2*k-1 || fast[trace.OpEndRead] < 2*k-1 ||
+			fast[trace.OpStartWrite] < k-1 || fast[trace.OpEndWrite] < k-1 {
+			return fmt.Errorf("fast hits %v, want near-total on a quiescent home region", fast)
+		}
+		m := p.Snapshot()
+		for op := trace.Op(0); op < trace.NumOps; op++ {
+			if m.FastOps[op] != fast[op] {
+				return fmt.Errorf("metrics FastOps[%v] = %d, runtime counter %d", op, m.FastOps[op], fast[op])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/acedsm/ace/internal/amnet"
 	"github.com/acedsm/ace/internal/memory"
@@ -11,31 +12,65 @@ import (
 
 // Proc is one logical processor's handle on the runtime. All methods are
 // called from the processor's single application thread (the SPMD model);
-// message handlers run on the processor's pump goroutine and synchronize
-// with the application thread through the runtime mutex.
+// message handlers run on the processor's pump goroutine.
+//
+// Concurrency model (see DESIGN.md for the full treatment). The former
+// per-processor runtime mutex is decomposed so a bracket hit never
+// contends with the coherence engine:
+//
+//   - Space.eng, one per space, is the engine lock: it protects the
+//     space's protocol instance, every protocol-owned region field
+//     (State, Flags, PState, Dir coherence state) of the space's
+//     regions, and MapCount. Protocol routines and Deliver run under it.
+//   - regMu protects the region table and the allocation sequence.
+//   - wMu protects the waiter table.
+//   - collMu protects the collective rendezvous maps (collGot,
+//     collWait), the only collective state shared between the
+//     application thread and the pump. barGen and collSeq are
+//     application-thread-private; barArr and collAcc are pump-private
+//     (handlers all run on the one pump goroutine).
+//   - spaceMu serializes space creation; lookup reads the atomic
+//     spaces snapshot and never locks.
+//   - Region.hot is the lock-free fast path: brackets on a region whose
+//     protocol published a fast-path eligibility bit commit with one
+//     CAS and never take eng (see region.go).
+//
+// Lock ordering: eng → {regMu, wMu, collMu}; collMu → wMu. A handler
+// must never lock eng while holding regMu, and engine locks of two
+// spaces never nest.
 type Proc struct {
 	id  amnet.NodeID
 	cl  *Cluster
 	ep  amnet.Endpoint
-	ctx *Ctx
+	ctx *Ctx // proc-level ctx: no engine lock (collectives, lookups)
 
-	mu      sync.Mutex
+	// regMu guards the region table and the allocation sequence.
+	regMu   sync.RWMutex
 	regions memory.Table[*Region]
 	nextSeq uint64
-	spaces  []*Space
 
+	// spaceMu serializes space creation. The table itself is published
+	// as a copy-on-write snapshot so space lookup is one atomic load.
+	spaceMu sync.Mutex
+	spaces  atomic.Pointer[[]*Space]
+
+	// wMu guards the waiter table.
+	wMu        sync.Mutex
 	waiters    map[uint64]*waiter
 	nextWaiter uint64
 
-	// Barrier state. barGen counts this processor's barrier arrivals;
-	// barArr (node 0 only) maps generation to arrivals so far.
+	// Barrier state. barGen counts this processor's barrier arrivals
+	// (application thread only); barArr (node 0, pump only) maps
+	// generation to arrivals so far.
 	barGen uint64
 	barArr map[uint64][]PendingReq
 
-	// Collective state. collSeq tags collectives in program order;
-	// collGot buffers payloads that arrive before the local thread asks;
-	// collWait maps tag to a waiter; collAcc (node 0 only) accumulates
+	// Collective state. collSeq tags collectives in program order
+	// (application thread only); collGot buffers payloads that arrive
+	// before the local thread asks and collWait maps tag to a waiter
+	// (both under collMu); collAcc (node 0, pump only) accumulates
 	// reduction contributions.
+	collMu   sync.Mutex
 	collSeq  uint64
 	collGot  map[uint64][]byte
 	collWait map[uint64]uint64
@@ -46,8 +81,15 @@ type Proc struct {
 	// region data to Send without a defensive clone of its own.
 	fabricCopies bool
 
-	stats OpStats
-	rec   *trace.Recorder
+	// ops counts runtime primitive invocations; fastOps the subset that
+	// completed on the lock-free bracket fast path. Indexed by trace.Op.
+	// Only the application thread increments them, so the atomic adds
+	// are uncontended; atomics make Stats/FastHits safe to read
+	// concurrently.
+	ops     [trace.NumOps]atomic.Uint64
+	fastOps [trace.NumOps]atomic.Uint64
+
+	rec *trace.Recorder
 }
 
 type waiter struct{ ch chan amnet.Msg }
@@ -81,9 +123,7 @@ func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
 	p.registerHandlers()
 	// The default space (index 0) exists on every processor from the
 	// start, carrying the cluster's default protocol.
-	p.mu.Lock()
 	p.addSpace(c.opts.DefaultProtocol)
-	p.mu.Unlock()
 	return p
 }
 
@@ -97,11 +137,19 @@ func (p *Proc) Procs() int { return p.cl.Procs() }
 func (p *Proc) Cluster() *Cluster { return p.cl }
 
 // DefaultSpace returns the predefined space with the cluster's default
-// protocol (sequentially consistent unless configured otherwise).
+// protocol (sequentially consistent unless configured otherwise). Space
+// lookup reads the atomic snapshot: it never contends with the pump.
 func (p *Proc) DefaultSpace() *Space {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.spaces[0]
+	return (*p.spaces.Load())[0]
+}
+
+// space returns the space with the given id, panicking on unknown ids.
+func (p *Proc) space(id int) *Space {
+	sps := p.spaces.Load()
+	if sps == nil || id < 0 || id >= len(*sps) {
+		panic(fmt.Sprintf("core: proc %d: unknown space %d", p.id, id))
+	}
+	return (*sps)[id]
 }
 
 // Stats returns a copy of this processor's operation counters.
@@ -110,9 +158,30 @@ func (p *Proc) DefaultSpace() *Space {
 // space and protocol plus invocation latency (when Options.Trace
 // enables them) and this processor's network traffic.
 func (p *Proc) Stats() OpStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return OpStats{
+		GMallocs:        p.ops[trace.OpGMalloc].Load(),
+		Maps:            p.ops[trace.OpMap].Load(),
+		Unmaps:          p.ops[trace.OpUnmap].Load(),
+		StartReads:      p.ops[trace.OpStartRead].Load(),
+		EndReads:        p.ops[trace.OpEndRead].Load(),
+		StartWrites:     p.ops[trace.OpStartWrite].Load(),
+		EndWrites:       p.ops[trace.OpEndWrite].Load(),
+		Barriers:        p.ops[trace.OpBarrier].Load(),
+		Locks:           p.ops[trace.OpLock].Load(),
+		Unlocks:         p.ops[trace.OpUnlock].Load(),
+		ProtocolChanges: p.ops[trace.OpChangeProtocol].Load(),
+	}
+}
+
+// FastHits returns how many invocations of each operation completed on
+// the lock-free bracket fast path (always a subset of the counts in
+// Stats/Snapshot).
+func (p *Proc) FastHits() trace.OpCounts {
+	var c trace.OpCounts
+	for i := range c {
+		c[i] = p.fastOps[i].Load()
+	}
+	return c
 }
 
 // Snapshot returns this processor's observability snapshot: per-space
@@ -126,22 +195,35 @@ func (p *Proc) Snapshot() trace.Metrics {
 	return m
 }
 
-// addSpace creates a space locally. Caller holds p.mu and guarantees the
-// collective discipline (all processors create spaces in the same order).
+// addSpace creates a space locally. Callers guarantee the collective
+// discipline (all processors create spaces in the same order).
 func (p *Proc) addSpace(protoName string) *Space {
 	info, ok := p.cl.reg.Lookup(protoName)
 	if !ok {
 		panic(fmt.Sprintf("core: unknown protocol %q", protoName))
 	}
+	p.spaceMu.Lock()
+	var cur []*Space
+	if sps := p.spaces.Load(); sps != nil {
+		cur = *sps
+	}
 	sp := &Space{
-		ID:        len(p.spaces),
+		ID:        len(cur),
 		ProtoName: protoName,
 		Proto:     info.New(),
 		proc:      p,
 	}
-	p.spaces = append(p.spaces, sp)
+	sp.ctx = &Ctx{p: p, eng: &sp.eng}
+	sp.fp, _ = sp.Proto.(FastPather)
+	grown := make([]*Space, len(cur)+1)
+	copy(grown, cur)
+	grown[len(cur)] = sp
+	p.spaces.Store(&grown)
+	p.spaceMu.Unlock()
 	p.rec.AddSpace(sp.ID, protoName)
-	sp.Proto.InitSpace(p.ctx, sp)
+	sp.eng.Lock()
+	sp.Proto.InitSpace(sp.ctx, sp)
+	sp.eng.Unlock()
 	return sp
 }
 
@@ -155,8 +237,6 @@ func (p *Proc) NewSpace(protoName string) (*Space, error) {
 	if err := p.verifyCollective("newspace:" + protoName); err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	return p.addSpace(protoName), nil
 }
 
@@ -169,9 +249,8 @@ func (p *Proc) GMalloc(sp *Space, size int) RegionID {
 		panic(fmt.Sprintf("core: GMalloc size %d", size))
 	}
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpGMalloc, sp.ID, t)
+	p.ops[trace.OpGMalloc].Add(1)
+	p.regMu.Lock()
 	p.nextSeq++
 	id := memory.MakeID(int32(p.id), p.nextSeq)
 	r := &Region{
@@ -183,8 +262,12 @@ func (p *Proc) GMalloc(sp *Space, size int) RegionID {
 		Dir:   NewDirectory(),
 	}
 	p.regions.Put(id, r)
-	p.stats.GMallocs++
-	sp.Proto.RegionCreated(p.ctx, r)
+	p.regMu.Unlock()
+	sp.eng.Lock()
+	sp.Proto.RegionCreated(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpGMalloc, sp.ID, t)
 	return id
 }
 
@@ -194,21 +277,24 @@ func (p *Proc) GMalloc(sp *Space, size int) RegionID {
 // StartRead or StartWrite.
 func (p *Proc) Map(id RegionID) *Region {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Maps++
+	p.ops[trace.OpMap].Add(1)
+	p.regMu.RLock()
 	r := p.regions.Get(id)
+	p.regMu.RUnlock()
 	if r == nil {
 		r = p.fetchRegion(id)
 	}
+	sp := r.Space
+	sp.eng.Lock()
 	r.MapCount++
-	r.Space.Proto.Map(p.ctx, r)
-	p.rec.End(trace.OpMap, r.Space.ID, t)
+	sp.Proto.Map(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpMap, sp.ID, t)
 	return r
 }
 
 // fetchRegion materializes a remote region, asking its home for metadata.
-// Caller holds p.mu.
 func (p *Proc) fetchRegion(id RegionID) *Region {
 	if amnet.NodeID(id.Home()) == p.id {
 		panic(fmt.Sprintf("core: proc %d: unknown home region %v", p.id, id))
@@ -216,28 +302,33 @@ func (p *Proc) fetchRegion(id RegionID) *Region {
 	seq := p.ctx.NewWaiter()
 	p.ep.Send(amnet.Msg{Dst: amnet.NodeID(id.Home()), Handler: hLookup, A: uint64(id), B: seq})
 	m := p.ctx.Wait(seq)
-	// A protocol push may have materialized the region while we waited.
-	if r := p.regions.Get(id); r != nil {
-		return r
-	}
-	return p.materialize(id, int(m.A), int(m.C))
+	sp := p.space(int(m.C))
+	sp.eng.Lock()
+	r := p.materialize(id, int(m.A), sp)
+	sp.eng.Unlock()
+	return r
 }
 
-// materialize creates the local view of a region homed elsewhere. Caller
-// holds p.mu.
-func (p *Proc) materialize(id RegionID, size, spaceID int) *Region {
-	if spaceID < 0 || spaceID >= len(p.spaces) {
-		panic(fmt.Sprintf("core: proc %d: region %v names unknown space %d", p.id, id, spaceID))
+// materialize creates the local view of a region homed elsewhere,
+// returning the existing view if a protocol push raced it in. Caller
+// holds sp's engine lock.
+func (p *Proc) materialize(id RegionID, size int, sp *Space) *Region {
+	p.regMu.Lock()
+	if r := p.regions.Get(id); r != nil {
+		p.regMu.Unlock()
+		return r
 	}
 	r := &Region{
 		ID:    id,
 		Home:  amnet.NodeID(id.Home()),
 		Size:  size,
 		Data:  make(memory.Data, size),
-		Space: p.spaces[spaceID],
+		Space: sp,
 	}
 	p.regions.Put(id, r)
-	r.Space.Proto.RegionCreated(p.ctx, r)
+	p.regMu.Unlock()
+	sp.Proto.RegionCreated(sp.ctx, r)
+	sp.refreshFast(r)
 	return r
 }
 
@@ -245,84 +336,123 @@ func (p *Proc) materialize(id RegionID, size, spaceID int) *Region {
 // under coherence (CRL-style unmapped-region caching).
 func (p *Proc) Unmap(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpUnmap, r.Space.ID, t)
-	p.stats.Unmaps++
+	p.ops[trace.OpUnmap].Add(1)
+	sp := r.Space
+	sp.eng.Lock()
 	if r.MapCount <= 0 {
 		panic(fmt.Sprintf("core: proc %d: unmap of unmapped region %v", p.id, r.ID))
 	}
 	r.MapCount--
-	r.Space.Proto.Unmap(p.ctx, r)
+	sp.Proto.Unmap(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpUnmap, sp.ID, t)
 }
 
 // StartRead opens a read section on r. On return r.Data is valid for
 // reading under the space's protocol.
+//
+// The fast path: when r's protocol has published the FastRead
+// eligibility bit, opening the section is a single CAS on the region's
+// hot word — no lock, no protocol invocation. Any interference (bit
+// withdrawn by the engine, concurrent word update) falls back to the
+// engine-locked slow path.
 func (p *Proc) StartRead(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpStartRead, r.Space.ID, t)
-	p.stats.StartReads++
-	r.Space.Proto.StartRead(p.ctx, r)
-	r.Readers++
+	p.ops[trace.OpStartRead].Add(1)
+	if r.tryFastStart(rwFastRead, rwReaderShift) {
+		p.fastOps[trace.OpStartRead].Add(1)
+		p.rec.FastHit(trace.OpStartRead, r.Space.ID)
+		p.rec.End(trace.OpStartRead, r.Space.ID, t)
+		return
+	}
+	sp := r.Space
+	sp.eng.Lock()
+	sp.Proto.StartRead(sp.ctx, r)
+	r.adjSections(1, rwReaderShift)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpStartRead, sp.ID, t)
 }
 
 // EndRead closes a read section on r.
 func (p *Proc) EndRead(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpEndRead, r.Space.ID, t)
-	p.stats.EndReads++
-	if r.Readers <= 0 {
+	p.ops[trace.OpEndRead].Add(1)
+	if r.tryFastEnd(rwFastRead, rwReaderShift) {
+		p.fastOps[trace.OpEndRead].Add(1)
+		p.rec.FastHit(trace.OpEndRead, r.Space.ID)
+		p.rec.End(trace.OpEndRead, r.Space.ID, t)
+		return
+	}
+	sp := r.Space
+	sp.eng.Lock()
+	if r.Readers() <= 0 {
 		panic(fmt.Sprintf("core: proc %d: EndRead without StartRead on %v", p.id, r.ID))
 	}
-	r.Readers--
-	r.Space.Proto.EndRead(p.ctx, r)
+	r.adjSections(-1, rwReaderShift)
+	sp.Proto.EndRead(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpEndRead, sp.ID, t)
 }
 
 // StartWrite opens a write section on r. On return r.Data is valid for
-// writing under the space's protocol.
+// writing under the space's protocol. Fast path as in StartRead, gated
+// on FastWrite.
 func (p *Proc) StartWrite(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpStartWrite, r.Space.ID, t)
-	p.stats.StartWrites++
-	r.Space.Proto.StartWrite(p.ctx, r)
-	r.Writers++
+	p.ops[trace.OpStartWrite].Add(1)
+	if r.tryFastStart(rwFastWrite, rwWriterShift) {
+		p.fastOps[trace.OpStartWrite].Add(1)
+		p.rec.FastHit(trace.OpStartWrite, r.Space.ID)
+		p.rec.End(trace.OpStartWrite, r.Space.ID, t)
+		return
+	}
+	sp := r.Space
+	sp.eng.Lock()
+	sp.Proto.StartWrite(sp.ctx, r)
+	r.adjSections(1, rwWriterShift)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpStartWrite, sp.ID, t)
 }
 
 // EndWrite closes a write section on r.
 func (p *Proc) EndWrite(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpEndWrite, r.Space.ID, t)
-	p.stats.EndWrites++
-	if r.Writers <= 0 {
+	p.ops[trace.OpEndWrite].Add(1)
+	if r.tryFastEnd(rwFastWrite, rwWriterShift) {
+		p.fastOps[trace.OpEndWrite].Add(1)
+		p.rec.FastHit(trace.OpEndWrite, r.Space.ID)
+		p.rec.End(trace.OpEndWrite, r.Space.ID, t)
+		return
+	}
+	sp := r.Space
+	sp.eng.Lock()
+	if r.Writers() <= 0 {
 		panic(fmt.Sprintf("core: proc %d: EndWrite without StartWrite on %v", p.id, r.ID))
 	}
-	r.Writers--
-	r.Space.Proto.EndWrite(p.ctx, r)
+	r.adjSections(-1, rwWriterShift)
+	sp.Proto.EndWrite(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpEndWrite, sp.ID, t)
 }
 
 // Barrier executes a barrier with the semantics of sp's protocol (for
 // example, a static update protocol propagates updates here).
 func (p *Proc) Barrier(sp *Space) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpBarrier, sp.ID, t)
-	p.stats.Barriers++
-	sp.Proto.Barrier(p.ctx, sp)
+	p.ops[trace.OpBarrier].Add(1)
+	sp.eng.Lock()
+	sp.Proto.Barrier(sp.ctx, sp)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpBarrier, sp.ID, t)
 }
 
 // GlobalBarrier synchronizes all processors without protocol semantics.
 func (p *Proc) GlobalBarrier() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.ctx.DefaultBarrier()
 }
 
@@ -330,33 +460,41 @@ func (p *Proc) GlobalBarrier() {
 // protocol.
 func (p *Proc) Lock(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpLock, r.Space.ID, t)
-	p.stats.Locks++
-	r.Space.Proto.Lock(p.ctx, r)
+	p.ops[trace.OpLock].Add(1)
+	sp := r.Space
+	sp.eng.Lock()
+	sp.Proto.Lock(sp.ctx, r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpLock, sp.ID, t)
 }
 
 // Unlock releases the region lock.
 func (p *Proc) Unlock(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpUnlock, r.Space.ID, t)
-	p.stats.Unlocks++
-	r.Space.Proto.Unlock(p.ctx, r)
+	p.ops[trace.OpUnlock].Add(1)
+	sp := r.Space
+	sp.eng.Lock()
+	sp.Proto.Unlock(sp.ctx, r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpUnlock, sp.ID, t)
 }
 
 // DropCopy asks r's protocol to discard the local cached copy if safe,
 // reporting whether it did. Runtimes with bounded region caches use this
 // for eviction.
 func (p *Proc) DropCopy(r *Region) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if d, ok := r.Space.Proto.(Dropper); ok {
-		return d.DropCopy(p.ctx, r)
+	d, ok := r.Space.Proto.(Dropper)
+	if !ok {
+		return false
 	}
-	return false
+	sp := r.Space
+	sp.eng.Lock()
+	dropped := d.DropCopy(sp.ctx, r)
+	if dropped {
+		sp.refreshFast(r)
+	}
+	sp.eng.Unlock()
+	return dropped
 }
 
 // ChangeProtocol changes sp's protocol. It is a collective operation. The
@@ -372,37 +510,53 @@ func (p *Proc) ChangeProtocol(sp *Space, protoName string) error {
 		return err
 	}
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpChangeProtocol, sp.ID, t)
-	p.stats.ProtocolChanges++
+	p.ops[trace.OpChangeProtocol].Add(1)
 	p.ctx.DefaultBarrier()
-	sp.Proto.FlushSpace(p.ctx, sp)
+	sp.eng.Lock()
+	sp.Proto.FlushSpace(sp.ctx, sp)
+	sp.eng.Unlock()
 	p.ctx.DefaultBarrier()
 	// All data is now home-valid and no coherence traffic is in flight:
-	// reset protocol-owned state.
-	p.regions.ForEach(func(_ RegionID, r *Region) {
+	// reset protocol-owned state. Withdrawing the fast bits here covers
+	// any left stale by the flush; the new protocol republishes lazily
+	// as brackets take the slow path.
+	sp.eng.Lock()
+	for _, r := range p.regionList() {
 		if r.Space != sp {
-			return
+			continue
 		}
 		r.State = 0
 		r.Flags = 0
 		r.PState = nil
+		r.publishFast(0)
 		if r.Dir != nil {
 			if len(r.Dir.Waiting) != 0 || r.Dir.Busy {
 				panic(fmt.Sprintf("core: proc %d: ChangeProtocol with busy directory on %v", p.id, r.ID))
 			}
 			r.Dir.ResetCoherence()
 		}
-	})
+	}
 	sp.Proto = info.New()
 	sp.ProtoName = protoName
 	sp.Epoch++
 	sp.PData = nil
+	sp.fp, _ = sp.Proto.(FastPather)
 	p.rec.SetProtocol(sp.ID, protoName)
-	sp.Proto.InitSpace(p.ctx, sp)
+	sp.Proto.InitSpace(sp.ctx, sp)
+	sp.eng.Unlock()
 	p.ctx.DefaultBarrier()
+	p.rec.End(trace.OpChangeProtocol, sp.ID, t)
 	return nil
+}
+
+// regionList snapshots the region table under regMu so callers can
+// iterate without holding the table lock across protocol callbacks.
+func (p *Proc) regionList() []*Region {
+	p.regMu.RLock()
+	out := make([]*Region, 0, p.regions.Len())
+	p.regions.ForEach(func(_ RegionID, r *Region) { out = append(out, r) })
+	p.regMu.RUnlock()
+	return out
 }
 
 // verifyCollective checks that every processor reached the same collective
@@ -416,60 +570,60 @@ func (p *Proc) verifyCollective(tag string) error {
 }
 
 // registerHandlers installs the runtime's message handlers. Handlers run
-// on the pump goroutine and take p.mu.
+// on the pump goroutine; each takes only the lock guarding the state it
+// touches, so a directory transaction on one space no longer serializes
+// against brackets, collectives, or other spaces.
 func (p *Proc) registerHandlers() {
 	p.ep.Register(hComplete, func(m amnet.Msg) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
 		p.ctx.Complete(m.B, m)
 	})
 	p.ep.Register(hLookup, func(m amnet.Msg) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
+		p.regMu.RLock()
 		r := p.regions.Get(RegionID(m.A))
+		p.regMu.RUnlock()
 		if r == nil || !r.IsHome() {
 			panic(fmt.Sprintf("core: proc %d: lookup of unknown region %v", p.id, RegionID(m.A)))
 		}
+		// Size and Space are immutable after creation; no lock needed.
 		p.ep.Send(amnet.Msg{Dst: m.Src, Handler: hComplete, A: uint64(r.Size), B: m.B, C: uint64(r.Space.ID)})
 	})
 	p.ep.Register(hBarArrive, func(m amnet.Msg) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		p.barrierArrive(m)
+		p.barrierArrive(m) // node-0 pump-private state
 	})
 	p.ep.Register(hLockReq, func(m amnet.Msg) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		p.lockRequest(m)
+		p.lockRequest(m) // home-pump-private state
 	})
 	p.ep.Register(hUnlockMsg, func(m amnet.Msg) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		p.unlockRequest(m)
+		p.unlockRequest(m) // home-pump-private state
 	})
 	p.ep.Register(hColl, func(m amnet.Msg) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
 		p.collDeliver(m)
 		// collDeliver clones every payload it keeps (accumulator entries
 		// and buffered broadcast values), so the wire buffer is free.
 		amnet.Recycle(m.Payload)
 	})
 	p.ep.Register(hProto, func(m amnet.Msg) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
+		sp := p.space(int(m.D))
+		sp.eng.Lock()
+		p.regMu.RLock()
 		r := p.regions.Get(RegionID(m.A))
-		var sp *Space
+		p.regMu.RUnlock()
 		if r != nil {
-			sp = r.Space
-		} else {
-			spID := int(m.D)
-			if spID < 0 || spID >= len(p.spaces) {
-				panic(fmt.Sprintf("core: proc %d: protocol message for unknown space %d", p.id, spID))
+			if r.Space != sp {
+				panic(fmt.Sprintf("core: proc %d: protocol message for %v names space %d, region is in %d",
+					p.id, r.ID, sp.ID, r.Space.ID))
 			}
-			sp = p.spaces[spID]
+			// Withdraw the fast bits before Deliver examines the section
+			// counts: a concurrent fast bracket either committed before
+			// this point (and its count is visible below) or its CAS
+			// fails and it retries through the slow path behind eng.
+			r.disableFast()
 		}
-		sp.Proto.Deliver(p.ctx, sp, r, m)
+		sp.Proto.Deliver(sp.ctx, sp, r, m)
+		if r != nil {
+			sp.refreshFast(r)
+		}
+		sp.eng.Unlock()
 		// Deliver implementations consume the payload synchronously
 		// (copy into region data, clone into deferred queues, or forward
 		// through Send, which also copies); the wire buffer is free.
@@ -494,6 +648,31 @@ type Space struct {
 	PData any
 
 	proc *Proc
+
+	// eng is the space's engine lock: it serializes the protocol
+	// instance, the protocol-owned fields of the space's regions, and
+	// MapCount, between the application thread's slow-path operations
+	// and the pump's Deliver. ProtoName/Proto/Epoch/PData mutate only
+	// under it (by ChangeProtocol).
+	eng sync.Mutex
+	// ctx is the Ctx bound to eng: protocol routines of this space run
+	// with it so ctx.Wait releases the engine while blocked.
+	ctx *Ctx
+	// fp is the protocol's fast-path view, nil when the protocol does
+	// not implement FastPather.
+	fp FastPather
+}
+
+// refreshFast recomputes and publishes r's fast-path eligibility bits
+// from the space's protocol. Caller holds sp.eng. Runtimes call it after
+// every protocol invocation that can change r's coherence state; bulk
+// operations that mutate other regions use Ctx.RefreshFast per region.
+func (sp *Space) refreshFast(r *Region) {
+	var bits FastBits
+	if sp.fp != nil {
+		bits = sp.fp.FastBits(r)
+	}
+	r.publishFast(bits)
 }
 
 // OpStats counts runtime primitive invocations on one processor.
@@ -533,43 +712,79 @@ func (s OpStats) Add(o OpStats) OpStats {
 // matching bracket was a null handler the direct-dispatch pass deleted;
 // the protocol's null declaration is its promise that it needs no open-
 // section accounting at these points (the paper's runtime kept none).
+//
+// Their fast path is a bare eligibility-bit load: publishing the bit
+// already promises the protocol routine is a no-op, and Bare variants
+// keep no counts, so there is nothing to CAS.
 
 // StartReadBare opens a read section without bookkeeping.
 func (p *Proc) StartReadBare(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpStartRead, r.Space.ID, t)
-	p.stats.StartReads++
-	r.Space.Proto.StartRead(p.ctx, r)
+	p.ops[trace.OpStartRead].Add(1)
+	if r.fastEligible(rwFastRead) {
+		p.fastOps[trace.OpStartRead].Add(1)
+		p.rec.FastHit(trace.OpStartRead, r.Space.ID)
+		p.rec.End(trace.OpStartRead, r.Space.ID, t)
+		return
+	}
+	sp := r.Space
+	sp.eng.Lock()
+	sp.Proto.StartRead(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpStartRead, sp.ID, t)
 }
 
 // EndReadBare closes a read section without bookkeeping.
 func (p *Proc) EndReadBare(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpEndRead, r.Space.ID, t)
-	p.stats.EndReads++
-	r.Space.Proto.EndRead(p.ctx, r)
+	p.ops[trace.OpEndRead].Add(1)
+	if r.fastEligible(rwFastRead) {
+		p.fastOps[trace.OpEndRead].Add(1)
+		p.rec.FastHit(trace.OpEndRead, r.Space.ID)
+		p.rec.End(trace.OpEndRead, r.Space.ID, t)
+		return
+	}
+	sp := r.Space
+	sp.eng.Lock()
+	sp.Proto.EndRead(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpEndRead, sp.ID, t)
 }
 
 // StartWriteBare opens a write section without bookkeeping.
 func (p *Proc) StartWriteBare(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpStartWrite, r.Space.ID, t)
-	p.stats.StartWrites++
-	r.Space.Proto.StartWrite(p.ctx, r)
+	p.ops[trace.OpStartWrite].Add(1)
+	if r.fastEligible(rwFastWrite) {
+		p.fastOps[trace.OpStartWrite].Add(1)
+		p.rec.FastHit(trace.OpStartWrite, r.Space.ID)
+		p.rec.End(trace.OpStartWrite, r.Space.ID, t)
+		return
+	}
+	sp := r.Space
+	sp.eng.Lock()
+	sp.Proto.StartWrite(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpStartWrite, sp.ID, t)
 }
 
 // EndWriteBare closes a write section without bookkeeping.
 func (p *Proc) EndWriteBare(r *Region) {
 	t := p.rec.Begin()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	defer p.rec.End(trace.OpEndWrite, r.Space.ID, t)
-	p.stats.EndWrites++
-	r.Space.Proto.EndWrite(p.ctx, r)
+	p.ops[trace.OpEndWrite].Add(1)
+	if r.fastEligible(rwFastWrite) {
+		p.fastOps[trace.OpEndWrite].Add(1)
+		p.rec.FastHit(trace.OpEndWrite, r.Space.ID)
+		p.rec.End(trace.OpEndWrite, r.Space.ID, t)
+		return
+	}
+	sp := r.Space
+	sp.eng.Lock()
+	sp.Proto.EndWrite(sp.ctx, r)
+	sp.refreshFast(r)
+	sp.eng.Unlock()
+	p.rec.End(trace.OpEndWrite, sp.ID, t)
 }

@@ -87,9 +87,10 @@ func (s PointSet) String() string {
 // Protocol is the interface a protocol library implements. One instance is
 // created per (space, processor) pair, so instances may keep per-processor
 // state in their fields without synchronization: every method is invoked
-// with the owning processor's runtime mutex held, either from the
-// application thread (access and synchronization points) or from the
-// message pump (Deliver).
+// with the owning space's engine lock held, either from the application
+// thread (access and synchronization points) or from the message pump
+// (Deliver). Brackets that commit on the lock-free fast path never enter
+// the protocol at all — see FastPather.
 //
 // Methods must not block except by ctx.Wait on a waiter they created, and
 // Deliver must never block at all (it runs on the message pump).
@@ -142,6 +143,38 @@ type Protocol interface {
 	// protocol may create it with ctx.EnsureRegion). Deliver runs on the
 	// message pump and must not block.
 	Deliver(ctx *Ctx, sp *Space, r *Region, m amnet.Msg)
+}
+
+// FastPather is an optional Protocol extension: protocols whose bracket
+// routines are no-ops for a region in certain states implement it to let
+// the runtime complete those brackets with a lock-free CAS on the
+// region's hot word, never invoking the protocol.
+//
+// FastBits is called with the space's engine lock held, after every
+// protocol invocation on the region, and must be a pure function of the
+// region's current protocol state. Returning FastRead (FastWrite) is
+// the promise that, in the state just established:
+//
+//   - StartRead/EndRead (StartWrite/EndWrite) on this processor are
+//     no-ops, and r.Data is valid for reading (writing) under the
+//     protocol's consistency model for as long as the bits stay
+//     published;
+//   - skipping the routines has no protocol-visible effect — in
+//     particular, no deferred work (pending invalidations, queued
+//     directory requests, dirty-list bookkeeping) hinges on a
+//     section-end invocation.
+//
+// The runtime withdraws the bits before every Deliver on the region and
+// republishes them after, so protocol state changes made in handlers
+// cannot race a fast bracket. Protocol code that mutates the coherence
+// state of other regions (bulk invalidation at barriers) must withdraw
+// their bits itself with Ctx.DisableFast first.
+//
+// Protocols for which every access must run handlers (for example the
+// race-checking debug protocol) simply do not implement the interface.
+type FastPather interface {
+	// FastBits returns the bracket kinds currently hit-eligible for r.
+	FastBits(r *Region) FastBits
 }
 
 // Dropper is an optional Protocol extension: protocols that can discard a

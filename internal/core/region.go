@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"github.com/acedsm/ace/internal/amnet"
 	"github.com/acedsm/ace/internal/memory"
@@ -13,8 +14,10 @@ type RegionID = memory.RegionID
 // RegionData re-exports memory.Data: a byte view with typed accessors.
 type RegionData = memory.Data
 
-// Region is one processor's view of a shared region. Fields are protected
-// by the owning processor's runtime mutex. The State, PState and Flags
+// Region is one processor's view of a shared region. Mutable fields are
+// protected by the owning space's engine lock (Space.eng), except the
+// hot word, which also admits the bracket fast path's lock-free CAS
+// transitions (see hot word layout below). The State, PState and Flags
 // fields belong to the space's protocol; the runtime zeroes them when the
 // protocol changes.
 type Region struct {
@@ -31,8 +34,15 @@ type Region struct {
 	// caching), so MapCount==0 does not imply the copy is invalid.
 	MapCount int
 
-	// Readers and Writers count open read and write sections.
-	Readers, Writers int
+	// hot packs the region's runtime-visible hot state into one atomic
+	// word so a bracket hit is a single CAS (see the rw* layout
+	// constants): the open-section counts, the fast-path eligibility
+	// bits the space's protocol publishes, and a mirror of the
+	// protocol's State for observability. Counts are mutated only by
+	// the application thread (fast CAS or slow-path add under the
+	// engine lock); the eligibility bits are cleared and republished by
+	// whichever thread holds the engine lock.
+	hot atomic.Uint64
 
 	// State is protocol-defined (for the SC protocol: Invalid, Shared,
 	// Exclusive).
@@ -49,11 +59,134 @@ type Region struct {
 	Dir *Directory
 }
 
+// The hot word layout. One 64-bit word carries everything the bracket
+// fast path and the protocol's section checks need, so a single
+// CompareAndSwap is a linearization point for both:
+//
+//	bits  0–15  open read sections (Readers)
+//	bits 16–31  open write sections (Writers)
+//	bit  32     fast-path-eligible for read brackets (FastRead)
+//	bit  33     fast-path-eligible for write brackets (FastWrite)
+//	bits 40–47  mirror of the protocol State's low byte (observability
+//	            only; the authoritative State field is engine-locked)
+//
+// ABA on the word is benign: the entire decision state of a fast
+// bracket (eligibility bit plus count) lives in the word itself, so any
+// successful CAS observed a word for which the transition is valid,
+// regardless of intervening history.
+const (
+	rwReaderShift = 0
+	rwWriterShift = 16
+	rwCountMask   = uint64(0xffff)
+	rwFastShift   = 32
+	rwFastRead    = uint64(FastRead) << rwFastShift
+	rwFastWrite   = uint64(FastWrite) << rwFastShift
+	rwFastMask    = rwFastRead | rwFastWrite
+	rwStateShift  = 40
+	rwStateMask   = uint64(0xff) << rwStateShift
+	rwInUseMask   = rwCountMask<<rwReaderShift | rwCountMask<<rwWriterShift
+)
+
+// FastBits is the set of bracket kinds a protocol declares hit-eligible
+// for a region in its current state. Publishing FastRead (FastWrite) is
+// the protocol's promise that, until the bit is withdrawn, its
+// StartRead/EndRead (StartWrite/EndWrite) routines are no-ops for the
+// region and r.Data is valid for reading (writing) — so the runtime may
+// complete the bracket with a lock-free count transition and never
+// enter the protocol.
+type FastBits uint8
+
+// The fast-path eligibility bits.
+const (
+	FastRead FastBits = 1 << iota
+	FastWrite
+)
+
 // IsHome reports whether this processor is the region's home.
 func (r *Region) IsHome() bool { return r.Dir != nil }
 
+// Readers returns the number of open read sections.
+func (r *Region) Readers() int { return int(r.hot.Load() >> rwReaderShift & rwCountMask) }
+
+// Writers returns the number of open write sections.
+func (r *Region) Writers() int { return int(r.hot.Load() >> rwWriterShift & rwCountMask) }
+
 // InUse reports whether the region has an open read or write section.
-func (r *Region) InUse() bool { return r.Readers > 0 || r.Writers > 0 }
+func (r *Region) InUse() bool { return r.hot.Load()&rwInUseMask != 0 }
+
+// tryFastStart attempts the lock-free bracket-open transition for the
+// section kind counted at shift, gated on the eligibility bit. A single
+// CAS attempt: any interference (bit withdrawn, concurrent engine
+// update, count saturation) falls back to the locked slow path.
+func (r *Region) tryFastStart(bit uint64, shift uint) bool {
+	w := r.hot.Load()
+	if w&bit == 0 || w>>shift&rwCountMask == rwCountMask {
+		return false
+	}
+	return r.hot.CompareAndSwap(w, w+1<<shift)
+}
+
+// tryFastEnd attempts the lock-free bracket-close transition. The count
+// guard routes unbalanced closes to the slow path, which panics with
+// the diagnostic.
+func (r *Region) tryFastEnd(bit uint64, shift uint) bool {
+	w := r.hot.Load()
+	if w&bit == 0 || w>>shift&rwCountMask == 0 {
+		return false
+	}
+	return r.hot.CompareAndSwap(w, w-1<<shift)
+}
+
+// fastEligible reports whether the eligibility bit is currently
+// published — the entire fast path for the Bare bracket variants, which
+// keep no section counts.
+func (r *Region) fastEligible(bit uint64) bool { return r.hot.Load()&bit != 0 }
+
+// adjSections adjusts an open-section count from the locked slow path.
+// Only the application thread mutates counts (the SPMD model: one
+// application thread per processor), so a blind atomic add cannot race
+// with another count mutation; concurrent eligibility-bit CASes from
+// the engine side compose with it because both are atomic RMWs. Callers
+// guard against underflow (count already checked > 0) so the
+// subtraction cannot borrow into adjacent fields; overflow of a 16-bit
+// count would need 65535 simultaneously open sections on one thread.
+func (r *Region) adjSections(delta int64, shift uint) {
+	r.hot.Add(uint64(delta) << shift)
+}
+
+// disableFast atomically withdraws both eligibility bits. After it
+// returns, no fast bracket can commit until a republish, and every fast
+// transition that committed before it is visible in the counts — the
+// ordering the engine relies on when it checks InUse/Readers/Writers
+// before acting on a region (a concurrent fast close either lands
+// before the withdrawal and is visible, or its CAS fails and the close
+// retries through the locked slow path).
+func (r *Region) disableFast() {
+	for {
+		w := r.hot.Load()
+		if w&rwFastMask == 0 {
+			return
+		}
+		if r.hot.CompareAndSwap(w, w&^rwFastMask) {
+			return
+		}
+	}
+}
+
+// publishFast installs the eligibility bits and refreshes the State
+// mirror. Caller holds the region's space engine lock (which serializes
+// publishers); the loop absorbs concurrent count CASes from the
+// application thread's fast path.
+func (r *Region) publishFast(bits FastBits) {
+	state := uint64(uint8(r.State)) << rwStateShift
+	for {
+		w := r.hot.Load()
+		nw := w&^(rwFastMask|rwStateMask) | uint64(bits)<<rwFastShift | state
+		if w == nw || r.hot.CompareAndSwap(w, nw) {
+			return
+		}
+	}
+}
 
 // Directory is the per-region coherence directory kept at the home. The
 // generic fields (lock queue) are managed by the runtime; Sharers, Owner,

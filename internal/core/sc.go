@@ -129,7 +129,7 @@ func (s *SCProtocol) EndWrite(ctx *Ctx, r *Region) {
 // remoteSectionEnd performs deferred invalidations and writebacks on a
 // remote copy whose sections have (partially) closed.
 func (s *SCProtocol) remoteSectionEnd(ctx *Ctx, r *Region) {
-	if r.Writers == 0 && r.Flags&scFlagPendDowngrade != 0 {
+	if r.Writers() == 0 && r.Flags&scFlagPendDowngrade != 0 {
 		r.Flags &^= scFlagPendDowngrade
 		r.State = scShared
 		ctx.SendProto(r.Home, uint64(r.ID), 0, scWbAck, uint64(r.Space.ID), r.Data)
@@ -185,7 +185,7 @@ func (s *SCProtocol) kick(ctx *Ctx, r *Region) {
 func canStart(r *Region, req PendingReq) bool {
 	switch req.Kind {
 	case pkRemoteRead:
-		return r.Writers == 0
+		return r.Writers() == 0
 	case pkRemoteWrite:
 		return !r.InUse()
 	default: // home-local requests never self-conflict
@@ -340,7 +340,7 @@ func (s *SCProtocol) handleWbReq(ctx *Ctx, r *Region, m amnet.Msg) {
 	if r == nil {
 		panic(fmt.Sprintf("core: sc: proc %d: downgrade for unknown region %v", ctx.ID(), RegionID(m.A)))
 	}
-	if r.Writers > 0 || r.Flags&scFlagFetchWrite != 0 {
+	if r.Writers() > 0 || r.Flags&scFlagFetchWrite != 0 {
 		r.Flags |= scFlagPendDowngrade
 		return
 	}
@@ -429,6 +429,47 @@ func (s *SCProtocol) handleFlush(ctx *Ctx, r *Region, m amnet.Msg) {
 	copy(r.Data, m.Payload)
 	d.Owner = -1
 	ctx.SendComplete(m.Src, m.B, 0, nil)
+}
+
+// FastBits reports when the runtime may complete brackets on r without
+// entering the protocol, implementing FastPather. The invariants:
+//
+//   - Remote copies: every bracket routine is a no-op exactly when no
+//     flag is pending and no fetch is outstanding (Flags == 0) and the
+//     state already grants the access — shared grants reads, exclusive
+//     grants both. A deferred invalidation (scFlagPendInval et al.)
+//     clears eligibility because the section-end check must run.
+//   - The home: with the directory quiescent (not Busy, nothing
+//     Waiting, no remote owner) homeAccess returns immediately and kick
+//     has nothing to serve, so reads are free; writes additionally
+//     require no sharers (else StartWrite must invalidate). Anything
+//     queued clears eligibility because the end-of-section kick must
+//     run — the fast path skipping kick would strand waiters.
+//
+// The pump withdraws these bits before Deliver mutates the state and
+// the runtime republishes after, so a bracket that raced the transition
+// either committed against a still-valid word or fell to the slow path.
+func (s *SCProtocol) FastBits(r *Region) FastBits {
+	if r.IsHome() {
+		d := r.Dir
+		if d.Busy || len(d.Waiting) > 0 || d.Owner >= 0 {
+			return 0
+		}
+		if d.Sharers.Empty() {
+			return FastRead | FastWrite
+		}
+		return FastRead
+	}
+	if r.Flags != 0 {
+		return 0
+	}
+	switch r.State {
+	case scShared:
+		return FastRead
+	case scExclusive:
+		return FastRead | FastWrite
+	}
+	return 0
 }
 
 // DropCopy discards a clean shared copy, implementing core.Dropper. Only

@@ -13,8 +13,8 @@ import (
 // collectives (broadcast and all-reduce) applications use to distribute
 // region ids and combine scalars.
 
-// barrierArrive handles a barrier arrival at processor 0. Caller holds
-// p.mu.
+// barrierArrive handles a barrier arrival at processor 0. barArr is
+// touched only by the pump goroutine, so no lock is taken.
 func (p *Proc) barrierArrive(m amnet.Msg) {
 	if p.id != 0 {
 		panic(fmt.Sprintf("core: proc %d received barrier arrival", p.id))
@@ -29,10 +29,14 @@ func (p *Proc) barrierArrive(m amnet.Msg) {
 	}
 }
 
-// lockRequest handles a region lock request at the region's home. Caller
-// holds p.mu.
+// lockRequest handles a region lock request at the region's home. The
+// directory's lock fields (LockHolder, LockQueue) are touched only by
+// the home's pump goroutine — DefaultLock/DefaultUnlock just send — so
+// only the region lookup needs a lock.
 func (p *Proc) lockRequest(m amnet.Msg) {
+	p.regMu.RLock()
 	r := p.regions.Get(RegionID(m.A))
+	p.regMu.RUnlock()
 	if r == nil || !r.IsHome() {
 		panic(fmt.Sprintf("core: proc %d: lock request for non-home region %v", p.id, RegionID(m.A)))
 	}
@@ -45,10 +49,12 @@ func (p *Proc) lockRequest(m amnet.Msg) {
 	d.LockQueue = append(d.LockQueue, lockWaiter{src: m.Src, seq: m.B})
 }
 
-// unlockRequest handles a region unlock at the region's home. Caller holds
-// p.mu.
+// unlockRequest handles a region unlock at the region's home. Same
+// pump-only discipline as lockRequest.
 func (p *Proc) unlockRequest(m amnet.Msg) {
+	p.regMu.RLock()
 	r := p.regions.Get(RegionID(m.A))
+	p.regMu.RUnlock()
 	if r == nil || !r.IsHome() {
 		panic(fmt.Sprintf("core: proc %d: unlock for non-home region %v", p.id, RegionID(m.A)))
 	}
@@ -78,7 +84,8 @@ const (
 	collOpResult
 )
 
-// collDeliver handles a collective message. Caller holds p.mu.
+// collDeliver handles a collective message on the pump goroutine. The
+// accumulator is pump-private; collArrived takes collMu itself.
 func (p *Proc) collDeliver(m amnet.Msg) {
 	switch m.C {
 	case collOpBcast, collOpResult:
@@ -106,24 +113,32 @@ func (p *Proc) collDeliver(m amnet.Msg) {
 }
 
 // collArrived records a collective payload for tag, waking a waiter if one
-// is registered. Caller holds p.mu.
+// is registered.
 func (p *Proc) collArrived(tag uint64, payload []byte) {
+	p.collMu.Lock()
 	if seq, ok := p.collWait[tag]; ok {
 		delete(p.collWait, tag)
+		p.collMu.Unlock()
 		p.ctx.Complete(seq, amnet.Msg{Payload: clone(payload)})
 		return
 	}
 	p.collGot[tag] = clone(payload)
+	p.collMu.Unlock()
 }
 
-// collAwait blocks until the payload for tag arrives. Caller holds p.mu.
+// collAwait blocks until the payload for tag arrives. The registration
+// (check collGot, else record a waiter in collWait) happens atomically
+// under collMu, which is released before blocking.
 func (p *Proc) collAwait(tag uint64) []byte {
+	p.collMu.Lock()
 	if v, ok := p.collGot[tag]; ok {
 		delete(p.collGot, tag)
+		p.collMu.Unlock()
 		return v
 	}
 	seq := p.ctx.NewWaiter()
 	p.collWait[tag] = seq
+	p.collMu.Unlock()
 	m := p.ctx.Wait(seq)
 	return m.Payload
 }
@@ -133,8 +148,7 @@ func (p *Proc) collAwait(tag uint64) []byte {
 // program order. The root's data argument is the value broadcast; other
 // processors may pass nil.
 func (p *Proc) Broadcast(root int, data []byte) []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	// collSeq is application-thread-private; no lock needed for the tag.
 	p.collSeq++
 	tag := p.collSeq
 	if int(p.id) == root {
@@ -200,8 +214,6 @@ func (p *Proc) AllReduceFloat64(op ReduceOp, v float64) float64 {
 }
 
 func (p *Proc) allReduce(code uint64, word uint64) uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.collSeq++
 	tag := p.collSeq
 	var buf [8]byte

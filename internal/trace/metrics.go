@@ -46,12 +46,16 @@ type SpaceMetrics struct {
 	Protocol string
 	// Ops counts protocol invocations on the space.
 	Ops OpCounts
+	// FastOps counts the subset of Ops that completed on the runtime's
+	// lock-free bracket fast path (never entering the protocol).
+	FastOps OpCounts
 	// Latency holds one invocation-latency histogram per operation.
 	Latency [NumOps]Histogram
 }
 
 func (m SpaceMetrics) merge(o SpaceMetrics) SpaceMetrics {
 	m.Ops = m.Ops.Add(o.Ops)
+	m.FastOps = m.FastOps.Add(o.FastOps)
 	for i := range m.Latency {
 		m.Latency[i] = m.Latency[i].Add(o.Latency[i])
 	}
@@ -68,6 +72,9 @@ func (m SpaceMetrics) merge(o SpaceMetrics) SpaceMetrics {
 type Metrics struct {
 	// Ops counts protocol invocations across all spaces.
 	Ops OpCounts
+	// FastOps counts the subset of Ops that completed on the runtime's
+	// lock-free bracket fast path.
+	FastOps OpCounts
 	// OpLatency aggregates invocation latency across all spaces.
 	OpLatency [NumOps]Histogram
 	// Spaces breaks the counts down by space and protocol.
@@ -80,6 +87,7 @@ type Metrics struct {
 // per-space entries merge by space id.
 func (m Metrics) Add(o Metrics) Metrics {
 	m.Ops = m.Ops.Add(o.Ops)
+	m.FastOps = m.FastOps.Add(o.FastOps)
 	for i := range m.OpLatency {
 		m.OpLatency[i] = m.OpLatency[i].Add(o.OpLatency[i])
 	}

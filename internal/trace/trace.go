@@ -107,6 +107,7 @@ type Event struct {
 type spaceCounters struct {
 	proto atomic.Pointer[string]
 	ops   [NumOps]atomic.Uint64
+	fast  [NumOps]atomic.Uint64
 	lat   [NumOps]hist
 }
 
@@ -225,6 +226,19 @@ func (r *Recorder) End(op Op, space int, begin int64) {
 	}
 }
 
+// FastHit counts an invocation of op on space that completed on the
+// runtime's lock-free bracket fast path. Callers also record the
+// operation itself through Begin/End; FastHit only marks the subset.
+// Zero-allocation; a single branch when the recorder is disabled.
+func (r *Recorder) FastHit(op Op, space int) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	if p := r.spaces.Load(); p != nil && space >= 0 && space < len(*p) {
+		(*p)[space].fast[op].Add(1)
+	}
+}
+
 func (r *Recorder) pushEvent(ev Event) {
 	r.mu.Lock()
 	if n := uint64(len(r.events)); n > 0 {
@@ -274,9 +288,11 @@ func (r *Recorder) Snapshot() Metrics {
 		sm := SpaceMetrics{Space: id, Protocol: *sc.proto.Load()}
 		for op := Op(0); op < NumOps; op++ {
 			sm.Ops[op] = sc.ops[op].Load()
+			sm.FastOps[op] = sc.fast[op].Load()
 			sm.Latency[op] = sc.lat[op].snapshot()
 		}
 		m.Ops = m.Ops.Add(sm.Ops)
+		m.FastOps = m.FastOps.Add(sm.FastOps)
 		for op := Op(0); op < NumOps; op++ {
 			m.OpLatency[op] = m.OpLatency[op].Add(sm.Latency[op])
 		}

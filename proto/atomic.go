@@ -158,6 +158,18 @@ func (a *atomicProto) drain(ctx *core.Ctx) {
 	ctx.Wait(a.drainSeq)
 }
 
+// FastBits: only home reads are hit-eligible — home StartRead returns
+// immediately (the home copy is authoritative) and EndRead is null.
+// Remote reads always fetch a fresh snapshot, and write sections on any
+// processor are queue acquire/release transactions, so neither may skip
+// the protocol.
+func (a *atomicProto) FastBits(r *core.Region) core.FastBits {
+	if r.IsHome() {
+		return core.FastRead
+	}
+	return 0
+}
+
 func (a *atomicProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
 	if r == nil {
 		panic(fmt.Sprintf("proto: atomic: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))

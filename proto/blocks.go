@@ -101,10 +101,14 @@ func (d *Drain) Wait(ctx *core.Ctx) {
 
 // SelfInvalidate drops every locally cached (non-home) copy in the space
 // by resetting its protocol state to zero. Protocols whose readers
-// re-fetch on state zero call this at barriers.
+// re-fetch on state zero call this at barriers. Each copy's fast-path
+// bits are withdrawn first: this is a bulk coherence mutation outside
+// any Deliver, so the runtime will not withdraw them for us (see
+// core.FastPather).
 func SelfInvalidate(ctx *core.Ctx, sp *core.Space) {
 	ctx.ForEachRegion(func(r *core.Region) {
 		if r.Space == sp && !r.IsHome() {
+			ctx.DisableFast(r)
 			r.State = 0
 		}
 	})
@@ -188,6 +192,20 @@ func (w *writeThrough) Barrier(ctx *core.Ctx, sp *core.Space) {
 
 func (w *writeThrough) FlushSpace(ctx *core.Ctx, sp *core.Space) {
 	w.drain.Wait(ctx)
+}
+
+// FastBits: every bracket routine early-returns at the home (stores land
+// there directly), so home brackets of both kinds are hit-eligible. A
+// remote copy supports fast reads once valid; remote writes always ship
+// a wtStore from EndWrite and stay on the slow path.
+func (w *writeThrough) FastBits(r *core.Region) core.FastBits {
+	if r.IsHome() {
+		return core.FastRead | core.FastWrite
+	}
+	if r.State == duValid {
+		return core.FastRead
+	}
+	return 0
 }
 
 func (w *writeThrough) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {

@@ -198,13 +198,33 @@ func (u *updateProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
 	u.drain(ctx)
 }
 
+// FastBits: reads are hit-eligible exactly when the end-of-section drain
+// has nothing to do. At the home, StartRead is a no-op and EndRead only
+// matters when work was deferred during an open section — so a quiet
+// deferral queue makes read brackets free. On a sharer, StartRead is a
+// no-op once the copy is valid and EndRead only installs a deferred push
+// (PState non-nil). Writes are never eligible: every EndWrite ships a
+// duWrite, home included.
+func (u *updateProto) FastBits(r *core.Region) core.FastBits {
+	if r.IsHome() {
+		if h, _ := r.Dir.PData.(*duHome); h != nil && (len(h.pendingApply) > 0 || len(h.pendingReads) > 0) {
+			return 0
+		}
+		return core.FastRead
+	}
+	if r.State == duValid && r.PState == nil {
+		return core.FastRead
+	}
+	return 0
+}
+
 func (u *updateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
 	if r == nil {
 		panic(fmt.Sprintf("proto: update: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))
 	}
 	switch m.C {
 	case duRead:
-		if r.Writers > 0 {
+		if r.Writers() > 0 {
 			h := homeState(r)
 			h.pendingReads = append(h.pendingReads, core.PendingReq{Src: m.Src, Seq: m.B})
 			return

@@ -65,10 +65,26 @@ func (h *homeWriteProto) StartRead(ctx *core.Ctx, r *core.Region) {
 func (h *homeWriteProto) Barrier(ctx *core.Ctx, sp *core.Space) {
 	ctx.ForEachRegion(func(r *core.Region) {
 		if r.Space == sp && !r.IsHome() {
+			ctx.DisableFast(r)
 			r.State = duInvalid
 		}
 	})
 	ctx.DefaultBarrier()
+}
+
+// FastBits: at the home every bracket routine is null or an early return
+// (writes are home-local and perform no coherence actions), so both kinds
+// are always hit-eligible there. A remote copy supports fast reads once
+// fetched; remote writes are a protocol violation and stay on the slow
+// path so StartWrite's panic still fires.
+func (h *homeWriteProto) FastBits(r *core.Region) core.FastBits {
+	if r.IsHome() {
+		return core.FastRead | core.FastWrite
+	}
+	if r.State == duValid {
+		return core.FastRead
+	}
+	return 0
 }
 
 func (h *homeWriteProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {

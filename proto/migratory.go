@@ -137,6 +137,29 @@ func (m *migratoryProto) grant(ctx *core.Ctx, r *core.Region, req core.PendingRe
 	ctx.SendComplete(req.Src, req.Seq, 0, r.Data)
 }
 
+// FastBits: while a processor owns the region outright, every bracket is
+// a no-op — acquire returns immediately and release has no revocation to
+// serve — so both kinds are hit-eligible. At the home that means a
+// quiescent directory (no owner, no transfer in flight, nobody queued:
+// a queued request makes release's kick load-bearing); on a remote owner
+// it means mgOwned with no pending-revoke or in-flight-fetch flag. This
+// is independent of Optimizable above: that gates the *compiler's*
+// call-deletion, which would lose the section counts these runtime hits
+// still maintain.
+func (m *migratoryProto) FastBits(r *core.Region) core.FastBits {
+	if r.IsHome() {
+		d := r.Dir
+		if d.Owner >= 0 || d.Busy || len(d.Waiting) > 0 {
+			return 0
+		}
+		return core.FastRead | core.FastWrite
+	}
+	if r.State == mgOwned && r.Flags == 0 {
+		return core.FastRead | core.FastWrite
+	}
+	return 0
+}
+
 func (m *migratoryProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, msg amnet.Msg) {
 	if r == nil {
 		panic(fmt.Sprintf("proto: migratory: proc %d: message %d for unknown region %v", ctx.ID(), msg.C, core.RegionID(msg.A)))

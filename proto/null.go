@@ -29,3 +29,10 @@ func NullInfo() core.Info {
 type nullProto struct{ core.Base }
 
 func (*nullProto) Name() string { return "null" }
+
+// FastBits: every access point is null, so every bracket is hit-eligible
+// in every state — the runtime analogue of the compiler deleting the
+// calls outright.
+func (*nullProto) FastBits(r *core.Region) core.FastBits {
+	return core.FastRead | core.FastWrite
+}

@@ -73,7 +73,7 @@ func (p *pipelineProto) StartRead(ctx *core.Ctx, r *core.Region) {
 // "store delta" and "+= delta" identically on every processor.
 func (p *pipelineProto) StartWrite(ctx *core.Ctx, r *core.Region) {
 	if r.IsHome() {
-		if r.Writers == 0 {
+		if r.Writers() == 0 {
 			h := ppHomeState(r)
 			h.saved = append(h.saved[:0], r.Data...)
 			clear(r.Data)
@@ -86,7 +86,7 @@ func (p *pipelineProto) StartWrite(ctx *core.Ctx, r *core.Region) {
 
 func (p *pipelineProto) EndWrite(ctx *core.Ctx, r *core.Region) {
 	if r.IsHome() {
-		if r.Writers > 0 {
+		if r.Writers() > 0 {
 			return
 		}
 		// Combine the scratch into the restored authoritative copy, then
@@ -130,6 +130,7 @@ func (p *pipelineProto) Barrier(ctx *core.Ctx, sp *core.Space) {
 	}
 	ctx.ForEachRegion(func(r *core.Region) {
 		if r.Space == sp && !r.IsHome() {
+			ctx.DisableFast(r)
 			r.State = duInvalid
 		}
 	})
@@ -143,6 +144,18 @@ func (p *pipelineProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
 	}
 }
 
+// FastBits: read brackets are free at the home (StartRead and EndRead are
+// both no-ops there — deferral is keyed on Writers only) and on a sharer
+// with a valid copy (EndRead is a declared null point). Write brackets are
+// never eligible: StartWrite swaps in scratch contents and EndWrite
+// combines or ships the contribution, on every processor.
+func (p *pipelineProto) FastBits(r *core.Region) core.FastBits {
+	if r.IsHome() || r.State == duValid {
+		return core.FastRead
+	}
+	return 0
+}
+
 func (p *pipelineProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
 	if r == nil {
 		panic(fmt.Sprintf("proto: pipeline: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))
@@ -151,7 +164,7 @@ func (p *pipelineProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m
 	case ppRead, ppAdd:
 		// While the home itself is mid-section, r.Data is scratch: defer
 		// until EndWrite restores the authoritative copy.
-		if r.Writers > 0 {
+		if r.Writers() > 0 {
 			h := ppHomeState(r)
 			h.deferred = append(h.deferred, amnet.Msg{Src: m.Src, A: m.A, B: m.B, C: m.C, D: m.D, Payload: append([]byte(nil), m.Payload...)})
 			return

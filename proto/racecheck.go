@@ -32,7 +32,10 @@ func RaceCheckInfo() core.Info {
 		Name: "racecheck",
 		New:  func() core.Protocol { return newRaceCheck() },
 		// The checker's semantics depend on every access running its
-		// handlers: never optimizable, no null points.
+		// handlers: never optimizable, no null points. For the same
+		// reason the protocol deliberately does not implement
+		// core.FastPather — a lock-free bracket hit would skip the
+		// occupancy notifications the detector is built on.
 		Optimizable: false,
 		Null:        0,
 	}

@@ -80,7 +80,7 @@ func (s *staticUpdateProto) EndWrite(ctx *core.Ctx, r *core.Region) {
 		r.PState = markerDirty
 		s.dirty = append(s.dirty, r)
 	}
-	if r.Writers == 0 {
+	if r.Writers() == 0 {
 		// Serve sharer fetches that arrived during the write section.
 		if q, ok := r.Dir.PData.([]core.PendingReq); ok && len(q) > 0 {
 			r.Dir.PData = nil
@@ -140,13 +140,29 @@ func (s *staticUpdateProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
 	s.drain(ctx)
 }
 
+// FastBits: reads are hit-eligible at the home unconditionally (home
+// StartRead returns immediately and home EndRead's applyDeferred bails on
+// IsHome) and on a sharer whose copy is valid with no deferred push
+// (EndRead must install a pending suPend). Writes are never eligible:
+// EndWrite is load-bearing at the home — dirty-list bookkeeping plus
+// serving fetches deferred during the section — and remote writes panic.
+func (s *staticUpdateProto) FastBits(r *core.Region) core.FastBits {
+	if r.IsHome() {
+		return core.FastRead
+	}
+	if r.State == duValid && r.PState == nil {
+		return core.FastRead
+	}
+	return 0
+}
+
 func (s *staticUpdateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
 	if r == nil {
 		panic(fmt.Sprintf("proto: staticupdate: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))
 	}
 	switch m.C {
 	case suRead:
-		if r.Writers > 0 {
+		if r.Writers() > 0 {
 			q, _ := r.Dir.PData.([]core.PendingReq)
 			r.Dir.PData = append(q, core.PendingReq{Src: m.Src, Seq: m.B})
 			return
