@@ -3,9 +3,9 @@ GO ?= go
 # Packages whose lock-free instrumentation paths must stay race-clean.
 RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet
 
-.PHONY: ci vet build test race bench bench-smoke bench-allocs
+.PHONY: ci vet build test race bench bench-smoke bench-allocs chaos-smoke
 
-ci: vet build test race bench-smoke bench-allocs
+ci: vet build test race bench-smoke bench-allocs chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,14 @@ bench:
 # or asserting fast path without paying for full measurements.
 bench-smoke:
 	$(GO) test -bench 'BenchmarkFabric' -benchtime=100ms -run '^$$' ./internal/bench
+
+# chaos-smoke is the protocol-conformance stress gate: the fixed-seed
+# protocol × fault-policy matrix (seeds 1..3) via the package tests,
+# plus one race-enabled cell on the nastiest policy. Fixed seeds keep it
+# deterministic and under a minute.
+chaos-smoke:
+	$(GO) test -run 'TestMatrixFixedSeeds|TestBrokenDoubleCaught' ./internal/chaos
+	$(GO) test -race -run 'TestMatrixFixedSeeds/update/lossy' ./internal/chaos
 
 # bench-allocs is the regression gate for the lock-free bracket fast
 # path: with tracing disabled a hit bracket must not allocate. The awk

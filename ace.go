@@ -71,10 +71,24 @@
 //
 // With Options.Trace nil the instrumentation is disabled and a bracketed
 // operation costs one atomic load and one branch — no allocation.
+//
+// # Failure model
+//
+// Options.Faults wraps the cluster's transport in a seeded
+// fault-injecting wire (delays, duplication, reordering, drops with
+// redelivery, partitions, a slow node) below a reliability layer, so a
+// correct program still computes correct results — useful for stress
+// testing protocols; injected faults are counted in Metrics.Net.Faults.
+// Options.SyncTimeout bounds every synchronization wait: a stalled
+// collective fails Run with an error matching ErrSyncStall, and a lost
+// peer (on transports that detect one, like the supervised TCP
+// transport) fails blocked waits with ErrPeerLost instead of hanging.
+// See DESIGN.md §6.
 package ace
 
 import (
 	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/faultnet"
 	"github.com/acedsm/ace/internal/trace"
 	"github.com/acedsm/ace/proto"
 )
@@ -122,6 +136,31 @@ type (
 	OpStats = core.OpStats
 	// Base is an embeddable no-op Protocol implementation.
 	Base = core.Base
+	// PeerLostError reports which peer's loss failed a blocked wait.
+	PeerLostError = core.PeerLostError
+	// SyncStallError reports a synchronization wait that outlived
+	// Options.SyncTimeout.
+	SyncStallError = core.SyncStallError
+)
+
+// Failure-model sentinels, matched with errors.Is against Run's error.
+var (
+	// ErrPeerLost: a peer went down while this processor was blocked on it.
+	ErrPeerLost = core.ErrPeerLost
+	// ErrSyncStall: a synchronization wait exceeded Options.SyncTimeout.
+	ErrSyncStall = core.ErrSyncStall
+)
+
+// Fault-injection re-exports. See the corresponding internal/faultnet
+// documentation on each.
+type (
+	// FaultPolicy configures the fault injector; assign one to
+	// Options.Faults.
+	FaultPolicy = faultnet.Policy
+	// FaultPartition is a timed one-way partition window in a FaultPolicy.
+	FaultPartition = faultnet.Partition
+	// FaultCounts tallies injected faults per kind (Metrics.Net.Faults).
+	FaultCounts = trace.FaultCounts
 )
 
 // Observability type re-exports. See the corresponding internal/trace

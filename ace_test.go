@@ -3,9 +3,11 @@ package ace_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/acedsm/ace"
 )
@@ -171,5 +173,79 @@ func TestPointConstants(t *testing.T) {
 	s := ace.PointSet(0).With(ace.PointBarrier)
 	if !s.Has(ace.PointBarrier) || s.Has(ace.PointLock) {
 		t.Error("point set ops broken through facade")
+	}
+}
+
+// TestFailureModelThroughPublicAPI exercises the failure-model surface:
+// Options.Faults stresses a correct workload (which must still compute
+// the right answer, with the injected faults visible in Metrics), and
+// Options.SyncTimeout turns a stalled barrier into ErrSyncStall.
+func TestFailureModelThroughPublicAPI(t *testing.T) {
+	cl, err := ace.NewCluster(ace.Options{
+		Procs: 3,
+		Trace: &ace.TraceConfig{Metrics: true},
+		Faults: &ace.FaultPolicy{
+			Seed:        5,
+			Delay:       50 * time.Microsecond,
+			Jitter:      100 * time.Microsecond,
+			DupProb:     0.2,
+			DropProb:    0.2,
+			ReorderProb: 0.2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(p *ace.Proc) error {
+		sp := p.DefaultSpace()
+		var id ace.RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(sp, 8)
+		}
+		id = p.BroadcastID(0, id)
+		r := p.Map(id)
+		for i := 0; i < 6; i++ {
+			if p.ID() == i%3 {
+				p.StartWrite(r)
+				r.Data.SetInt64(0, int64(i+1))
+				p.EndWrite(r)
+			}
+			p.Barrier(sp)
+			p.StartRead(r)
+			got := r.Data.Int64(0)
+			p.EndRead(r)
+			if got != int64(i+1) {
+				return fmt.Errorf("round %d: read %d", i, got)
+			}
+			p.Barrier(sp)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Metrics().Net.Faults.Total() == 0 {
+		t.Error("no faults counted despite Options.Faults")
+	}
+
+	stall, err := ace.NewCluster(ace.Options{Procs: 2, SyncTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+	err = stall.Run(func(p *ace.Proc) error {
+		if p.ID() == 1 {
+			return nil // never reaches the barrier
+		}
+		p.GlobalBarrier()
+		return nil
+	})
+	if !errors.Is(err, ace.ErrSyncStall) {
+		t.Fatalf("stalled Run error = %v, want ErrSyncStall", err)
+	}
+	var se *ace.SyncStallError
+	if !errors.As(err, &se) {
+		t.Fatalf("stalled Run error = %#v, want *SyncStallError", err)
 	}
 }

@@ -4,7 +4,15 @@
 //	acebench -exp fig7b   # single protocol vs application-specific protocols
 //	acebench -exp table4  # compiler optimization levels vs hand-written code
 //	acebench -exp fabric  # message-fabric latency/throughput (BENCH_fabric.json)
+//	acebench -exp chaos   # protocol-conformance stress matrix under fault injection
 //	acebench -exp all
+//
+// The chaos experiment runs every library protocol through a seeded
+// region workload under each named fault policy and checks the
+// coherence invariants; a failure prints a replay command. Replaying a
+// single cell of the matrix:
+//
+//	acebench -exp chaos -chaos-proto update -chaos-policy lossy -chaos-seed 7
 //
 // Workload sizes are selected with -scale (small | default | paper) and the
 // processor count with -procs. Times are wall-clock on the in-process
@@ -29,6 +37,7 @@ import (
 	"strings"
 
 	"github.com/acedsm/ace/internal/bench"
+	"github.com/acedsm/ace/internal/chaos"
 	"github.com/acedsm/ace/internal/trace"
 )
 
@@ -45,6 +54,10 @@ func main() {
 		events   = flag.Int("events", 1<<16, "instrumented mode: per-processor event ring capacity for -trace")
 		out      = flag.String("out", "", "fabric/bracket experiment: output `file` (default BENCH_<exp>.json)")
 		baseline = flag.String("baseline", "", "fabric/bracket experiment: prior report to embed as the comparison baseline")
+
+		chaosProto  = flag.String("chaos-proto", "", "chaos experiment: replay a single protocol instead of the matrix")
+		chaosPolicy = flag.String("chaos-policy", "clean", "chaos experiment: fault policy for -chaos-proto ("+strings.Join(chaos.Policies(), ", ")+")")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "chaos experiment: base seed (single run: the seed; matrix: seed, seed+1, seed+2)")
 	)
 	flag.Parse()
 
@@ -69,17 +82,46 @@ func main() {
 		ok = runFabric(*procs, reportPath(*out, "BENCH_fabric.json"), *baseline)
 	case "bracket":
 		ok = runBracket(*procs, reportPath(*out, "BENCH_bracket.json"), *baseline)
+	case "chaos":
+		ok = runChaos(*chaosProto, *chaosPolicy, *chaosSeed, *procs)
 	case "all":
 		ok = runFig7a(w, *runs)
 		ok = runFig7b(w, *runs) && ok
 		ok = runTable4(*procs) && ok
 	default:
-		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, chaos, all)\n", *exp)
 		os.Exit(2)
 	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// runChaos runs the protocol-conformance stress harness: a single
+// (protocol, policy, seed) cell when -chaos-proto is given (the replay
+// path printed by failing reports), the full matrix over three seeds
+// otherwise.
+func runChaos(protoName, policy string, seed int64, procs int) bool {
+	if protoName != "" {
+		rep := chaos.Run(chaos.Config{Seed: seed, Procs: procs, Protocol: protoName, Policy: policy})
+		fmt.Println(chaos.FormatReport(rep))
+		return rep.Err == nil
+	}
+	seeds := []int64{seed, seed + 1, seed + 2}
+	fmt.Printf("=== Chaos: %d protocols × %d fault policies × seeds %v (%d procs) ===\n",
+		len(chaos.Protocols()), len(chaos.Policies()), seeds, procs)
+	failed := chaos.RunMatrix(seeds, procs)
+	if len(failed) == 0 {
+		fmt.Printf("all %d runs held the coherence invariants\n",
+			len(chaos.Protocols())*len(chaos.Policies())*len(seeds))
+		return true
+	}
+	for _, rep := range failed {
+		fmt.Println(chaos.FormatReport(rep))
+	}
+	fmt.Fprintf(os.Stderr, "chaos: %d of %d runs failed\n",
+		len(failed), len(chaos.Protocols())*len(chaos.Policies())*len(seeds))
+	return false
 }
 
 // runObserved runs one benchmark on the Ace runtime with the

@@ -99,6 +99,18 @@ type PayloadCopier interface {
 	CopiesPayloadOnSend() bool
 }
 
+// PeerAware is implemented by endpoints that can detect the loss of a
+// peer node (a supervised connection that exhausted its reconnect
+// budget, or an injected kill on a fault-injecting transport). The
+// runtime registers a handler so blocked synchronization can fail with
+// a typed error instead of hanging forever.
+type PeerAware interface {
+	// SetPeerDownHandler installs fn, called at most once per lost peer.
+	// fn may be invoked from a transport goroutine and must not block;
+	// it must be installed before traffic starts.
+	SetPeerDownHandler(fn func(peer NodeID))
+}
+
 // Network is a set of connected endpoints, one per node.
 type Network interface {
 	Endpoints() []Endpoint

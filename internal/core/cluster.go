@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/faultnet"
 	"github.com/acedsm/ace/internal/trace"
 )
 
@@ -41,6 +42,21 @@ type Options struct {
 	// positive — per-processor event rings exported by WriteTrace. Nil
 	// disables instrumentation at near-zero cost.
 	Trace *trace.Config
+
+	// Faults, if non-nil, wraps the transport (own or provided) in a
+	// fault-injecting layer (package faultnet): seeded per-link delay,
+	// duplication, reordering, drop-with-redelivery, partition windows
+	// and slow-receiver backpressure, all surfaced in Metrics. The
+	// wrapper preserves the fabric's FIFO/exactly-once contract; only
+	// timing is perturbed. When Network was provided by the caller, the
+	// wrapper (and the wrapped network with it) is closed by Close.
+	Faults *faultnet.Policy
+
+	// SyncTimeout, when positive, bounds every blocking synchronization
+	// wait (barriers, locks, coherence fetches, collectives). A wait
+	// that exceeds it fails the processor's Run with an error matching
+	// ErrSyncStall instead of hanging. Zero means wait forever.
+	SyncTimeout time.Duration
 }
 
 // Cluster is a set of logical processors sharing regions through the Ace
@@ -78,6 +94,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		own = true
+	}
+	if opts.Faults != nil {
+		// The wrapper owns the inner network (its Close closes both), so
+		// a caller-provided transport is closed through it as well.
+		nw = faultnet.Wrap(nw, *opts.Faults)
 		own = true
 	}
 	eps := nw.Endpoints()
@@ -123,6 +145,10 @@ func (c *Cluster) Run(fn func(p *Proc) error) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					if err, ok := typedRuntimeError(r); ok {
+						errs[i] = err
+						return
+					}
 					errs[i] = fmt.Errorf("core: proc %d panicked: %v\n%s", i, r, debug.Stack())
 				}
 			}()

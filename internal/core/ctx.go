@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/acedsm/ace/internal/amnet"
 )
@@ -93,6 +94,14 @@ func (c *Ctx) NewWaiter() uint64 {
 // window between the application thread's NewWaiter and its Wait, and
 // the entry must still be present when Wait looks it up (the buffered
 // channel holds the already-delivered message).
+//
+// The wait is interruptible: when the transport declares a peer lost
+// (amnet.PeerAware) or Options.SyncTimeout elapses, Wait panics with a
+// typed error (*PeerLostError, *SyncStallError) that Run converts to
+// the processor's error — so barriers, locks and coherence fetches fail
+// instead of hanging forever. The panic unwinds with the engine lock
+// released (Wait had released it to block); the cluster is not usable
+// afterwards.
 func (c *Ctx) Wait(seq uint64) amnet.Msg {
 	p := c.p
 	p.wMu.Lock()
@@ -104,7 +113,7 @@ func (c *Ctx) Wait(seq uint64) amnet.Msg {
 	if c.eng != nil {
 		c.eng.Unlock()
 	}
-	m := <-w.ch
+	m := p.waitSync(w, seq)
 	if c.eng != nil {
 		c.eng.Lock()
 	}
@@ -112,6 +121,52 @@ func (c *Ctx) Wait(seq uint64) amnet.Msg {
 	delete(p.waiters, seq)
 	p.wMu.Unlock()
 	return m
+}
+
+// waitSync blocks on the waiter's channel, the peer-down signal, and —
+// when configured — the synchronization timeout. A completion that
+// raced in ahead of a failure signal still wins.
+func (p *Proc) waitSync(w *waiter, seq uint64) amnet.Msg {
+	if d := p.cl.opts.SyncTimeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case m := <-w.ch:
+			return m
+		case <-p.downCh:
+		case <-t.C:
+			select {
+			case m := <-w.ch:
+				return m
+			default:
+			}
+			p.retireWaiter(seq)
+			panic(&SyncStallError{Local: int(p.id), After: d})
+		}
+	} else {
+		select {
+		case m := <-w.ch:
+			return m
+		case <-p.downCh:
+		}
+	}
+	// Peer down. Drain a completion that raced in, else fail typed.
+	select {
+	case m := <-w.ch:
+		return m
+	default:
+	}
+	p.retireWaiter(seq)
+	panic(&PeerLostError{Local: int(p.id), Peer: int(p.downPeer.Load())})
+}
+
+// retireWaiter removes a waiter whose Wait is failing, so a completion
+// arriving after the failure does not hit the unknown-waiter panic in
+// Complete — the late message is dropped instead.
+func (p *Proc) retireWaiter(seq uint64) {
+	p.wMu.Lock()
+	delete(p.waiters, seq)
+	p.wMu.Unlock()
 }
 
 // Complete finishes the waiter seq, handing it m. It is typically called

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The runtime's failure model (DESIGN.md §6): synchronization that
+// blocks on a remote processor — barriers, region locks, collectives,
+// coherence fetches — fails with a typed error instead of hanging
+// forever when the transport reports the peer down (tcpnet after an
+// exhausted reconnect budget, faultnet after an injected kill) or when
+// Options.SyncTimeout elapses. The failure surfaces as the error of the
+// affected processor's Run function; match it with errors.Is.
+
+// ErrPeerLost is the sentinel matched by errors.Is when blocked
+// synchronization failed because a peer was declared down.
+var ErrPeerLost = errors.New("peer lost")
+
+// ErrSyncStall is the sentinel matched by errors.Is when blocked
+// synchronization exceeded Options.SyncTimeout.
+var ErrSyncStall = errors.New("synchronization stalled")
+
+// PeerLostError reports which processor observed which peer down. It
+// unwraps to ErrPeerLost.
+type PeerLostError struct {
+	Local, Peer int
+}
+
+func (e *PeerLostError) Error() string {
+	return fmt.Sprintf("core: proc %d: peer %d lost", e.Local, e.Peer)
+}
+
+// Unwrap makes errors.Is(err, ErrPeerLost) match.
+func (e *PeerLostError) Unwrap() error { return ErrPeerLost }
+
+// SyncStallError reports a synchronization wait that exceeded
+// Options.SyncTimeout. It unwraps to ErrSyncStall.
+type SyncStallError struct {
+	Local int
+	After time.Duration
+}
+
+func (e *SyncStallError) Error() string {
+	return fmt.Sprintf("core: proc %d: synchronization stalled for %v", e.Local, e.After)
+}
+
+// Unwrap makes errors.Is(err, ErrSyncStall) match.
+func (e *SyncStallError) Unwrap() error { return ErrSyncStall }
+
+// typedRuntimeError reports whether a recovered panic value is one of
+// the runtime's typed failures, which Run passes through as-is so
+// callers can match them with errors.Is.
+func typedRuntimeError(r any) (error, bool) {
+	err, ok := r.(error)
+	if !ok {
+		return nil, false
+	}
+	if errors.Is(err, ErrPeerLost) || errors.Is(err, ErrSyncStall) {
+		return err, true
+	}
+	return nil, false
+}

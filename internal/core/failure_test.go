@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/faultnet"
+	"github.com/acedsm/ace/internal/trace"
+)
+
+// TestSyncTimeoutFailsStalledBarrier: with SyncTimeout set, a barrier
+// that can never complete (one processor skips it) fails the stalled
+// processor's Run with ErrSyncStall instead of hanging forever.
+func TestSyncTimeoutFailsStalledBarrier(t *testing.T) {
+	cl, err := NewCluster(Options{Procs: 2, SyncTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(p *Proc) error {
+		if p.ID() == 1 {
+			return nil // never arrives at the barrier
+		}
+		p.GlobalBarrier()
+		return nil
+	})
+	if !errors.Is(err, ErrSyncStall) {
+		t.Fatalf("Run error = %v, want ErrSyncStall", err)
+	}
+	var stall *SyncStallError
+	if !errors.As(err, &stall) || stall.Local != 0 {
+		t.Fatalf("Run error = %#v, want SyncStallError on proc 0", err)
+	}
+}
+
+// TestPeerLostFailsBlockedBarrier: killing a peer under faultnet turns
+// the survivor's blocked barrier wait into an error matching ErrPeerLost
+// that names the lost peer.
+func TestPeerLostFailsBlockedBarrier(t *testing.T) {
+	inner, err := amnet.NewChanNetwork(amnet.ChanConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := faultnet.Wrap(inner, faultnet.Policy{})
+	cl, err := NewCluster(Options{Procs: 2, Network: nw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(p *Proc) error {
+		if p.ID() == 1 {
+			// Simulate this processor dying before the collective.
+			nw.Kill(1)
+			return nil
+		}
+		p.GlobalBarrier()
+		return nil
+	})
+	if !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("Run error = %v, want ErrPeerLost", err)
+	}
+	var lost *PeerLostError
+	if !errors.As(err, &lost) || lost.Local != 0 || lost.Peer != 1 {
+		t.Fatalf("Run error = %#v, want PeerLostError{Local: 0, Peer: 1}", err)
+	}
+}
+
+// TestFaultsOptionEndToEnd: Options.Faults wraps the cluster transport
+// in the fault injector; a coherent workload still computes the right
+// answer and the injected faults show up in Metrics.
+func TestFaultsOptionEndToEnd(t *testing.T) {
+	cl, err := NewCluster(Options{
+		Procs: 3,
+		Faults: &faultnet.Policy{
+			Seed:        11,
+			Delay:       50 * time.Microsecond,
+			Jitter:      100 * time.Microsecond,
+			DupProb:     0.15,
+			DropProb:    0.15,
+			ReorderProb: 0.15,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const rounds = 8
+	err = cl.Run(func(p *Proc) error {
+		var id RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(p.DefaultSpace(), 8)
+		}
+		id = p.BroadcastID(0, id)
+		r := p.Map(id)
+		for i := 0; i < rounds; i++ {
+			if p.ID() == i%p.Procs() {
+				p.StartWrite(r)
+				r.Data[0]++
+				p.EndWrite(r)
+			}
+			p.GlobalBarrier()
+			p.StartRead(r)
+			got := r.Data[0]
+			p.EndRead(r)
+			if got != byte(i+1) {
+				return &stale{proc: p.ID(), round: i, got: got}
+			}
+			p.GlobalBarrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if total := cl.Metrics().Net.Faults.Total(); total == 0 {
+		t.Fatal("no faults injected despite Options.Faults")
+	}
+	if d := cl.Metrics().Net.Faults.Get(trace.FaultDrop); d == 0 {
+		t.Error("drop fault never injected")
+	}
+}
+
+type stale struct {
+	proc, round int
+	got         byte
+}
+
+func (s *stale) Error() string {
+	return "stale read"
+}

@@ -81,6 +81,14 @@ type Proc struct {
 	// region data to Send without a defensive clone of its own.
 	fabricCopies bool
 
+	// downCh is closed (once) when the transport declares a peer lost
+	// (amnet.PeerAware); downPeer then holds the peer's id. Blocked
+	// synchronization waits select on it and fail with ErrPeerLost
+	// instead of hanging forever.
+	downCh   chan struct{}
+	downOnce sync.Once
+	downPeer atomic.Int32
+
 	// ops counts runtime primitive invocations; fastOps the subset that
 	// completed on the lock-free bracket fast path. Indexed by trace.Op.
 	// Only the application thread increments them, so the atomic adds
@@ -113,8 +121,13 @@ func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
 		rec:      trace.NewRecorder(int(ep.ID()), c.opts.Trace),
 	}
 	p.ctx = &Ctx{p: p}
+	p.downCh = make(chan struct{})
+	p.downPeer.Store(-1)
 	if pc, ok := ep.(amnet.PayloadCopier); ok && pc.CopiesPayloadOnSend() {
 		p.fabricCopies = true
+	}
+	if pa, ok := ep.(amnet.PeerAware); ok {
+		pa.SetPeerDownHandler(p.peerDown)
 	}
 	if p.id == 0 {
 		p.barArr = make(map[uint64][]PendingReq)
@@ -125,6 +138,16 @@ func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
 	// start, carrying the cluster's default protocol.
 	p.addSpace(c.opts.DefaultProtocol)
 	return p
+}
+
+// peerDown records the first lost peer and releases every blocked
+// synchronization wait (current and future) into the ErrPeerLost path.
+// It is called from a transport goroutine and never blocks.
+func (p *Proc) peerDown(peer amnet.NodeID) {
+	p.downOnce.Do(func() {
+		p.downPeer.Store(int32(peer))
+		close(p.downCh)
+	})
 }
 
 // ID returns this processor's id.

@@ -1,0 +1,458 @@
+// Package faultnet wraps any amnet.Network with seeded, deterministic
+// fault injection: per-link delay and jitter, wire duplication, message
+// reordering, bounded drop-with-redelivery, transient partition windows,
+// and slow-receiver backpressure.
+//
+// The Ace coherence stack is built on the Active Messages fabric
+// contract — per-pair FIFO ordering and exactly-once eventual delivery —
+// so faultnet models an unreliable *wire* underneath a reliability
+// layer, the way a real transport (see tcpnet's journal and sequence
+// dedup) restores the contract over a lossy network. Every message gets
+// a per-link sequence number; wire faults perturb, duplicate, lose
+// (with bounded redelivery) or reorder transmissions; and a per-link
+// resequencer on the receive side suppresses duplicates and releases
+// messages in sequence order. What leaks through to the protocols is
+// exactly what a hardened transport leaks through: stretched and bursty
+// delivery timing, stalls across partition windows, and deep receiver
+// queues — the conditions the chaos harness (package chaos) drives the
+// protocol library through.
+//
+// Injected faults are counted per kind in the endpoint's trace.NetStats
+// (Faults field), so they surface in ace.Metrics alongside the traffic
+// counters.
+package faultnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/trace"
+)
+
+// Policy configures the injected faults. The zero value injects
+// nothing; Wrap with a zero policy is a transparent (but still
+// resequenced) transport.
+type Policy struct {
+	// Seed seeds the per-link fault streams. Two networks wrapped with
+	// the same policy draw identical per-link fault decisions for the
+	// k-th message on each link.
+	Seed int64
+
+	// Delay is added to every inter-node message's wire transit; Jitter
+	// adds a uniform random extra in [0, Jitter).
+	Delay  time.Duration
+	Jitter time.Duration
+
+	// DupProb duplicates a transmission on the wire with the given
+	// probability; the receive-side dedup suppresses the extra copy.
+	DupProb float64
+
+	// DropProb loses a transmission with the given probability. The
+	// reliability layer redelivers it RedeliverAfter later (default
+	// 2ms), so delivery stays exactly-once and eventual.
+	DropProb float64
+
+	// ReorderProb holds a transmission back by ReorderLag (default 2ms)
+	// with the given probability, letting later messages on the link
+	// overtake it on the wire; the resequencer restores order.
+	ReorderProb float64
+
+	// RedeliverAfter is the redelivery lag for dropped transmissions
+	// and for transmissions lost to a partition window. Default 2ms.
+	RedeliverAfter time.Duration
+
+	// ReorderLag is how far a reordered transmission is held back.
+	// Default 2ms.
+	ReorderLag time.Duration
+
+	// Partitions are transient windows during which all traffic between
+	// a node pair is lost on the wire (and redelivered after the window
+	// heals).
+	Partitions []Partition
+
+	// SlowNode, when SlowDelay > 0, names a node whose inbound
+	// deliveries are stretched by SlowDelay each — modelling a slow
+	// receiver whose queues deepen under load.
+	SlowNode  int
+	SlowDelay time.Duration
+}
+
+// Partition is one transient partition window: traffic between nodes A
+// and B is lost while the window is open. After is measured from Wrap
+// time.
+type Partition struct {
+	A, B  int
+	After time.Duration
+	For   time.Duration
+}
+
+const (
+	defaultRedeliver = 2 * time.Millisecond
+	defaultReorder   = 2 * time.Millisecond
+)
+
+// Wrap returns nw with p's faults injected on every inter-node link.
+// Closing the returned network drains pending deliveries (in sequence
+// order, ignoring residual fault delays) and closes nw.
+func Wrap(nw amnet.Network, p Policy) *Network {
+	if p.RedeliverAfter <= 0 {
+		p.RedeliverAfter = defaultRedeliver
+	}
+	if p.ReorderLag <= 0 {
+		p.ReorderLag = defaultReorder
+	}
+	inner := nw.Endpoints()
+	fn := &Network{inner: nw, policy: p, start: time.Now()}
+	fn.killed = make([]bool, len(inner))
+	fn.eps = make([]*endpoint, len(inner))
+	for i, iep := range inner {
+		ep := &endpoint{nw: fn, inner: iep, wake: make(chan struct{}, 1)}
+		ep.links = make([]*link, len(inner))
+		for j := range ep.links {
+			ep.links[j] = &link{
+				rng:      rand.New(rand.NewSource(mix(p.Seed, i, j))),
+				expected: 1,
+				buffered: make(map[uint64]amnet.Msg),
+			}
+		}
+		fn.eps[i] = ep
+	}
+	for _, ep := range fn.eps {
+		fn.wg.Add(1)
+		go ep.run(&fn.wg)
+	}
+	return fn
+}
+
+// mix derives a per-link seed from the policy seed and the link's
+// (src, dst) pair, splitmix64-style so nearby seeds diverge.
+func mix(seed int64, src, dst int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(src*1024+dst+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Network is a fault-injecting view of an inner amnet.Network.
+type Network struct {
+	inner  amnet.Network
+	policy Policy
+	start  time.Time
+	eps    []*endpoint
+	wg     sync.WaitGroup
+
+	killMu sync.Mutex
+	killed []bool
+}
+
+// Endpoints returns the fault-injecting endpoints, one per inner node.
+func (n *Network) Endpoints() []amnet.Endpoint {
+	out := make([]amnet.Endpoint, len(n.eps))
+	for i, ep := range n.eps {
+		out[i] = ep
+	}
+	return out
+}
+
+// Close drains pending deliveries and closes the inner network.
+func (n *Network) Close() error {
+	for _, ep := range n.eps {
+		ep.close()
+	}
+	n.wg.Wait()
+	return n.inner.Close()
+}
+
+// Kill simulates the permanent loss of a peer: every endpoint's
+// peer-down handler fires, and traffic to or from the peer — pending or
+// future — is silently discarded. It is the fault the runtime's
+// ErrPeerLost path is tested against without a real network.
+func (n *Network) Kill(peer amnet.NodeID) {
+	n.killMu.Lock()
+	if int(peer) >= len(n.killed) || n.killed[peer] {
+		n.killMu.Unlock()
+		return
+	}
+	n.killed[peer] = true
+	n.killMu.Unlock()
+	for i, ep := range n.eps {
+		if amnet.NodeID(i) == peer {
+			continue
+		}
+		ep.mu.Lock()
+		fn := ep.downFn
+		ep.mu.Unlock()
+		if fn != nil {
+			fn(peer)
+		}
+	}
+}
+
+func (n *Network) isKilled(id amnet.NodeID) bool {
+	n.killMu.Lock()
+	defer n.killMu.Unlock()
+	return n.killed[id]
+}
+
+// partitionedUntil reports whether the (a,b) pair is inside a partition
+// window at now (an offset from Wrap time), and if so when the window
+// heals.
+func (n *Network) partitionedUntil(a, b amnet.NodeID, now time.Duration) (time.Duration, bool) {
+	for _, w := range n.policy.Partitions {
+		if (int(a) == w.A && int(b) == w.B) || (int(a) == w.B && int(b) == w.A) {
+			if now >= w.After && now < w.After+w.For {
+				return w.After + w.For, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// attempt is one wire transmission of a message: the seq-th message on
+// the src endpoint's link to dst, deliverable at due.
+type attempt struct {
+	dst amnet.NodeID
+	seq uint64
+	msg amnet.Msg
+	due time.Time
+}
+
+type attemptHeap []attempt
+
+func (h attemptHeap) Len() int           { return len(h) }
+func (h attemptHeap) Less(i, j int) bool { return h[i].due.Before(h[j].due) }
+func (h attemptHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *attemptHeap) Push(x any)        { *h = append(*h, x.(attempt)) }
+func (h *attemptHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = attempt{}
+	*h = old[:n-1]
+	return it
+}
+
+// link is the per-(src,dst) fault stream and resequencer. All fields
+// are guarded by the owning endpoint's mu.
+type link struct {
+	rng     *rand.Rand
+	nextSeq uint64
+
+	// Resequencer: expected is the next sequence to release; buffered
+	// holds messages that arrived (on the simulated wire) out of order.
+	expected uint64
+	buffered map[uint64]amnet.Msg
+}
+
+// endpoint wraps one inner endpoint. Send runs the fault model and
+// schedules wire transmissions; the run goroutine releases them through
+// the per-link resequencer into the inner endpoint at their due times.
+type endpoint struct {
+	nw    *Network
+	inner amnet.Endpoint
+	links []*link
+
+	mu     sync.Mutex
+	heap   attemptHeap
+	closed bool
+	downFn func(peer amnet.NodeID)
+
+	wake chan struct{}
+}
+
+func (e *endpoint) ID() amnet.NodeID                              { return e.inner.ID() }
+func (e *endpoint) Nodes() int                                    { return e.inner.Nodes() }
+func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) { e.inner.Register(id, fn) }
+func (e *endpoint) Stats() *amnet.Stats                           { return e.inner.Stats() }
+
+// SetPeerDownHandler implements amnet.PeerAware: fn fires when Kill
+// declares a peer lost.
+func (e *endpoint) SetPeerDownHandler(fn func(peer amnet.NodeID)) {
+	e.mu.Lock()
+	e.downFn = fn
+	e.mu.Unlock()
+}
+
+// Send runs the fault model for one message and schedules its wire
+// transmission(s). It never blocks. Self-sends bypass the fault model
+// entirely (the wire is not involved).
+//
+// The caller's payload-ownership contract is the fabric's: faultnet
+// holds the payload by reference until delivery, so it does not
+// implement PayloadCopier and the runtime clones payloads before Send
+// as it does for the channel network.
+func (e *endpoint) Send(m amnet.Msg) {
+	if m.Dst == e.inner.ID() {
+		e.inner.Send(m)
+		return
+	}
+	if int(m.Dst) < 0 || int(m.Dst) >= len(e.links) {
+		panic(fmt.Sprintf("faultnet: send to invalid node %d", m.Dst))
+	}
+	m.Src = e.inner.ID()
+	p := &e.nw.policy
+	stats := e.inner.Stats()
+	now := time.Now()
+	elapsed := now.Sub(e.nw.start)
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		amnet.Recycle(m.Payload)
+		return
+	}
+	l := e.links[m.Dst]
+	l.nextSeq++
+	seq := l.nextSeq
+
+	due := now
+	if p.Delay > 0 {
+		due = due.Add(p.Delay)
+		stats.CountFault(trace.FaultDelay)
+	}
+	if p.Jitter > 0 {
+		due = due.Add(time.Duration(l.rng.Int63n(int64(p.Jitter))))
+		if p.Delay <= 0 {
+			stats.CountFault(trace.FaultDelay)
+		}
+	}
+	if healAt, part := e.nw.partitionedUntil(m.Src, m.Dst, elapsed); part {
+		// The wire eats the transmission; the reliability layer
+		// redelivers once the window heals.
+		due = e.nw.start.Add(healAt + p.RedeliverAfter)
+		stats.CountFault(trace.FaultPartition)
+	} else if p.DropProb > 0 && l.rng.Float64() < p.DropProb {
+		due = due.Add(p.RedeliverAfter)
+		stats.CountFault(trace.FaultDrop)
+	}
+	if p.ReorderProb > 0 && l.rng.Float64() < p.ReorderProb {
+		due = due.Add(p.ReorderLag)
+		stats.CountFault(trace.FaultReorder)
+	}
+	if p.SlowDelay > 0 && int(m.Dst) == p.SlowNode {
+		due = due.Add(p.SlowDelay)
+		stats.CountFault(trace.FaultSlow)
+	}
+	heap.Push(&e.heap, attempt{dst: m.Dst, seq: seq, msg: m, due: due})
+	if p.DupProb > 0 && l.rng.Float64() < p.DupProb {
+		// A second copy of the same transmission, slightly later; the
+		// resequencer suppresses it on arrival.
+		heap.Push(&e.heap, attempt{dst: m.Dst, seq: seq, msg: m, due: due.Add(time.Millisecond)})
+		stats.CountFault(trace.FaultDup)
+	}
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the wire scheduler: it releases due attempts through the
+// per-link resequencer into the inner endpoint. One goroutine per
+// endpoint, so releases on a link are totally ordered.
+func (e *endpoint) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	var release []amnet.Msg
+	for {
+		e.mu.Lock()
+		if len(e.heap) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		var wait time.Duration
+		ready := false
+		if len(e.heap) > 0 {
+			if e.closed {
+				ready = true // drain: ignore residual fault delays
+			} else if d := e.heap[0].due.Sub(now); d <= 0 {
+				ready = true
+			} else {
+				wait = d
+			}
+		}
+		if !ready {
+			e.mu.Unlock()
+			if wait > 0 {
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(wait)
+				select {
+				case <-e.wake:
+				case <-timer.C:
+				}
+			} else {
+				<-e.wake
+			}
+			continue
+		}
+		release = release[:0]
+		for len(e.heap) > 0 && (e.closed || !e.heap[0].due.After(now)) {
+			a := heap.Pop(&e.heap).(attempt)
+			release = e.links[a.dst].resequence(a, e.inner.Stats(), release)
+		}
+		e.mu.Unlock()
+		for i := range release {
+			m := release[i]
+			if e.nw.isKilled(m.Dst) || e.nw.isKilled(m.Src) {
+				amnet.Recycle(m.Payload)
+				continue
+			}
+			e.inner.Send(m)
+			release[i] = amnet.Msg{}
+		}
+	}
+}
+
+// resequence feeds one wire arrival through the link's reliability
+// layer, appending any messages that become releasable (in sequence
+// order) to out. Duplicates — wire dups and already-released
+// redeliveries — are suppressed and counted. Caller holds the owning
+// endpoint's mu.
+func (l *link) resequence(a attempt, stats *amnet.Stats, out []amnet.Msg) []amnet.Msg {
+	if a.seq < l.expected {
+		stats.CountFault(trace.FaultWireDup)
+		return out
+	}
+	if a.seq > l.expected {
+		if _, dup := l.buffered[a.seq]; dup {
+			stats.CountFault(trace.FaultWireDup)
+			return out
+		}
+		l.buffered[a.seq] = a.msg
+		return out
+	}
+	out = append(out, a.msg)
+	l.expected++
+	for {
+		m, ok := l.buffered[l.expected]
+		if !ok {
+			return out
+		}
+		delete(l.buffered, l.expected)
+		out = append(out, m)
+		l.expected++
+	}
+}
+
+// close marks the endpoint closed and wakes the scheduler for the
+// drain.
+func (e *endpoint) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}

@@ -13,6 +13,17 @@
 // without a latency tax. Frame and payload buffers come from the
 // amnet buffer pool (amnet.Alloc/Recycle); a delivered Msg.Payload is
 // owned by the handler per the fabric's ownership contract.
+//
+// Connections are supervised. Every data frame carries a per-link
+// sequence number and stays journaled on the sender until the receiver
+// acknowledges it (cumulative acks ride back as control frames); a
+// broken connection is redialed with exponential backoff and jitter,
+// the journal is retransmitted, and the receiver drops the frames it
+// already delivered — so a transient connection loss costs latency, not
+// the fabric contract. A peer that stays unreachable past the reconnect
+// budget is declared down through amnet.PeerAware, turning would-be
+// hangs into typed errors upstream. Reconnects, backoffs, retransmits
+// and duplicate drops are all counted in the endpoint Stats.
 package tcpnet
 
 import (
@@ -20,91 +31,129 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/acedsm/ace/internal/amnet"
 )
 
+// Config tunes connection supervision. The zero value means defaults.
+type Config struct {
+	// DialTimeout bounds each dial (initial and reconnect) and the
+	// accept side's wait for the hello frame. Default 2s.
+	DialTimeout time.Duration
+
+	// WriteTimeout bounds each batch write; an expired deadline is a
+	// connection failure and triggers reconnection. Default 10s.
+	WriteTimeout time.Duration
+
+	// BackoffBase is the first reconnect backoff; each attempt doubles
+	// it up to BackoffMax, plus up to 100% jitter. Defaults 5ms / 500ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// MaxAttempts is the number of consecutive failed reconnect
+	// attempts after which the peer is declared down (amnet.PeerAware).
+	// Default 8.
+	MaxAttempts int
+
+	// AckEvery is the receive-side ack cadence in data frames; an ack
+	// is also sent whenever the reader drains its buffer. Default 64.
+	AckEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 64
+	}
+	return c
+}
+
 // NewLoopbackNetwork builds an n-node network over TCP connections on
-// 127.0.0.1 with a full mesh of connections.
+// 127.0.0.1 with a full mesh of connections and default supervision.
 func NewLoopbackNetwork(n int) (amnet.Network, error) {
+	return NewLoopbackNetworkConfig(n, Config{})
+}
+
+// NewLoopbackNetworkConfig is NewLoopbackNetwork with explicit
+// supervision tuning.
+func NewLoopbackNetworkConfig(n int, cfg Config) (amnet.Network, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("tcpnet: invalid node count %d", n)
 	}
-	nw := &network{eps: make([]*endpoint, n)}
-	listeners := make([]net.Listener, n)
-	addrs := make([]string, n)
+	nw := &network{
+		cfg:       cfg.withDefaults(),
+		eps:       make([]*endpoint, n),
+		listeners: make([]net.Listener, n),
+		addrs:     make([]string, n),
+	}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			nw.Close()
 			return nil, err
 		}
-		listeners[i] = l
-		addrs[i] = l.Addr().String()
-		nw.eps[i] = &endpoint{id: amnet.NodeID(i), nw: nw, box: newQueue()}
+		nw.listeners[i] = l
+		nw.addrs[i] = l.Addr().String()
+		nw.eps[i] = &endpoint{
+			id:       amnet.NodeID(i),
+			nw:       nw,
+			box:      newQueue(),
+			links:    make([]recvLink, n),
+			downSent: make(map[amnet.NodeID]bool),
+		}
 	}
-	// Accept side: node j accepts n connections; the first frame on each
-	// identifies the sender. Dial side: node i dials everyone (including
-	// itself, keeping the path uniform).
-	var acceptWG sync.WaitGroup
-	acceptErr := make(chan error, n)
+	// Accept side: each node runs a persistent accept loop for the
+	// network's lifetime; the first frame on each connection identifies
+	// the sender, so initial mesh connections and reconnects look the
+	// same. Dial side: node i dials everyone (including itself, keeping
+	// the path uniform).
 	for j := 0; j < n; j++ {
-		acceptWG.Add(1)
-		go func(j int) {
-			defer acceptWG.Done()
-			for k := 0; k < n; k++ {
-				conn, err := listeners[j].Accept()
-				if err != nil {
-					acceptErr <- err
-					return
-				}
-				tuneConn(conn)
-				var hello [4]byte
-				if _, err := io.ReadFull(conn, hello[:]); err != nil {
-					acceptErr <- err
-					return
-				}
-				src := int32(binary.LittleEndian.Uint32(hello[:]))
-				nw.eps[j].addReader(conn, amnet.NodeID(src))
-			}
-		}(j)
+		nw.acceptWG.Add(1)
+		go nw.acceptLoop(j)
 	}
 	for i := 0; i < n; i++ {
 		nw.eps[i].out = make([]*sender, n)
 		for j := 0; j < n; j++ {
-			conn, err := net.Dial("tcp", addrs[j])
+			conn, err := net.DialTimeout("tcp", nw.addrs[j], nw.cfg.DialTimeout)
 			if err != nil {
 				nw.Close()
 				return nil, err
 			}
 			tuneConn(conn)
-			var hello [4]byte
-			binary.LittleEndian.PutUint32(hello[:], uint32(i))
-			if _, err := conn.Write(hello[:]); err != nil {
+			s := newSender(nw.eps[i], amnet.NodeID(j), nw.addrs[j], conn)
+			if _, err := conn.Write(s.hello[:]); err != nil {
+				conn.Close()
 				nw.Close()
 				return nil, err
 			}
-			s := newSender(conn)
 			nw.eps[i].out[j] = s
-			nw.wg.Add(1)
-			go s.run(&nw.wg, &nw.eps[i].stats)
+			nw.sendWG.Add(1)
+			go s.run(&nw.sendWG, &nw.eps[i].stats)
 		}
 	}
-	acceptWG.Wait()
-	close(acceptErr)
-	if err := <-acceptErr; err != nil {
-		nw.Close()
-		return nil, err
-	}
-	for _, l := range listeners {
-		l.Close()
-	}
 	for _, ep := range nw.eps {
-		nw.wg.Add(1)
-		go ep.pump(&nw.wg)
+		nw.pumpWG.Add(1)
+		go ep.pump(&nw.pumpWG)
 	}
 	return nw, nil
 }
@@ -124,8 +173,14 @@ func tuneConn(conn net.Conn) {
 }
 
 type network struct {
-	eps []*endpoint
-	wg  sync.WaitGroup
+	cfg       Config
+	eps       []*endpoint
+	listeners []net.Listener
+	addrs     []string
+	acceptWG  sync.WaitGroup
+	sendWG    sync.WaitGroup
+	pumpWG    sync.WaitGroup
+	closed    atomic.Bool
 }
 
 func (n *network) Endpoints() []amnet.Endpoint {
@@ -136,7 +191,54 @@ func (n *network) Endpoints() []amnet.Endpoint {
 	return out
 }
 
+// acceptLoop accepts connections for node j until the listener closes.
+// Each connection opens with a 4-byte hello naming the sender; a
+// connection that fails the hello (timeout, bad id) is dropped without
+// disturbing the node.
+func (n *network) acceptLoop(j int) {
+	defer n.acceptWG.Done()
+	for {
+		conn, err := n.listeners[j].Accept()
+		if err != nil {
+			return // listener closed
+		}
+		tuneConn(conn)
+		conn.SetReadDeadline(time.Now().Add(n.cfg.DialTimeout))
+		var hello [4]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		src := int32(binary.LittleEndian.Uint32(hello[:]))
+		if src < 0 || int(src) >= len(n.eps) {
+			conn.Close()
+			continue
+		}
+		n.eps[j].addReader(conn, amnet.NodeID(src))
+	}
+}
+
+// KillLink forcibly closes the current src→dst connection, as if the
+// network dropped it. The supervised sender redials, retransmits its
+// journal, and the receiver dedups — a test hook for the reconnect
+// machinery.
+func (n *network) KillLink(src, dst int) {
+	n.eps[src].out[dst].killConn()
+}
+
+// Close tears the mesh down in dependency order: stop accepting, drain
+// and close every sender (closing its connection unblocks the remote
+// reader), wait for readers, then close the mailboxes so the pumps
+// exit.
 func (n *network) Close() error {
+	n.closed.Store(true)
+	for _, l := range n.listeners {
+		if l != nil {
+			l.Close()
+		}
+	}
+	n.acceptWG.Wait()
 	for _, ep := range n.eps {
 		if ep == nil {
 			continue
@@ -146,48 +248,89 @@ func (n *network) Close() error {
 				s.close()
 			}
 		}
-		ep.box.close()
 	}
-	n.wg.Wait()
+	n.sendWG.Wait()
+	for _, ep := range n.eps {
+		if ep != nil {
+			ep.readers.Wait()
+		}
+	}
+	for _, ep := range n.eps {
+		if ep != nil {
+			ep.box.close()
+		}
+	}
+	n.pumpWG.Wait()
 	return nil
 }
 
-// maxPending bounds a sender's frame queue. Enqueueing past the bound
-// blocks until the writer drains — the same backpressure a blocking
-// per-message conn.Write used to provide, now paid once per batch
-// instead of once per message. The bound also caps queue reallocation:
-// the pending and draining slices ping-pong between producer and writer,
-// so at steady state enqueueing allocates nothing.
+// maxPending bounds a sender's unacknowledged journal (which includes
+// the not-yet-written queue). Enqueueing past the bound blocks until
+// acks drain it — backpressure against a slow or absent receiver. The
+// wait is bounded by network round-trips, not by remote handler
+// progress (acks come from the peer's reader goroutine), so the
+// fabric's deadlock-freedom argument is unaffected.
 const maxPending = 4096
 
-// sender owns one outgoing connection: Send enqueues encoded frames, the
+// sender owns one outgoing link: Send enqueues encoded frames, the
 // writer goroutine drains them in batches through a buffered writer and
-// flushes when the queue goes empty. Frames are pooled; the writer
-// recycles each one after copying it into the write buffer.
+// flushes when the queue goes empty. Data frames carry a sequence
+// number and are retained in the journal until the peer's cumulative
+// ack covers them; on connection failure the writer redials with
+// backoff and replays the journal. Frames are pooled: control frames
+// are recycled after writing, data frames when acked.
 type sender struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond // writer waits: queue has frames or closed
-	notFull  *sync.Cond // producers wait: queue below maxPending or closed
+	notFull  *sync.Cond // producers wait: journal below maxPending or closed
 	conn     net.Conn
-	queue    [][]byte
+	queue    [][]byte // frames not yet handed to the writer
+	journal  [][]byte // data frames not yet acked, in seq order (superset of queue's data frames)
+	nextSeq  uint64   // last assigned data sequence number (0 = control)
+	acked    uint64   // highest cumulative ack received
 	closed   bool
+
+	ep    *endpoint
+	peer  amnet.NodeID
+	addr  string
+	hello [4]byte
 }
 
-func newSender(conn net.Conn) *sender {
-	s := &sender{conn: conn}
+func newSender(ep *endpoint, peer amnet.NodeID, addr string, conn net.Conn) *sender {
+	s := &sender{conn: conn, ep: ep, peer: peer, addr: addr}
+	binary.LittleEndian.PutUint32(s.hello[:], uint32(ep.id))
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
 	return s
 }
 
-// enqueue appends one encoded frame for the writer, blocking while the
-// queue is at capacity. After close, frames are dropped (Network.Close
-// documents that queued messages may be dropped).
+// enqueue appends one encoded data frame, assigning its sequence number
+// and journaling it, blocking while the unacked journal is at capacity.
+// After close, frames are dropped (Network.Close documents that queued
+// messages may be dropped).
 func (s *sender) enqueue(frame []byte) {
 	s.mu.Lock()
-	for len(s.queue) >= maxPending && !s.closed {
+	for len(s.journal) >= maxPending && !s.closed {
 		s.notFull.Wait()
 	}
+	if s.closed {
+		s.mu.Unlock()
+		amnet.Recycle(frame)
+		return
+	}
+	s.nextSeq++
+	binary.LittleEndian.PutUint64(frame[seqOff:], s.nextSeq)
+	s.queue = append(s.queue, frame)
+	s.journal = append(s.journal, frame)
+	s.mu.Unlock()
+	s.notEmpty.Signal()
+}
+
+// enqueueControl appends a control frame (seq 0). Control frames skip
+// the journal and the backpressure bound: acks must flow even when the
+// data path is saturated, or the saturation could never clear.
+func (s *sender) enqueueControl(frame []byte) {
+	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		amnet.Recycle(frame)
@@ -196,6 +339,31 @@ func (s *sender) enqueue(frame []byte) {
 	s.queue = append(s.queue, frame)
 	s.mu.Unlock()
 	s.notEmpty.Signal()
+}
+
+// ack processes a cumulative acknowledgment: every journaled frame with
+// seq ≤ n is released. Monotonic — stale acks (reordered across a
+// reconnect) are ignored.
+func (s *sender) ack(n uint64) {
+	s.mu.Lock()
+	if n <= s.acked {
+		s.mu.Unlock()
+		return
+	}
+	s.acked = n
+	i := 0
+	for i < len(s.journal) && seqOf(s.journal[i]) <= n {
+		amnet.Recycle(s.journal[i])
+		s.journal[i] = nil
+		i++
+	}
+	if i > 0 {
+		s.journal = s.journal[i:]
+	}
+	s.mu.Unlock()
+	if i > 0 {
+		s.notFull.Broadcast()
+	}
 }
 
 // close asks the writer to flush what is queued and shut the connection
@@ -208,13 +376,33 @@ func (s *sender) close() {
 	s.notFull.Broadcast()
 }
 
+// killConn severs the current connection (test hook; see
+// network.KillLink).
+func (s *sender) killConn() {
+	s.mu.Lock()
+	c := s.conn
+	s.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (s *sender) shuttingDown() bool {
+	s.mu.Lock()
+	c := s.closed
+	s.mu.Unlock()
+	return c || s.ep.nw.closed.Load()
+}
+
 // run is the writer goroutine: it swaps the whole queue out under one
 // lock, streams the batch into the buffered writer, and flushes only
 // once the queue is empty — so bursts coalesce into single syscalls
-// while a lone frame still goes out immediately.
+// while a lone frame still goes out immediately. A write failure
+// outside shutdown enters the reconnect loop instead of crashing.
 func (s *sender) run(wg *sync.WaitGroup, stats *amnet.Stats) {
 	defer wg.Done()
-	bw := bufio.NewWriterSize(s.conn, 64<<10)
+	conn := s.conn
+	bw := bufio.NewWriterSize(conn, 64<<10)
 	var batch [][]byte
 	for {
 		s.mu.Lock()
@@ -224,50 +412,173 @@ func (s *sender) run(wg *sync.WaitGroup, stats *amnet.Stats) {
 		if len(s.queue) == 0 { // closed and drained
 			s.mu.Unlock()
 			bw.Flush()
-			s.conn.Close()
+			conn.Close()
 			return
 		}
 		batch, s.queue = s.queue, batch[:0]
-		closed := s.closed
 		s.mu.Unlock()
 		s.notFull.Broadcast()
-		for i, f := range batch {
-			_, err := bw.Write(f)
-			amnet.Recycle(f)
-			batch[i] = nil
-			if err != nil {
-				s.fail(err, closed)
-				return
+		if d := s.ep.nw.cfg.WriteTimeout; d > 0 {
+			conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		err := s.writeBatch(bw, batch)
+		batch = batch[:0]
+		if err == nil {
+			// Flush only when no more frames are waiting; otherwise loop
+			// around and extend the batch.
+			s.mu.Lock()
+			empty := len(s.queue) == 0
+			s.mu.Unlock()
+			if empty {
+				if err = bw.Flush(); err == nil {
+					stats.CountFlush()
+				}
 			}
 		}
-		// Flush only when no more frames are waiting; otherwise loop
-		// around and extend the batch.
-		s.mu.Lock()
-		empty := len(s.queue) == 0
-		s.mu.Unlock()
-		if empty {
-			if err := bw.Flush(); err != nil {
-				s.fail(err, closed)
+		if err != nil {
+			if s.shuttingDown() {
+				conn.Close()
 				return
 			}
-			stats.CountFlush()
+			var ok bool
+			conn, bw, ok = s.reconnect(stats)
+			if !ok {
+				return
+			}
 		}
 	}
 }
 
-// fail handles a write error: during shutdown it exits quietly (the
-// peer or Close tore the connection down); otherwise it keeps the old
-// crash-on-network-error posture.
-func (s *sender) fail(err error, closing bool) {
-	s.conn.Close()
-	s.mu.Lock()
-	wasClosed := s.closed || closing
-	s.closed = true
-	s.mu.Unlock()
-	s.notFull.Broadcast() // unblock producers; their frames are dropped
-	if !wasClosed {
-		panic(fmt.Sprintf("tcpnet: send: %v", err))
+// writeBatch streams one batch into the buffered writer. Control frames
+// are recycled here (written or not — a lost ack regenerates); data
+// frames stay journaled until acked. On error the remaining frames are
+// skipped: the journal replay during reconnect covers them.
+func (s *sender) writeBatch(bw *bufio.Writer, batch [][]byte) error {
+	var err error
+	for i, f := range batch {
+		if err == nil {
+			_, err = bw.Write(f)
+		}
+		if seqOf(f) == 0 {
+			amnet.Recycle(f)
+		}
+		batch[i] = nil
 	}
+	return err
+}
+
+// reconnect redials the peer with exponential backoff and jitter,
+// resends the hello, and replays the journal on the fresh connection
+// (the receiver drops what it already delivered). After MaxAttempts
+// consecutive failures the peer is declared down and the sender shuts
+// itself off.
+func (s *sender) reconnect(stats *amnet.Stats) (net.Conn, *bufio.Writer, bool) {
+	s.killConn()
+	cfg := s.ep.nw.cfg
+	backoff := cfg.BackoffBase
+	for attempt := 1; ; attempt++ {
+		if s.shuttingDown() {
+			return nil, nil, false
+		}
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
+		stats.Backoffs.Add(1)
+		if backoff *= 2; backoff > cfg.BackoffMax {
+			backoff = cfg.BackoffMax
+		}
+		if s.shuttingDown() {
+			return nil, nil, false
+		}
+		conn, err := net.DialTimeout("tcp", s.addr, cfg.DialTimeout)
+		if err == nil {
+			tuneConn(conn)
+			if cfg.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+			}
+			if _, err = conn.Write(s.hello[:]); err != nil {
+				conn.Close()
+			}
+		}
+		if err != nil {
+			if attempt >= cfg.MaxAttempts {
+				s.peerLost()
+				return nil, nil, false
+			}
+			continue
+		}
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		// Commit under the lock: adopt the connection, drop the queue
+		// (its data frames are journaled; its control frames are stale),
+		// and replay the whole journal in order. Producers and acks wait
+		// out the replay — bounded by maxPending frames.
+		s.mu.Lock()
+		s.conn = conn
+		fresh := 0
+		for i, f := range s.queue {
+			if seqOf(f) == 0 {
+				amnet.Recycle(f)
+			} else {
+				fresh++
+			}
+			s.queue[i] = nil
+		}
+		s.queue = s.queue[:0]
+		retrans := len(s.journal) - fresh
+		werr := error(nil)
+		for _, f := range s.journal {
+			if werr == nil {
+				_, werr = bw.Write(f)
+			}
+		}
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		s.mu.Unlock()
+		if werr != nil {
+			conn.Close()
+			if attempt >= cfg.MaxAttempts {
+				s.peerLost()
+				return nil, nil, false
+			}
+			continue
+		}
+		if retrans > 0 {
+			stats.Retransmits.Add(uint64(retrans))
+		}
+		stats.Reconnects.Add(1)
+		return conn, bw, true
+	}
+}
+
+// peerLost shuts the sender down after an exhausted reconnect budget
+// and notifies the endpoint's peer-down handler: graceful degradation
+// instead of a hang (the runtime turns it into ErrPeerLost).
+func (s *sender) peerLost() {
+	s.mu.Lock()
+	s.closed = true
+	for i, f := range s.queue {
+		if seqOf(f) == 0 {
+			amnet.Recycle(f) // data frames are recycled via the journal
+		}
+		s.queue[i] = nil
+	}
+	s.queue = nil
+	for i, f := range s.journal {
+		amnet.Recycle(f)
+		s.journal[i] = nil
+	}
+	s.journal = nil
+	s.mu.Unlock()
+	s.notFull.Broadcast()
+	s.ep.firePeerDown(s.peer)
+}
+
+// recvLink is the receive-side state of one incoming link. It lives on
+// the endpoint, not the connection, so the dedup horizon survives
+// reconnects — exactly what makes journal replay safe.
+type recvLink struct {
+	mu       sync.Mutex
+	seen     uint64 // highest data seq delivered from this src
+	sinceAck int    // data frames since the last ack went out
 }
 
 type endpoint struct {
@@ -278,6 +589,11 @@ type endpoint struct {
 	handlers [amnet.MaxHandlers]amnet.Handler
 	stats    amnet.Stats
 	readers  sync.WaitGroup
+	links    []recvLink
+
+	downMu   sync.Mutex
+	downFn   func(amnet.NodeID)
+	downSent map[amnet.NodeID]bool
 }
 
 func (e *endpoint) ID() amnet.NodeID { return e.id }
@@ -295,11 +611,44 @@ func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) {
 // buffer (see amnet.PayloadCopier).
 func (e *endpoint) CopiesPayloadOnSend() bool { return true }
 
+// SetPeerDownHandler implements amnet.PeerAware: fn is invoked (once
+// per peer) when a peer exhausts the reconnect budget.
+func (e *endpoint) SetPeerDownHandler(fn func(peer amnet.NodeID)) {
+	e.downMu.Lock()
+	e.downFn = fn
+	e.downMu.Unlock()
+}
+
+func (e *endpoint) firePeerDown(peer amnet.NodeID) {
+	e.downMu.Lock()
+	fn := e.downFn
+	already := e.downSent[peer]
+	e.downSent[peer] = true
+	e.downMu.Unlock()
+	if fn != nil && !already {
+		fn(peer)
+	}
+}
+
 // frame layout: [u32 total][i32 dst][i32 src][u16 handler][4 × u64]
-// [i64 send stamp][payload]. The send stamp is on the sender's trace
-// clock (0 when latency sampling is off); it is meaningful because this
-// network's nodes share one process.
-const frameHeader = 4 + 4 + 4 + 2 + 32 + 8
+// [i64 send stamp][u64 seq][payload]. The send stamp is on the sender's
+// trace clock (0 when latency sampling is off); it is meaningful because
+// this network's nodes share one process. seq is the per-link data
+// sequence number; 0 marks a control frame (cumulative ack in A),
+// which is consumed by the reader and never dispatched or counted.
+const (
+	frameHeader = 4 + 4 + 4 + 2 + 32 + 8 + 8
+	seqOff      = frameHeader - 8
+
+	// maxFramePayload bounds a frame's payload; the decoder rejects
+	// anything larger before allocating, so a corrupt or hostile length
+	// prefix cannot balloon memory.
+	maxFramePayload = 64 << 20
+	maxFrameTotal   = frameHeader - 4 + maxFramePayload
+)
+
+// seqOf reads the sequence number of an encoded frame.
+func seqOf(f []byte) uint64 { return binary.LittleEndian.Uint64(f[seqOff:]) }
 
 // Send encodes the message into a pooled frame buffer and enqueues it on
 // the destination's writer. The payload is copied here, synchronously;
@@ -308,6 +657,9 @@ const frameHeader = 4 + 4 + 4 + 2 + 32 + 8
 func (e *endpoint) Send(m amnet.Msg) {
 	if int(m.Dst) < 0 || int(m.Dst) >= len(e.out) {
 		panic(fmt.Sprintf("tcpnet: send to invalid node %d", m.Dst))
+	}
+	if len(m.Payload) > maxFramePayload {
+		panic(fmt.Sprintf("tcpnet: payload %d exceeds frame limit %d", len(m.Payload), maxFramePayload))
 	}
 	m.Src = e.id
 	e.countSend(m)
@@ -322,7 +674,25 @@ func (e *endpoint) Send(m amnet.Msg) {
 	binary.LittleEndian.PutUint64(buf[38:], m.D)
 	binary.LittleEndian.PutUint64(buf[46:], uint64(e.stats.SendStamp()))
 	copy(buf[frameHeader:], m.Payload)
-	e.out[m.Dst].enqueue(buf)
+	e.out[m.Dst].enqueue(buf) // assigns seq under the sender lock
+}
+
+// sendAck emits a cumulative ack (control frame, seq 0) for everything
+// received from src so far. Acks bypass the journal, the backpressure
+// bound and the traffic counters.
+func (e *endpoint) sendAck(src amnet.NodeID, n uint64) {
+	buf := amnet.Alloc(frameHeader)
+	binary.LittleEndian.PutUint32(buf[0:], frameHeader-4)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(src))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(e.id))
+	binary.LittleEndian.PutUint16(buf[12:], 0)
+	binary.LittleEndian.PutUint64(buf[14:], n)
+	binary.LittleEndian.PutUint64(buf[22:], 0)
+	binary.LittleEndian.PutUint64(buf[30:], 0)
+	binary.LittleEndian.PutUint64(buf[38:], 0)
+	binary.LittleEndian.PutUint64(buf[46:], 0)
+	binary.LittleEndian.PutUint64(buf[seqOff:], 0)
+	e.out[src].enqueueControl(buf)
 }
 
 func (e *endpoint) Stats() *amnet.Stats { return &e.stats }
@@ -330,37 +700,99 @@ func (e *endpoint) Stats() *amnet.Stats { return &e.stats }
 // addReader starts a goroutine decoding frames from one incoming
 // connection into the node's queue. Reads are buffered, and each
 // payload lands in a pooled buffer owned by the eventual handler.
+// The dedup horizon (recvLink) outlives the connection: a replacement
+// reader after a reconnect drops the replayed frames the old one
+// already delivered, and pushes under the link lock so the mailbox
+// keeps per-link sequence order even if old and new briefly overlap.
 func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
 	e.readers.Add(1)
 	go func() {
 		defer e.readers.Done()
 		defer conn.Close()
 		br := bufio.NewReaderSize(conn, 64<<10)
-		var hdr [frameHeader]byte
+		link := &e.links[src]
+		ackEvery := e.nw.cfg.AckEvery
 		for {
-			if _, err := io.ReadFull(br, hdr[:]); err != nil {
-				return // connection closed
+			f, err := readFrame(br)
+			if err != nil {
+				return // connection closed or stream corrupt
 			}
-			total := binary.LittleEndian.Uint32(hdr[:])
-			m := amnet.Msg{
-				Dst:     amnet.NodeID(int32(binary.LittleEndian.Uint32(hdr[4:]))),
-				Src:     amnet.NodeID(int32(binary.LittleEndian.Uint32(hdr[8:]))),
-				Handler: amnet.HandlerID(binary.LittleEndian.Uint16(hdr[12:])),
-				A:       binary.LittleEndian.Uint64(hdr[14:]),
-				B:       binary.LittleEndian.Uint64(hdr[22:]),
-				C:       binary.LittleEndian.Uint64(hdr[30:]),
-				D:       binary.LittleEndian.Uint64(hdr[38:]),
+			if f.seq == 0 { // control: cumulative ack for our reverse sender
+				amnet.Recycle(f.msg.Payload)
+				e.out[src].ack(f.msg.A)
+				continue
 			}
-			sent := int64(binary.LittleEndian.Uint64(hdr[46:]))
-			if paylen := int(total) - (frameHeader - 4); paylen > 0 {
-				m.Payload = amnet.Alloc(paylen)
-				if _, err := io.ReadFull(br, m.Payload); err != nil {
-					return
-				}
+			link.mu.Lock()
+			if f.seq <= link.seen {
+				link.mu.Unlock()
+				e.stats.DupFramesDropped.Add(1)
+				amnet.Recycle(f.msg.Payload)
+				continue
 			}
-			e.box.push(frame{msg: m, sent: sent})
+			link.seen = f.seq
+			e.box.push(f)
+			link.sinceAck++
+			ackNow := link.sinceAck >= ackEvery || br.Buffered() == 0
+			var ackSeq uint64
+			if ackNow {
+				link.sinceAck = 0
+				ackSeq = link.seen
+			}
+			link.mu.Unlock()
+			if ackNow {
+				e.sendAck(src, ackSeq)
+			}
 		}
 	}()
+}
+
+// readFrame decodes one length-prefixed frame from the stream. It
+// validates the length prefix before allocating, so truncated, corrupt
+// or hostile input yields an error — never a panic or an oversized
+// allocation.
+func readFrame(br *bufio.Reader) (frame, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	f, paylen, err := decodeHeader(&hdr)
+	if err != nil {
+		return frame{}, err
+	}
+	if paylen > 0 {
+		f.msg.Payload = amnet.Alloc(paylen)
+		if _, err := io.ReadFull(br, f.msg.Payload); err != nil {
+			amnet.Recycle(f.msg.Payload)
+			return frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// decodeHeader parses and validates a frame header, returning the
+// decoded message envelope and the payload length still to be read.
+func decodeHeader(hdr *[frameHeader]byte) (frame, int, error) {
+	total := binary.LittleEndian.Uint32(hdr[0:])
+	if total < frameHeader-4 {
+		return frame{}, 0, fmt.Errorf("tcpnet: frame length %d shorter than header", total)
+	}
+	if total > maxFrameTotal {
+		return frame{}, 0, fmt.Errorf("tcpnet: frame length %d exceeds limit %d", total, uint64(maxFrameTotal))
+	}
+	f := frame{
+		msg: amnet.Msg{
+			Dst:     amnet.NodeID(int32(binary.LittleEndian.Uint32(hdr[4:]))),
+			Src:     amnet.NodeID(int32(binary.LittleEndian.Uint32(hdr[8:]))),
+			Handler: amnet.HandlerID(binary.LittleEndian.Uint16(hdr[12:])),
+			A:       binary.LittleEndian.Uint64(hdr[14:]),
+			B:       binary.LittleEndian.Uint64(hdr[22:]),
+			C:       binary.LittleEndian.Uint64(hdr[30:]),
+			D:       binary.LittleEndian.Uint64(hdr[38:]),
+		},
+		sent: int64(binary.LittleEndian.Uint64(hdr[46:])),
+		seq:  binary.LittleEndian.Uint64(hdr[seqOff:]),
+	}
+	return f, int(total) - (frameHeader - 4), nil
 }
 
 // pump drains the queue in batches and dispatches handlers, one at a
@@ -398,10 +830,12 @@ func (e *endpoint) countRecv(m amnet.Msg) {
 }
 
 // frame is a decoded message plus its sender's trace-clock stamp (0 when
-// latency sampling was off at the sender).
+// latency sampling was off at the sender) and its link sequence number
+// (0 for control frames).
 type frame struct {
 	msg  amnet.Msg
 	sent int64
+	seq  uint64
 }
 
 // queue is an unbounded MPSC mailbox (the no-deadlock property of the

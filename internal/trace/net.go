@@ -7,6 +7,83 @@ import "sync/atomic"
 // this constant).
 const MaxHandlers = 256
 
+// FaultKind names one class of injected transport fault (see package
+// faultnet). The kinds index FaultCounts.
+type FaultKind uint8
+
+// The injected fault kinds.
+const (
+	// FaultDelay: a message's wire transit was stretched by the
+	// configured delay/jitter.
+	FaultDelay FaultKind = iota
+	// FaultDup: the wire carried a second copy of the message.
+	FaultDup
+	// FaultReorder: the message was held back so a later message on the
+	// same link could overtake it on the wire.
+	FaultReorder
+	// FaultDrop: the first transmission was lost; a bounded redelivery
+	// was scheduled.
+	FaultDrop
+	// FaultPartition: the message was sent into a transient partition
+	// window and held until after the window healed.
+	FaultPartition
+	// FaultSlow: delivery was stretched by slow-receiver backpressure.
+	FaultSlow
+	// FaultWireDup: a duplicate or already-delivered copy was suppressed
+	// by the receive-side dedup (the counterpart of FaultDup and of
+	// redelivered drops).
+	FaultWireDup
+	NumFaultKinds
+)
+
+var faultNames = [NumFaultKinds]string{
+	"delay", "dup", "reorder", "drop", "partition", "slow", "wiredup",
+}
+
+func (k FaultKind) String() string {
+	if k < NumFaultKinds {
+		return faultNames[k]
+	}
+	return "invalid_fault"
+}
+
+// FaultCounts is a plain-value vector of injected-fault counts,
+// indexable by FaultKind.
+type FaultCounts [NumFaultKinds]uint64
+
+// Get returns the count for kind k.
+func (c FaultCounts) Get(k FaultKind) uint64 {
+	if k < NumFaultKinds {
+		return c[k]
+	}
+	return 0
+}
+
+// Total returns the sum over all fault kinds.
+func (c FaultCounts) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Add returns the element-wise sum of two count vectors.
+func (c FaultCounts) Add(o FaultCounts) FaultCounts {
+	for i := range c {
+		c[i] += o[i]
+	}
+	return c
+}
+
+// Sub returns the element-wise difference c - o.
+func (c FaultCounts) Sub(o FaultCounts) FaultCounts {
+	for i := range c {
+		c[i] -= o[i]
+	}
+	return c
+}
+
 // NetStats is one network endpoint's traffic telemetry: message and byte
 // counters for both directions, a per-handler receive breakdown, and a
 // sampled send→deliver latency histogram. All updates are atomic; the
@@ -28,8 +105,30 @@ type NetStats struct {
 	// PerHandler counts messages received per handler id.
 	PerHandler [MaxHandlers]atomic.Uint64
 
+	// Reconnects counts connection re-establishments on transports with
+	// connection supervision; Backoffs counts the backoff sleeps taken
+	// while reconnecting (Backoffs ≥ Reconnects when dials fail).
+	Reconnects atomic.Uint64
+	Backoffs   atomic.Uint64
+	// Retransmits counts journal frames re-sent after a reconnect, and
+	// DupFramesDropped the frames the receive-side sequence dedup
+	// discarded (retransmitted frames that had already arrived).
+	Retransmits      atomic.Uint64
+	DupFramesDropped atomic.Uint64
+
+	// Faults counts injected transport faults per kind on endpoints
+	// wrapped by a fault-injecting transport (package faultnet).
+	Faults [NumFaultKinds]atomic.Uint64
+
 	sampling atomic.Bool
 	deliver  hist
+}
+
+// CountFault records one injected fault of the given kind.
+func (s *NetStats) CountFault(k FaultKind) {
+	if k < NumFaultKinds {
+		s.Faults[k].Add(1)
+	}
 }
 
 // CountSend records one sent message of the given wire footprint.
@@ -81,14 +180,22 @@ func (s *NetStats) ObserveDeliver(sentNS int64) {
 
 // Snapshot returns the current counter values.
 func (s *NetStats) Snapshot() NetSnapshot {
-	return NetSnapshot{
-		MsgsSent:  s.MsgsSent.Load(),
-		BytesSent: s.BytesSent.Load(),
-		MsgsRecv:  s.MsgsRecv.Load(),
-		BytesRecv: s.BytesRecv.Load(),
-		Flushes:   s.Flushes.Load(),
-		Deliver:   s.deliver.snapshot(),
+	snap := NetSnapshot{
+		MsgsSent:         s.MsgsSent.Load(),
+		BytesSent:        s.BytesSent.Load(),
+		MsgsRecv:         s.MsgsRecv.Load(),
+		BytesRecv:        s.BytesRecv.Load(),
+		Flushes:          s.Flushes.Load(),
+		Reconnects:       s.Reconnects.Load(),
+		Backoffs:         s.Backoffs.Load(),
+		Retransmits:      s.Retransmits.Load(),
+		DupFramesDropped: s.DupFramesDropped.Load(),
+		Deliver:          s.deliver.snapshot(),
 	}
+	for i := range snap.Faults {
+		snap.Faults[i] = s.Faults[i].Load()
+	}
+	return snap
 }
 
 // NetSnapshot is a plain-value copy of NetStats suitable for arithmetic.
@@ -96,6 +203,14 @@ type NetSnapshot struct {
 	MsgsSent, BytesSent uint64
 	MsgsRecv, BytesRecv uint64
 	Flushes             uint64
+
+	// Connection-supervision counters (transports with reconnect).
+	Reconnects, Backoffs          uint64
+	Retransmits, DupFramesDropped uint64
+
+	// Faults counts injected transport faults per kind (package
+	// faultnet); all zero on unwrapped transports.
+	Faults FaultCounts
 
 	// Deliver is the sampled send→deliver latency distribution of
 	// messages received by this endpoint.
@@ -105,23 +220,33 @@ type NetSnapshot struct {
 // Sub returns the element-wise difference s - o.
 func (s NetSnapshot) Sub(o NetSnapshot) NetSnapshot {
 	return NetSnapshot{
-		MsgsSent:  s.MsgsSent - o.MsgsSent,
-		BytesSent: s.BytesSent - o.BytesSent,
-		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
-		BytesRecv: s.BytesRecv - o.BytesRecv,
-		Flushes:   s.Flushes - o.Flushes,
-		Deliver:   s.Deliver.Sub(o.Deliver),
+		MsgsSent:         s.MsgsSent - o.MsgsSent,
+		BytesSent:        s.BytesSent - o.BytesSent,
+		MsgsRecv:         s.MsgsRecv - o.MsgsRecv,
+		BytesRecv:        s.BytesRecv - o.BytesRecv,
+		Flushes:          s.Flushes - o.Flushes,
+		Reconnects:       s.Reconnects - o.Reconnects,
+		Backoffs:         s.Backoffs - o.Backoffs,
+		Retransmits:      s.Retransmits - o.Retransmits,
+		DupFramesDropped: s.DupFramesDropped - o.DupFramesDropped,
+		Faults:           s.Faults.Sub(o.Faults),
+		Deliver:          s.Deliver.Sub(o.Deliver),
 	}
 }
 
 // Add returns the element-wise sum s + o.
 func (s NetSnapshot) Add(o NetSnapshot) NetSnapshot {
 	return NetSnapshot{
-		MsgsSent:  s.MsgsSent + o.MsgsSent,
-		BytesSent: s.BytesSent + o.BytesSent,
-		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
-		BytesRecv: s.BytesRecv + o.BytesRecv,
-		Flushes:   s.Flushes + o.Flushes,
-		Deliver:   s.Deliver.Add(o.Deliver),
+		MsgsSent:         s.MsgsSent + o.MsgsSent,
+		BytesSent:        s.BytesSent + o.BytesSent,
+		MsgsRecv:         s.MsgsRecv + o.MsgsRecv,
+		BytesRecv:        s.BytesRecv + o.BytesRecv,
+		Flushes:          s.Flushes + o.Flushes,
+		Reconnects:       s.Reconnects + o.Reconnects,
+		Backoffs:         s.Backoffs + o.Backoffs,
+		Retransmits:      s.Retransmits + o.Retransmits,
+		DupFramesDropped: s.DupFramesDropped + o.DupFramesDropped,
+		Faults:           s.Faults.Add(o.Faults),
+		Deliver:          s.Deliver.Add(o.Deliver),
 	}
 }

@@ -40,6 +40,50 @@ func genSchedule(rng *rand.Rand, procs, nRegions, nTurns int) []schedOp {
 	return ops
 }
 
+// setupScheduleRegions allocates nRegions regions homed round-robin
+// (region r at proc r%procs), broadcasts their ids, maps them everywhere
+// and registers every processor as a sharer so update-family protocols
+// push here, finishing at a barrier.
+func setupScheduleRegions(p *core.Proc, sp *core.Space, nRegions int) []*core.Region {
+	procs := p.Procs()
+	ids := make([]core.RegionID, nRegions)
+	var mine []core.RegionID
+	for r := 0; r < nRegions; r++ {
+		if r%procs == p.ID() {
+			mine = append(mine, p.GMalloc(sp, 8))
+		}
+	}
+	for root := 0; root < procs; root++ {
+		cnt := 0
+		for r := 0; r < nRegions; r++ {
+			if r%procs == root {
+				cnt++
+			}
+		}
+		var got []core.RegionID
+		if root == p.ID() {
+			got = p.BroadcastIDs(root, mine)
+		} else {
+			got = p.BroadcastIDs(root, make([]core.RegionID, cnt))
+		}
+		i := 0
+		for r := 0; r < nRegions; r++ {
+			if r%procs == root {
+				ids[r] = got[i]
+				i++
+			}
+		}
+	}
+	hs := make([]*core.Region, nRegions)
+	for r, id := range ids {
+		hs[r] = p.Map(id)
+		p.StartRead(hs[r])
+		p.EndRead(hs[r])
+	}
+	p.Barrier(sp)
+	return hs
+}
+
 // runSchedule executes the schedule under the named protocol and reports
 // the first divergence from the sequential model.
 func runSchedule(t *testing.T, protoName string, procs, nRegions int, ops []schedOp) {
@@ -55,43 +99,7 @@ func runSchedule(t *testing.T, protoName string, procs, nRegions int, ops []sche
 		// race-free).
 		model := make([]int64, nRegions)
 		sp := p.DefaultSpace()
-		// Region r is homed at proc r%procs.
-		ids := make([]core.RegionID, nRegions)
-		var mine []core.RegionID
-		for r := 0; r < nRegions; r++ {
-			if r%procs == p.ID() {
-				mine = append(mine, p.GMalloc(sp, 8))
-			}
-		}
-		for root := 0; root < procs; root++ {
-			cnt := 0
-			for r := 0; r < nRegions; r++ {
-				if r%procs == root {
-					cnt++
-				}
-			}
-			var got []core.RegionID
-			if root == p.ID() {
-				got = p.BroadcastIDs(root, mine)
-			} else {
-				got = p.BroadcastIDs(root, make([]core.RegionID, cnt))
-			}
-			i := 0
-			for r := 0; r < nRegions; r++ {
-				if r%procs == root {
-					ids[r] = got[i]
-					i++
-				}
-			}
-		}
-		hs := make([]*core.Region, nRegions)
-		for r, id := range ids {
-			hs[r] = p.Map(id)
-			// Register as a sharer so update-family protocols push here.
-			p.StartRead(hs[r])
-			p.EndRead(hs[r])
-		}
-		p.Barrier(sp)
+		hs := setupScheduleRegions(p, sp, nRegions)
 		for i, op := range ops {
 			if op.proc == p.ID() {
 				h := hs[op.region]
