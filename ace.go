@@ -157,7 +157,9 @@ type (
 	// FaultPolicy configures the fault injector; assign one to
 	// Options.Faults.
 	FaultPolicy = faultnet.Policy
-	// FaultPartition is a timed one-way partition window in a FaultPolicy.
+	// FaultPartition is a timed bidirectional partition window in a
+	// FaultPolicy: traffic both ways between the pair is lost while the
+	// window is open.
 	FaultPartition = faultnet.Partition
 	// FaultCounts tallies injected faults per kind (Metrics.Net.Faults).
 	FaultCounts = trace.FaultCounts

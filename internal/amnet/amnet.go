@@ -311,8 +311,8 @@ func (q delayQueue) Less(i, j int) bool {
 	}
 	return q[i].due.Before(q[j].due)
 }
-func (q delayQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *delayQueue) Push(x any)        { *q = append(*q, x.(delayed)) }
+func (q delayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *delayQueue) Push(x any)   { *q = append(*q, x.(delayed)) }
 func (q *delayQueue) Pop() any {
 	old := *q
 	n := len(old)

@@ -173,7 +173,10 @@ func TestLatencyNoHeadOfLineBlocking(t *testing.T) {
 	}
 	defer nw.Close()
 	es := nw.Endpoints()
-	arrivals := make(chan struct{ a uint64; at time.Time }, 4)
+	arrivals := make(chan struct {
+		a  uint64
+		at time.Time
+	}, 4)
 	es[1].Register(1, func(m Msg) {
 		arrivals <- struct {
 			a  uint64

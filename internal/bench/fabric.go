@@ -32,21 +32,21 @@ const (
 // FabricResult is one fabric measurement, JSON-shaped for
 // BENCH_fabric.json.
 type FabricResult struct {
-	Name      string  `json:"name"`      // e.g. "throughput/tcp"
-	Transport string  `json:"transport"` // "chan" or "tcp"
-	Nodes     int     `json:"nodes"`
-	Payload   int     `json:"payload_bytes"`
-	Msgs      int     `json:"messages"`
-	Seconds   float64 `json:"seconds"`
+	Name       string  `json:"name"`      // e.g. "throughput/tcp"
+	Transport  string  `json:"transport"` // "chan" or "tcp"
+	Nodes      int     `json:"nodes"`
+	Payload    int     `json:"payload_bytes"`
+	Msgs       int     `json:"messages"`
+	Seconds    float64 `json:"seconds"`
 	MsgsPerSec float64 `json:"msgs_per_sec"`
 	NsPerMsg   float64 `json:"ns_per_msg"`
 }
 
 // FabricReport is the BENCH_fabric.json document.
 type FabricReport struct {
-	Generated string         `json:"generated_by"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Results   []FabricResult `json:"results"`
+	Generated  string         `json:"generated_by"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Results    []FabricResult `json:"results"`
 	// Baseline, when present, carries the same measurements taken at the
 	// pre-fast-path commit, so the artifact itself documents the delta.
 	Baseline []FabricResult `json:"pre_fastpath_baseline,omitempty"`

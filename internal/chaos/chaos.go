@@ -85,11 +85,13 @@ func PolicyByName(name string, seed int64) (*faultnet.Policy, error) {
 			ReorderProb: 0.15,
 		}, nil
 	case "partitioned":
+		// Two successive bidirectional windows on the 0↔1 pair (the
+		// pair in a Partition is unordered).
 		return &faultnet.Policy{
 			Seed: seed,
 			Partitions: []faultnet.Partition{
 				{A: 0, B: 1, After: 2 * time.Millisecond, For: 3 * time.Millisecond},
-				{A: 1, B: 0, After: 9 * time.Millisecond, For: 3 * time.Millisecond},
+				{A: 0, B: 1, After: 9 * time.Millisecond, For: 3 * time.Millisecond},
 			},
 		}, nil
 	case "slow":

@@ -160,26 +160,42 @@ func (p *Proc) waitSync(w *waiter, seq uint64) amnet.Msg {
 	panic(&PeerLostError{Local: int(p.id), Peer: int(p.downPeer.Load())})
 }
 
-// retireWaiter removes a waiter whose Wait is failing, so a completion
-// arriving after the failure does not hit the unknown-waiter panic in
-// Complete — the late message is dropped instead.
+// retireWaiter removes a waiter whose Wait is failing, leaving a
+// tombstone so a completion arriving after the failure (a slow but
+// alive peer answering just past the stall timeout) does not hit the
+// unknown-waiter panic in Complete — the late message is dropped
+// instead. Tombstones are never reclaimed: retirement only happens on
+// the failure paths, after which the cluster is unusable.
 func (p *Proc) retireWaiter(seq uint64) {
 	p.wMu.Lock()
 	delete(p.waiters, seq)
+	if p.retired == nil {
+		p.retired = make(map[uint64]struct{})
+	}
+	p.retired[seq] = struct{}{}
 	p.wMu.Unlock()
 }
 
 // Complete finishes the waiter seq, handing it m. It is typically called
 // from a Deliver handler (for locally served requests it may also be
-// called from the application thread). Complete never blocks.
+// called from the application thread). Complete never blocks. A
+// completion for a retired waiter (one whose Wait already failed with
+// ErrSyncStall or ErrPeerLost) is dropped and its payload recycled;
+// completing a waiter that never existed is a protocol bug and panics.
 func (c *Ctx) Complete(seq uint64, m amnet.Msg) {
 	p := c.p
 	p.wMu.Lock()
 	w := p.waiters[seq]
-	p.wMu.Unlock()
 	if w == nil {
+		_, retired := p.retired[seq]
+		p.wMu.Unlock()
+		if retired {
+			amnet.Recycle(m.Payload)
+			return
+		}
 		panic(fmt.Sprintf("core: proc %d: complete of unknown waiter %d", p.id, seq))
 	}
+	p.wMu.Unlock()
 	w.ch <- m
 }
 

@@ -67,6 +67,37 @@ func TestPeerLostFailsBlockedBarrier(t *testing.T) {
 	}
 }
 
+// TestLateCompletionAfterStallIsDropped: a completion arriving after
+// Wait already failed with ErrSyncStall — the likely shape of a stall,
+// a slow but alive peer answering just past the timeout — must be
+// dropped by the pump, not crash the process with an unknown-waiter
+// panic. The fault delay holds proc 1's barrier arrival (and the
+// completions node 0 eventually fans out) past both processors'
+// SyncTimeout, so each pump later dispatches a completion for a retired
+// waiter; surviving the post-Run window is the assertion.
+func TestLateCompletionAfterStallIsDropped(t *testing.T) {
+	inner, err := amnet.NewChanNetwork(amnet.ChanConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := faultnet.Wrap(inner, faultnet.Policy{Delay: 150 * time.Millisecond})
+	cl, err := NewCluster(Options{Procs: 2, Network: nw, SyncTimeout: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(p *Proc) error {
+		p.GlobalBarrier()
+		return nil
+	})
+	if !errors.Is(err, ErrSyncStall) {
+		t.Fatalf("Run error = %v, want ErrSyncStall", err)
+	}
+	// Proc 0's late completion lands ~150ms in, proc 1's ~300ms; an
+	// unknown-waiter panic on either pump would kill the test binary.
+	time.Sleep(400 * time.Millisecond)
+}
+
 // TestFaultsOptionEndToEnd: Options.Faults wraps the cluster transport
 // in the fault injector; a coherent workload still computes the right
 // answer and the injected faults show up in Metrics.

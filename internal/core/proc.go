@@ -54,9 +54,11 @@ type Proc struct {
 	spaceMu sync.Mutex
 	spaces  atomic.Pointer[[]*Space]
 
-	// wMu guards the waiter table.
+	// wMu guards the waiter table and the retired tombstones (waiters
+	// whose Wait failed; late completions for them are dropped).
 	wMu        sync.Mutex
 	waiters    map[uint64]*waiter
+	retired    map[uint64]struct{}
 	nextWaiter uint64
 
 	// Barrier state. barGen counts this processor's barrier arrivals

@@ -82,8 +82,8 @@ type Policy struct {
 }
 
 // Partition is one transient partition window: traffic between nodes A
-// and B is lost while the window is open. After is measured from Wrap
-// time.
+// and B — in both directions; the pair is unordered — is lost while the
+// window is open. After is measured from Wrap time.
 type Partition struct {
 	A, B  int
 	After time.Duration
@@ -118,6 +118,12 @@ func Wrap(nw amnet.Network, p Policy) *Network {
 				expected: 1,
 				buffered: make(map[uint64]amnet.Msg),
 			}
+		}
+		// A peer-aware inner transport (tcpnet) keeps its peer-down
+		// detection through the wrapper: its notifications forward into
+		// the same handler Kill fires.
+		if pa, ok := iep.(amnet.PeerAware); ok {
+			pa.SetPeerDownHandler(ep.firePeerDown)
 		}
 		fn.eps[i] = ep
 	}
@@ -168,9 +174,11 @@ func (n *Network) Close() error {
 }
 
 // Kill simulates the permanent loss of a peer: every endpoint's
-// peer-down handler fires, and traffic to or from the peer — pending or
-// future — is silently discarded. It is the fault the runtime's
-// ErrPeerLost path is tested against without a real network.
+// peer-down handler fires — including the killed node's own, so its
+// processor fails blocked waits instead of hanging on peers it can no
+// longer reach — and traffic to or from the peer, pending or future, is
+// silently discarded. It is the fault the runtime's ErrPeerLost path is
+// tested against without a real network.
 func (n *Network) Kill(peer amnet.NodeID) {
 	n.killMu.Lock()
 	if int(peer) >= len(n.killed) || n.killed[peer] {
@@ -179,16 +187,8 @@ func (n *Network) Kill(peer amnet.NodeID) {
 	}
 	n.killed[peer] = true
 	n.killMu.Unlock()
-	for i, ep := range n.eps {
-		if amnet.NodeID(i) == peer {
-			continue
-		}
-		ep.mu.Lock()
-		fn := ep.downFn
-		ep.mu.Unlock()
-		if fn != nil {
-			fn(peer)
-		}
+	for _, ep := range n.eps {
+		ep.firePeerDown(peer)
 	}
 }
 
@@ -260,6 +260,9 @@ type endpoint struct {
 	heap   attemptHeap
 	closed bool
 	downFn func(peer amnet.NodeID)
+	// downPending buffers peer-down notifications (from the inner
+	// transport or Kill) that arrive before a handler is registered.
+	downPending []amnet.NodeID
 
 	wake chan struct{}
 }
@@ -270,11 +273,33 @@ func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) { e.inner.Regi
 func (e *endpoint) Stats() *amnet.Stats                           { return e.inner.Stats() }
 
 // SetPeerDownHandler implements amnet.PeerAware: fn fires when Kill
-// declares a peer lost.
+// declares a peer lost or the inner transport reports one down.
+// Notifications that arrived before registration are replayed.
 func (e *endpoint) SetPeerDownHandler(fn func(peer amnet.NodeID)) {
 	e.mu.Lock()
 	e.downFn = fn
+	pending := e.downPending
+	e.downPending = nil
 	e.mu.Unlock()
+	for _, peer := range pending {
+		fn(peer)
+	}
+}
+
+// firePeerDown delivers a peer-down notification to the registered
+// handler, buffering it when none is registered yet (the inner
+// transport could report a peer down before the runtime attaches its
+// handler).
+func (e *endpoint) firePeerDown(peer amnet.NodeID) {
+	e.mu.Lock()
+	fn := e.downFn
+	if fn == nil {
+		e.downPending = append(e.downPending, peer)
+	}
+	e.mu.Unlock()
+	if fn != nil {
+		fn(peer)
+	}
 }
 
 // Send runs the fault model for one message and schedules its wire

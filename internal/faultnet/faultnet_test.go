@@ -149,8 +149,10 @@ func TestPartitionWindowStallsThenHeals(t *testing.T) {
 	}
 }
 
-// TestKillFiresPeerDownAndDropsTraffic: Kill notifies every surviving
-// endpoint once and discards traffic to the dead peer.
+// TestKillFiresPeerDownAndDropsTraffic: Kill notifies every endpoint
+// once — survivors and the killed node itself, so its processor does
+// not block forever on peers it can no longer reach — and discards
+// traffic to the dead peer.
 func TestKillFiresPeerDownAndDropsTraffic(t *testing.T) {
 	inner, err := amnet.NewChanNetwork(amnet.ChanConfig{Nodes: 3})
 	if err != nil {
@@ -160,10 +162,7 @@ func TestKillFiresPeerDownAndDropsTraffic(t *testing.T) {
 	defer nw.Close()
 	eps := nw.Endpoints()
 	var downs atomic.Int32
-	for i, ep := range eps {
-		if i == 2 {
-			continue
-		}
+	for _, ep := range eps {
 		ep.(amnet.PeerAware).SetPeerDownHandler(func(peer amnet.NodeID) {
 			if peer != 2 {
 				t.Errorf("peer down for %d, want 2", peer)
@@ -175,12 +174,84 @@ func TestKillFiresPeerDownAndDropsTraffic(t *testing.T) {
 	eps[2].Register(10, func(m amnet.Msg) { delivered.Add(1) })
 	nw.Kill(2)
 	nw.Kill(2) // idempotent
-	if got := downs.Load(); got != 2 {
-		t.Fatalf("peer-down fired %d times, want 2 (once per survivor)", got)
+	if got := downs.Load(); got != 3 {
+		t.Fatalf("peer-down fired %d times, want 3 (once per endpoint, killed node included)", got)
 	}
 	eps[0].Send(amnet.Msg{Dst: 2, Handler: 10})
 	time.Sleep(20 * time.Millisecond)
 	if got := delivered.Load(); got != 0 {
 		t.Fatalf("dead peer received %d messages", got)
+	}
+}
+
+// peerAwareEP decorates a channel-network endpoint with a controllable
+// peer-down signal, standing in for a supervised transport (tcpnet).
+type peerAwareEP struct {
+	amnet.Endpoint
+	mu sync.Mutex
+	fn func(peer amnet.NodeID)
+}
+
+func (e *peerAwareEP) SetPeerDownHandler(fn func(peer amnet.NodeID)) {
+	e.mu.Lock()
+	e.fn = fn
+	e.mu.Unlock()
+}
+
+func (e *peerAwareEP) down(peer amnet.NodeID) {
+	e.mu.Lock()
+	fn := e.fn
+	e.mu.Unlock()
+	if fn != nil {
+		fn(peer)
+	}
+}
+
+type peerAwareNet struct {
+	amnet.Network
+	eps []amnet.Endpoint
+}
+
+func (n *peerAwareNet) Endpoints() []amnet.Endpoint { return n.eps }
+
+// TestWrapForwardsInnerPeerDown: wrapping a PeerAware transport must not
+// disconnect its peer-down detection — the inner transport's
+// notification reaches the handler registered on the wrapper, including
+// one that fired before the handler was installed.
+func TestWrapForwardsInnerPeerDown(t *testing.T) {
+	chans, err := amnet.NewChanNetwork(amnet.ChanConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := make([]*peerAwareEP, 2)
+	inner := &peerAwareNet{Network: chans, eps: make([]amnet.Endpoint, 2)}
+	for i, ep := range chans.Endpoints() {
+		aware[i] = &peerAwareEP{Endpoint: ep}
+		inner.eps[i] = aware[i]
+	}
+	nw := Wrap(inner, Policy{})
+	defer nw.Close()
+	eps := nw.Endpoints()
+
+	var got atomic.Int32
+	got.Store(-1)
+	eps[0].(amnet.PeerAware).SetPeerDownHandler(func(peer amnet.NodeID) {
+		got.Store(int32(peer))
+	})
+	aware[0].down(1)
+	if p := got.Load(); p != 1 {
+		t.Fatalf("forwarded peer-down = %d, want 1", p)
+	}
+
+	// A notification raised before the wrapper handler exists is
+	// buffered and replayed at registration.
+	aware[1].down(0)
+	var late atomic.Int32
+	late.Store(-1)
+	eps[1].(amnet.PeerAware).SetPeerDownHandler(func(peer amnet.NodeID) {
+		late.Store(int32(peer))
+	})
+	if p := late.Load(); p != 0 {
+		t.Fatalf("buffered peer-down = %d, want 0", p)
 	}
 }

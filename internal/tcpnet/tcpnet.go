@@ -288,7 +288,11 @@ type sender struct {
 	journal  [][]byte // data frames not yet acked, in seq order (superset of queue's data frames)
 	nextSeq  uint64   // last assigned data sequence number (0 = control)
 	acked    uint64   // highest cumulative ack received
-	closed   bool
+	// replaying is set while reconnect writes a journal snapshot outside
+	// the lock; ack() then only records the ack and defers recycling to
+	// releaseAcked, so snapshot frames stay valid through the replay.
+	replaying bool
+	closed    bool
 
 	ep    *endpoint
 	peer  amnet.NodeID
@@ -343,7 +347,8 @@ func (s *sender) enqueueControl(frame []byte) {
 
 // ack processes a cumulative acknowledgment: every journaled frame with
 // seq ≤ n is released. Monotonic — stale acks (reordered across a
-// reconnect) are ignored.
+// reconnect) are ignored. During a journal replay only the ack level is
+// recorded; releaseAcked recycles the covered frames afterwards.
 func (s *sender) ack(n uint64) {
 	s.mu.Lock()
 	if n <= s.acked {
@@ -351,6 +356,10 @@ func (s *sender) ack(n uint64) {
 		return
 	}
 	s.acked = n
+	if s.replaying {
+		s.mu.Unlock()
+		return
+	}
 	i := 0
 	for i < len(s.journal) && seqOf(s.journal[i]) <= n {
 		amnet.Recycle(s.journal[i])
@@ -506,10 +515,16 @@ func (s *sender) reconnect(stats *amnet.Stats) (net.Conn, *bufio.Writer, bool) {
 			continue
 		}
 		bw := bufio.NewWriterSize(conn, 64<<10)
-		// Commit under the lock: adopt the connection, drop the queue
-		// (its data frames are journaled; its control frames are stale),
-		// and replay the whole journal in order. Producers and acks wait
-		// out the replay — bounded by maxPending frames.
+		// Adopt the connection and snapshot the journal under the lock,
+		// then replay outside it: a replay can take up to WriteTimeout,
+		// and holding the lock that long would stall enqueue and — via
+		// the reader's ack path — the receive path for this peer. The
+		// queue is dropped (its data frames are journaled; its control
+		// frames are stale); frames enqueued during the replay land
+		// behind the snapshot in the queue, preserving seq order. The
+		// replaying flag keeps concurrent acks from recycling snapshot
+		// frames mid-write; killConn still interrupts a stuck replay
+		// because the new connection is already adopted.
 		s.mu.Lock()
 		s.conn = conn
 		fresh := 0
@@ -523,8 +538,14 @@ func (s *sender) reconnect(stats *amnet.Stats) (net.Conn, *bufio.Writer, bool) {
 		}
 		s.queue = s.queue[:0]
 		retrans := len(s.journal) - fresh
+		snap := append([][]byte(nil), s.journal...)
+		s.replaying = true
+		s.mu.Unlock()
+		if cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		}
 		werr := error(nil)
-		for _, f := range s.journal {
+		for _, f := range snap {
 			if werr == nil {
 				_, werr = bw.Write(f)
 			}
@@ -532,7 +553,7 @@ func (s *sender) reconnect(stats *amnet.Stats) (net.Conn, *bufio.Writer, bool) {
 		if werr == nil {
 			werr = bw.Flush()
 		}
-		s.mu.Unlock()
+		s.releaseAcked()
 		if werr != nil {
 			conn.Close()
 			if attempt >= cfg.MaxAttempts {
@@ -546,6 +567,28 @@ func (s *sender) reconnect(stats *amnet.Stats) (net.Conn, *bufio.Writer, bool) {
 		}
 		stats.Reconnects.Add(1)
 		return conn, bw, true
+	}
+}
+
+// releaseAcked ends a journal replay: it recycles the journal prefix
+// covered by acks that arrived while the replay held no lock, and
+// reopens normal ack processing.
+func (s *sender) releaseAcked() {
+	s.mu.Lock()
+	n := s.acked
+	i := 0
+	for i < len(s.journal) && seqOf(s.journal[i]) <= n {
+		amnet.Recycle(s.journal[i])
+		s.journal[i] = nil
+		i++
+	}
+	if i > 0 {
+		s.journal = s.journal[i:]
+	}
+	s.replaying = false
+	s.mu.Unlock()
+	if i > 0 {
+		s.notFull.Broadcast()
 	}
 }
 
