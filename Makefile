@@ -1,7 +1,10 @@
 GO ?= go
 
 # Packages whose lock-free instrumentation paths must stay race-clean.
-RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet
+# proto rides along for the adaptive-controller convergence tests: the
+# controller's counter snapshots and collective decisions run
+# concurrently with the bracket fast path.
+RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet ./proto
 
 .PHONY: ci vet build test race bench bench-smoke bench-allocs chaos-smoke
 
@@ -28,9 +31,13 @@ bench:
 	$(GO) run ./cmd/acebench -exp bracket -baseline BENCH_bracket.json -out BENCH_bracket.json
 
 # bench-smoke runs the fabric benchmarks briefly so CI catches a stalled
-# or asserting fast path without paying for full measurements.
+# or asserting fast path without paying for full measurements, plus one
+# small-scale pass of the adaptive-convergence experiment (the artifact
+# goes to a scratch path so the committed default-scale BENCH_adapt.json
+# is not clobbered; the run fails on any sc/adaptive checksum mismatch).
 bench-smoke:
 	$(GO) test -bench 'BenchmarkFabric' -benchtime=100ms -run '^$$' ./internal/bench
+	$(GO) run ./cmd/acebench -exp adapt -scale small -out /tmp/acebench_adapt_smoke.json
 
 # chaos-smoke is the protocol-conformance stress gate: the fixed-seed
 # protocol × fault-policy matrix (seeds 1..3) via the package tests,
@@ -38,7 +45,7 @@ bench-smoke:
 # deterministic and under a minute.
 chaos-smoke:
 	$(GO) test -run 'TestMatrixFixedSeeds|TestBrokenDoubleCaught' ./internal/chaos
-	$(GO) test -race -run 'TestMatrixFixedSeeds/update/lossy' ./internal/chaos
+	$(GO) test -race -run 'TestMatrixFixedSeeds/^(update|adaptive)$$/lossy' ./internal/chaos
 
 # bench-allocs is the regression gate for the lock-free bracket fast
 # path: with tracing disabled a hit bracket must not allocate. The awk

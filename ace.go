@@ -49,6 +49,24 @@
 // the analogue of the paper's protocol-registration script; see package
 // proto for worked examples.
 //
+// # Adaptive protocol selection
+//
+// Setting Options.Adapt turns on the online protocol controller: at
+// barrier points the runtime classifies each adaptable space's access
+// pattern from the trace counters (read/write mix, remote misses,
+// writer and reader counts, lock traffic) and — after a configurable
+// hysteresis — switches the space to the registered protocol advertising
+// that pattern, through the same collective ChangeProtocol an
+// application would call by hand. A program can thus start every space
+// on "sc" and let the runtime specialize it:
+//
+//	cl, _ := ace.NewCluster(ace.Options{Procs: 8, Adapt: &ace.AdaptConfig{}})
+//
+// Controller state (classified pattern, epochs, switches) is surfaced in
+// Metrics.Adapt. Protocols opt in by declaring AdaptHints in their
+// registry Info; see AdaptConfig for tuning and DESIGN.md §7 for the
+// decision procedure.
+//
 // # Observability
 //
 // Setting Options.Trace enables the runtime's observability layer:
@@ -128,6 +146,12 @@ type (
 	PointSet = core.PointSet
 	// ReduceOp selects an AllReduce combining operator.
 	ReduceOp = core.ReduceOp
+	// AdaptConfig enables and tunes the online adaptive protocol
+	// controller; assign one to Options.Adapt.
+	AdaptConfig = core.AdaptConfig
+	// AdaptHints is a protocol's declaration to the adaptive controller,
+	// part of its registry Info.
+	AdaptHints = core.AdaptHints
 	// OpStats counts runtime primitive invocations.
 	//
 	// Deprecated: use Metrics (from Proc.Snapshot or Cluster.Metrics),
@@ -175,6 +199,9 @@ type (
 	Metrics = trace.Metrics
 	// SpaceMetrics is one space's operation counts and latencies.
 	SpaceMetrics = trace.SpaceMetrics
+	// AdaptStats is one space's adaptive-controller state
+	// (Metrics.Adapt), populated when Options.Adapt is set.
+	AdaptStats = trace.AdaptStats
 	// OpCounts is a per-operation counter vector.
 	OpCounts = trace.OpCounts
 	// Histogram is a power-of-two latency histogram snapshot.
@@ -208,6 +235,16 @@ const (
 	OpSum = core.OpSum
 	OpMin = core.OpMin
 	OpMax = core.OpMax
+)
+
+// The access-pattern labels used by the adaptive controller
+// (AdaptHints.Pattern, AdaptStats.Pattern).
+const (
+	PatternGeneral          = core.PatternGeneral
+	PatternMigratory        = core.PatternMigratory
+	PatternSingleWriter     = core.PatternSingleWriter
+	PatternProducerConsumer = core.PatternProducerConsumer
+	PatternHomeWrite        = core.PatternHomeWrite
 )
 
 // Protocol invocation points.

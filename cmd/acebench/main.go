@@ -5,6 +5,7 @@
 //	acebench -exp table4  # compiler optimization levels vs hand-written code
 //	acebench -exp fabric  # message-fabric latency/throughput (BENCH_fabric.json)
 //	acebench -exp chaos   # protocol-conformance stress matrix under fault injection
+//	acebench -exp adapt   # adaptive controller vs sc and hand-picked protocols (BENCH_adapt.json)
 //	acebench -exp all
 //
 // The chaos experiment runs every library protocol through a seeded
@@ -82,6 +83,8 @@ func main() {
 		ok = runFabric(*procs, reportPath(*out, "BENCH_fabric.json"), *baseline)
 	case "bracket":
 		ok = runBracket(*procs, reportPath(*out, "BENCH_bracket.json"), *baseline)
+	case "adapt":
+		ok = runAdapt(w, *runs, reportPath(*out, "BENCH_adapt.json"))
 	case "chaos":
 		ok = runChaos(*chaosProto, *chaosPolicy, *chaosSeed, *procs)
 	case "all":
@@ -89,12 +92,43 @@ func main() {
 		ok = runFig7b(w, *runs) && ok
 		ok = runTable4(*procs) && ok
 	default:
-		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, chaos, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, adapt, chaos, all)\n", *exp)
 		os.Exit(2)
 	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// runAdapt runs the adaptive-convergence experiment — every fig-7b
+// benchmark started on sc with the online protocol controller enabled,
+// compared against controller-off sc and the hand-picked protocols —
+// and writes the BENCH_adapt.json artifact.
+func runAdapt(w bench.Workloads, runs int, out string) bool {
+	fmt.Printf("=== Adaptive: controller-selected protocols vs sc and hand-picked (%d procs) ===\n", w.Procs)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adapt: %v\n", err)
+		return false
+	}
+	rep, err := bench.WriteAdaptReport(f, w, runs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adapt: %v\n", err)
+		return false
+	}
+	fmt.Println(bench.FormatAdapt(rep.Results))
+	fmt.Printf("wrote %s\n", out)
+	ok := true
+	for _, r := range rep.Results {
+		if !r.ChecksumOK {
+			fmt.Fprintf(os.Stderr, "adapt: %s: adaptive run diverged from sc (checksum mismatch)\n", r.App)
+			ok = false
+		}
+	}
+	return ok
 }
 
 // runChaos runs the protocol-conformance stress harness: a single

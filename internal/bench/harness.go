@@ -38,7 +38,18 @@ func RunAce(procs int, app AppFunc) (apputil.Result, error) {
 // trace configuration (nil runs uninstrumented) and returns processor
 // 0's result together with the cluster metrics and retained events.
 func RunAceObserved(procs int, app AppFunc, cfg *trace.Config) (Observed, error) {
-	cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry(), Trace: cfg})
+	return runAceCluster(core.Options{Procs: procs, Registry: proto.NewRegistry(), Trace: cfg}, app)
+}
+
+// RunAceAdaptive executes app on a fresh Ace cluster with the online
+// protocol controller enabled (which forces metrics on, so the returned
+// snapshot carries Metrics.Adapt — the controller's switching record).
+func RunAceAdaptive(procs int, app AppFunc, cfg *core.AdaptConfig) (Observed, error) {
+	return runAceCluster(core.Options{Procs: procs, Registry: proto.NewRegistry(), Adapt: cfg}, app)
+}
+
+func runAceCluster(opts core.Options, app AppFunc) (Observed, error) {
+	cl, err := core.NewCluster(opts)
 	if err != nil {
 		return Observed{}, err
 	}

@@ -51,11 +51,14 @@ type Report struct {
 }
 
 // Protocols returns the library protocols the harness covers: every
-// registered protocol except "null" (see the package comment).
+// registered protocol except "null" (see the package comment), plus the
+// pseudo-protocol "adaptive" — a cluster started on "sc" with the online
+// protocol controller enabled, so the conformance invariants are checked
+// while the controller switches protocols mid-run.
 func Protocols() []string {
 	return []string{
 		"sc", "migratory", "update", "atomic", "writethrough",
-		"homewrite", "staticupdate", "pipeline", "racecheck",
+		"homewrite", "staticupdate", "pipeline", "racecheck", "adaptive",
 	}
 }
 
@@ -148,15 +151,26 @@ func Run(cfg Config) Report {
 	}
 	reg := proto.NewRegistry()
 	reg.MustRegister(BrokenInfo())
-	if _, ok := reg.Lookup(cfg.Protocol); !ok {
+	defaultProto := cfg.Protocol
+	var adapt *core.AdaptConfig
+	if cfg.Protocol == "adaptive" {
+		// The adaptive row starts on "sc" and lets the controller switch
+		// protocols while the conformance schedule runs. Aggressive
+		// tuning so switches land inside the fault windows (the
+		// partitioned policy's windows open a few milliseconds in).
+		defaultProto = "sc"
+		adapt = &core.AdaptConfig{EpochBarriers: 2, Hysteresis: 2, Cooldown: 1, MinOps: 1}
+	}
+	if _, ok := reg.Lookup(defaultProto); !ok {
 		rep.Err = fmt.Errorf("chaos: unknown protocol %q", cfg.Protocol)
 		return rep
 	}
 	cl, err := core.NewCluster(core.Options{
 		Procs:           cfg.Procs,
 		Registry:        reg,
-		DefaultProtocol: cfg.Protocol,
+		DefaultProtocol: defaultProto,
 		Faults:          pol,
+		Adapt:           adapt,
 		// A harness bug (or a protocol hang under faults) must fail
 		// typed, not wedge the suite.
 		SyncTimeout: 2 * time.Minute,
@@ -167,7 +181,20 @@ func Run(cfg Config) Report {
 	}
 	defer cl.Close()
 	rep.Err = cl.Run(worker(cfg))
-	rep.Faults = cl.Metrics().Net.Faults
+	m := cl.Metrics()
+	rep.Faults = m.Net.Faults
+	if cfg.Protocol == "adaptive" && rep.Err == nil {
+		// The row only proves something if the controller actually
+		// switched protocols under the workload's pattern churn.
+		var switches uint64
+		for _, a := range m.Adapt {
+			switches += a.Switches
+		}
+		if switches < 2 {
+			rep.Err = fmt.Errorf("chaos adaptive/%s seed %d: controller made %d switches, want at least 2 (pattern churn did not exercise adaptation)",
+				cfg.Policy, cfg.Seed, switches)
+		}
+	}
 	return rep
 }
 
@@ -198,16 +225,22 @@ func genSchedule(rng *rand.Rand, procs, nRegions, nTurns int) []schedOp {
 }
 
 // homeRestricted reports protocols whose contract only lets a region's
-// home processor write it.
+// home processor write it. The adaptive row is restricted too: the
+// controller may install staticupdate or homewrite at any epoch, so the
+// whole schedule must stay legal under them.
 func homeRestricted(protocol string) bool {
-	return protocol == "homewrite" || protocol == "staticupdate"
+	return protocol == "homewrite" || protocol == "staticupdate" || protocol == "adaptive"
 }
 
 // worker builds the SPMD body for the configured protocol: the additive
-// workload for pipeline, the model-checked schedule for everyone else.
+// workload for pipeline, the controller-churn workload for the adaptive
+// row, the model-checked schedule for everyone else.
 func worker(cfg Config) func(p *core.Proc) error {
-	if cfg.Protocol == "pipeline" {
+	switch cfg.Protocol {
+	case "pipeline":
 		return additiveWorker(cfg)
+	case "adaptive":
+		return adaptiveWorker(cfg)
 	}
 	return scheduleWorker(cfg)
 }
@@ -391,6 +424,142 @@ func scheduleWorker(cfg Config) func(p *core.Proc) error {
 		}
 		p.Barrier(sp)
 		check("after ChangeProtocol back to " + cfg.Protocol)
+		p.Barrier(sp)
+		return firstErr
+	}
+}
+
+// adaptiveWorker drives the adaptive row: the cluster starts on sc with
+// the online controller enabled (see Run), and the workload checks the
+// sequential model while deliberately churning the access pattern so the
+// controller switches protocols mid-run — first the seeded schedule
+// (too sparse per epoch to trigger a switch: it validates the controller
+// stays put without signal), then a read-dominated home-writer phase
+// (classifies producer-consumer → staticupdate), then a lock-mediated
+// phase (classifies migratory), and finally a manual ChangeProtocol on
+// top of whatever the controller installed. Writes are home-only
+// throughout, keeping every reachable target protocol legal; reads are
+// checked only after barriers, which every adaptive protocol's contract
+// covers. Run asserts afterwards that at least two switches happened.
+func adaptiveWorker(cfg Config) func(p *core.Proc) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ops := genSchedule(rng, cfg.Procs, cfg.Regions, cfg.Turns)
+	for i := range ops {
+		if ops[i].write {
+			ops[i].proc = ops[i].region % cfg.Procs
+		}
+	}
+	return func(p *core.Proc) error {
+		sp := p.DefaultSpace()
+		// Region cfg.Regions is lock bait for the migratory phase; it is
+		// never written, so it needs no model entry.
+		hs := setupRegions(p, sp, cfg.Regions+1)
+		model := make([]int64, cfg.Regions)
+		var firstErr error
+		fail := func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		checkAll := func(stage string) {
+			for r := 0; r < cfg.Regions; r++ {
+				p.StartRead(hs[r])
+				got := hs[r].Data.Int64(0)
+				p.EndRead(hs[r])
+				if want := model[r]; got != want {
+					fail(fmt.Errorf("chaos adaptive/%s seed %d: %s: region %d = %d, model says %d",
+						cfg.Policy, cfg.Seed, stage, r, got, want))
+				}
+			}
+		}
+
+		// Phase 1: the seeded schedule under sc. One op per epoch-half is
+		// below every classification threshold (no epoch can see a writer
+		// plus two readers), so the controller must not switch here.
+		for i, op := range ops {
+			if op.proc == p.ID() {
+				h := hs[op.region]
+				if op.write {
+					p.StartWrite(h)
+					h.Data.SetInt64(0, op.value)
+					p.EndWrite(h)
+				} else {
+					p.StartRead(h)
+					got := h.Data.Int64(0)
+					p.EndRead(h)
+					if want := model[op.region]; got != want {
+						fail(fmt.Errorf("chaos adaptive/%s seed %d: op %d: proc %d read region %d = %d, model says %d",
+							cfg.Policy, cfg.Seed, i, p.ID(), op.region, got, want))
+					}
+				}
+			}
+			if op.write {
+				model[op.region] = op.value
+			}
+			p.Barrier(sp)
+		}
+
+		const churnIters = 8
+		// Phase 2: producer-consumer churn. Every home rewrites its
+		// regions, everyone reads them all back — read-dominated,
+		// home-only, with remote read misses under sc: the controller
+		// must converge on staticupdate within the phase, and the model
+		// must keep holding across the switch.
+		for e := 0; e < churnIters; e++ {
+			for r := 0; r < cfg.Regions; r++ {
+				v := int64(10_000 + 100*e + r)
+				if r%cfg.Procs == p.ID() {
+					p.StartWrite(hs[r])
+					hs[r].Data.SetInt64(0, v)
+					p.EndWrite(hs[r])
+				}
+				model[r] = v
+			}
+			p.Barrier(sp)
+			checkAll(fmt.Sprintf("producer-consumer churn %d", e))
+			p.Barrier(sp)
+		}
+
+		// Phase 3: migratory churn. The same home-only writes, now inside
+		// a lock section on the bait region — lock traffic plus writes
+		// classifies migratory, switching away from the push protocol.
+		bait := hs[cfg.Regions]
+		for e := 0; e < churnIters; e++ {
+			p.Lock(bait)
+			for r := 0; r < cfg.Regions; r++ {
+				v := int64(20_000 + 100*e + r)
+				if r%cfg.Procs == p.ID() {
+					p.StartWrite(hs[r])
+					hs[r].Data.SetInt64(0, v)
+					p.EndWrite(hs[r])
+				}
+				model[r] = v
+			}
+			p.Unlock(bait)
+			p.Barrier(sp)
+			checkAll(fmt.Sprintf("migratory churn %d", e))
+			p.Barrier(sp)
+		}
+
+		// Phase 4: a manual ChangeProtocol on top of the controller —
+		// applications and the controller share the same collective, so
+		// an explicit switch must flush and proceed from wherever
+		// adaptation landed.
+		if err := p.ChangeProtocol(sp, "sc"); err != nil {
+			return err // collective misuse, not a coherence divergence
+		}
+		checkAll("after manual ChangeProtocol to sc")
+		p.Barrier(sp)
+		for r := 0; r < cfg.Regions; r++ {
+			if r%cfg.Procs == p.ID() {
+				p.StartWrite(hs[r])
+				hs[r].Data.SetInt64(0, model[r]+100)
+				p.EndWrite(hs[r])
+			}
+			model[r] += 100
+		}
+		p.Barrier(sp)
+		checkAll("after home-writer round under sc")
 		p.Barrier(sp)
 		return firstErr
 	}

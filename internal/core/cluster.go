@@ -52,6 +52,17 @@ type Options struct {
 	// wrapper (and the wrapped network with it) is closed by Close.
 	Faults *faultnet.Policy
 
+	// Adapt, if non-nil, enables the online adaptive protocol controller:
+	// at barrier points the runtime classifies each adaptable space's
+	// access pattern from the trace counters and switches the space to
+	// the registered protocol matching the pattern (via the collective
+	// ChangeProtocol). Setting Adapt forces the counters-only tier of
+	// the observability layer on (Trace.Counters) — the controller
+	// consumes counts, and the full tier's clock reads would tax the
+	// very application the controller is speeding up. See AdaptConfig
+	// for tuning and AdaptHints for how protocols opt in.
+	Adapt *AdaptConfig
+
 	// SyncTimeout, when positive, bounds every blocking synchronization
 	// wait (barriers, locks, coherence fetches, collectives). A wait
 	// that exceeds it fails the processor's Run with an error matching
@@ -69,6 +80,12 @@ type Cluster struct {
 	ownNet bool
 	procs  []*Proc
 	ran    bool
+
+	// adapt is the normalized controller configuration (nil when
+	// adaptation is off); adaptTargets maps each advertised access
+	// pattern to its registered protocol, resolved once at creation.
+	adapt        *AdaptConfig
+	adaptTargets map[string]string
 }
 
 // NewCluster creates a cluster and its processors.
@@ -85,6 +102,22 @@ func NewCluster(opts Options) (*Cluster, error) {
 	}
 	if _, ok := reg.Lookup(opts.DefaultProtocol); !ok {
 		return nil, fmt.Errorf("core: unknown default protocol %q", opts.DefaultProtocol)
+	}
+	if opts.Adapt != nil {
+		ac := opts.Adapt.withDefaults()
+		opts.Adapt = &ac
+		// The controller reads the per-space counters every epoch; force
+		// the counters-only tier of the observability layer on (copying
+		// the caller's config rather than mutating it). Counters, not
+		// full Metrics: the latency histograms and clock reads of the
+		// full tier cost more than the hand-tuned protocols the
+		// controller is chasing, and it only consumes counts.
+		tc := trace.Config{Counters: true}
+		if opts.Trace != nil {
+			tc = *opts.Trace
+			tc.Counters = true
+		}
+		opts.Trace = &tc
 	}
 	nw := opts.Network
 	own := false
@@ -110,6 +143,10 @@ func NewCluster(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("core: network has %d endpoints, want %d", len(eps), opts.Procs)
 	}
 	c := &Cluster{opts: opts, reg: reg, net: nw, ownNet: own}
+	if opts.Adapt != nil {
+		c.adapt = opts.Adapt
+		c.adaptTargets = adaptTargetTable(reg)
+	}
 	if opts.Trace != nil && opts.Trace.Metrics {
 		for _, ep := range eps {
 			ep.Stats().EnableLatencySampling(true)

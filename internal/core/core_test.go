@@ -354,6 +354,29 @@ func TestAllReduce(t *testing.T) {
 	})
 }
 
+// TestAllReduceVector: the element-wise vector all-reduce combines each
+// position independently in one round, including negative values, and a
+// vector round interleaves correctly with scalar rounds.
+func TestAllReduceVector(t *testing.T) {
+	run(t, 5, func(p *Proc) error {
+		id := int64(p.ID())
+		got := p.AllReduceInt64s(OpSum, []int64{id + 1, -id, 7, 0})
+		want := []int64{15, -10, 35, 0}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("vector sum[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+			}
+		}
+		if got := p.AllReduceInt64s(OpMax, []int64{id, -id}); got[0] != 4 || got[1] != 0 {
+			return fmt.Errorf("vector max = %v, want [4 0]", got)
+		}
+		if got := p.AllReduceInt64(OpSum, 1); got != 5 {
+			return fmt.Errorf("scalar sum after vector = %d, want 5", got)
+		}
+		return nil
+	})
+}
+
 func TestNewSpaceCollective(t *testing.T) {
 	run(t, 3, func(p *Proc) error {
 		sp, err := p.NewSpace("sc")

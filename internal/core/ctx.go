@@ -168,6 +168,16 @@ func (p *Proc) waitSync(w *waiter, seq uint64) amnet.Msg {
 // the failure paths, after which the cluster is unusable.
 func (p *Proc) retireWaiter(seq uint64) {
 	p.wMu.Lock()
+	if w := p.waiters[seq]; w != nil {
+		// Drop a completion that slipped in between the caller's final
+		// drain and this retirement — once the waiter is retired nobody
+		// will ever read the channel again.
+		select {
+		case m := <-w.ch:
+			amnet.Recycle(m.Payload)
+		default:
+		}
+	}
 	delete(p.waiters, seq)
 	if p.retired == nil {
 		p.retired = make(map[uint64]struct{})
@@ -195,8 +205,19 @@ func (c *Ctx) Complete(seq uint64, m amnet.Msg) {
 		}
 		panic(fmt.Sprintf("core: proc %d: complete of unknown waiter %d", p.id, seq))
 	}
+	// Deliver while still holding wMu: retireWaiter runs under the same
+	// lock, so the waiter cannot be retired between the lookup above and
+	// the send — delivering after unlocking stranded the message (and
+	// leaked its pooled payload) in an abandoned channel when Wait
+	// failed at just the wrong moment. The channel is buffered for the
+	// one completion a waiter expects, so the send never blocks a live
+	// waiter; the fallback keeps the never-blocks contract regardless.
+	select {
+	case w.ch <- m:
+	default:
+		amnet.Recycle(m.Payload)
+	}
 	p.wMu.Unlock()
-	w.ch <- m
 }
 
 // SendProto sends a protocol message. A names the region (0 for space-

@@ -2,6 +2,9 @@ package core
 
 import (
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -160,4 +163,110 @@ type stale struct {
 
 func (s *stale) Error() string {
 	return "stale read"
+}
+
+// TestCompleteRetireRaceNoStrandedCompletion: Complete used to publish
+// the message to the waiter's channel after dropping p.wMu, so a waiter
+// retired between the lookup and the send (Wait failing with
+// ErrSyncStall/ErrPeerLost at just the wrong moment) received the
+// completion into an abandoned channel: the message — and its pooled
+// payload — was stranded instead of being dropped and recycled.
+//
+// The schedule is made deterministic (the window is a few nanoseconds,
+// unhittable by chance on one CPU): the waiter's cap-1 channel is
+// pre-filled, so the racing Complete passes its waiter lookup and then
+// parks exactly inside the window, between the lookup and the delivery.
+// The main goroutine then runs waitSync's failure path — one last
+// non-blocking drain, then retirement — and the drain releases the
+// parked Complete straight into the just-retired waiter. The assertion
+// is the invariant the fix establishes: once retireWaiter returns, no
+// completion can remain in (or later enter) the waiter's channel.
+func TestCompleteRetireRaceNoStrandedCompletion(t *testing.T) {
+	cl, err := NewCluster(Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	p := cl.procs[0]
+	ctx := &Ctx{p: p}
+	for i := 0; i < 200; i++ {
+		seq := ctx.NewWaiter()
+		p.wMu.Lock()
+		w := p.waiters[seq]
+		p.wMu.Unlock()
+		w.ch <- amnet.Msg{} // occupy the buffer slot
+		done := make(chan struct{})
+		go func() {
+			ctx.Complete(seq, amnet.Msg{B: seq, Payload: amnet.Alloc(16)})
+			close(done)
+		}()
+		// Let the completer run up to its delivery (or, post-fix, all
+		// the way through its non-blocking fallback).
+		for j := 0; j < 100; j++ {
+			select {
+			case <-done:
+				j = 100
+			default:
+				runtime.Gosched()
+			}
+		}
+		// waitSync's failure path: final non-blocking drain, then
+		// retirement.
+		select {
+		case <-w.ch:
+		default:
+		}
+		p.retireWaiter(seq)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Complete still blocked after retirement")
+		}
+		if n := len(w.ch); n != 0 {
+			t.Fatalf("iteration %d: completion stranded in a retired waiter's channel", i)
+		}
+	}
+}
+
+// TestCompleteRetireConcurrentStress: the same pairing without the
+// deterministic schedule, for the race detector's benefit.
+func TestCompleteRetireConcurrentStress(t *testing.T) {
+	cl, err := NewCluster(Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	p := cl.procs[0]
+	ctx := &Ctx{p: p}
+	for i := 0; i < 2000; i++ {
+		seq := ctx.NewWaiter()
+		p.wMu.Lock()
+		w := p.waiters[seq]
+		p.wMu.Unlock()
+		var wg sync.WaitGroup
+		var delivered atomic.Bool
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			ctx.Complete(seq, amnet.Msg{B: seq, Payload: amnet.Alloc(16)})
+		}()
+		go func() {
+			defer wg.Done()
+			select {
+			case m := <-w.ch:
+				delivered.Store(true)
+				amnet.Recycle(m.Payload)
+				return
+			default:
+			}
+			p.retireWaiter(seq)
+		}()
+		wg.Wait()
+		if !delivered.Load() && len(w.ch) != 0 {
+			t.Fatalf("iteration %d: completion stranded in a retired waiter's channel", i)
+		}
+		p.wMu.Lock()
+		delete(p.waiters, seq)
+		p.wMu.Unlock()
+	}
 }

@@ -216,6 +216,15 @@ func (p *Proc) FastHits() trace.OpCounts {
 // half is then a momentary view.
 func (p *Proc) Snapshot() trace.Metrics {
 	m := p.rec.Snapshot()
+	if sps := p.spaces.Load(); sps != nil {
+		for _, sp := range *sps {
+			if st := sp.adapt.Load(); st != nil {
+				if s := st.pub.Load(); s != nil {
+					m.Adapt = append(m.Adapt, *s)
+				}
+			}
+		}
+	}
 	m.Net = p.ep.Stats().Snapshot()
 	return m
 }
@@ -397,6 +406,9 @@ func (p *Proc) StartRead(r *Region) {
 	r.adjSections(1, rwReaderShift)
 	sp.refreshFast(r)
 	sp.eng.Unlock()
+	if !r.IsHome() {
+		p.rec.RemoteMiss(trace.OpStartRead, sp.ID)
+	}
 	p.rec.End(trace.OpStartRead, sp.ID, t)
 }
 
@@ -440,6 +452,9 @@ func (p *Proc) StartWrite(r *Region) {
 	r.adjSections(1, rwWriterShift)
 	sp.refreshFast(r)
 	sp.eng.Unlock()
+	if !r.IsHome() {
+		p.rec.RemoteMiss(trace.OpStartWrite, sp.ID)
+	}
 	p.rec.End(trace.OpStartWrite, sp.ID, t)
 }
 
@@ -466,7 +481,9 @@ func (p *Proc) EndWrite(r *Region) {
 }
 
 // Barrier executes a barrier with the semantics of sp's protocol (for
-// example, a static update protocol propagates updates here).
+// example, a static update protocol propagates updates here). When the
+// cluster runs with Options.Adapt, the adaptive controller evaluates the
+// space here, after the barrier completes and the engine is released.
 func (p *Proc) Barrier(sp *Space) {
 	t := p.rec.Begin()
 	p.ops[trace.OpBarrier].Add(1)
@@ -474,9 +491,17 @@ func (p *Proc) Barrier(sp *Space) {
 	sp.Proto.Barrier(sp.ctx, sp)
 	sp.eng.Unlock()
 	p.rec.End(trace.OpBarrier, sp.ID, t)
+	if p.cl.adapt != nil {
+		p.adaptTick(sp)
+	}
 }
 
 // GlobalBarrier synchronizes all processors without protocol semantics.
+// It is deliberately not a controller evaluation point: a program
+// synchronizing through protocol-less barriers gives the controller no
+// license to install a protocol whose coherence actions live in the
+// space barrier (the push family acts there), so adaptation only ticks
+// in Barrier, where the space's protocol barrier actually ran.
 func (p *Proc) GlobalBarrier() {
 	p.ctx.DefaultBarrier()
 }
@@ -686,6 +711,11 @@ type Space struct {
 	// fp is the protocol's fast-path view, nil when the protocol does
 	// not implement FastPather.
 	fp FastPather
+	// adapt is the adaptive controller's per-space state, created at the
+	// space's first barrier when Options.Adapt is set. Atomic only so
+	// Proc.Snapshot can read the published stats concurrently; all other
+	// access is from the application thread.
+	adapt atomic.Pointer[adaptState]
 }
 
 // refreshFast recomputes and publishes r's fast-path eligibility bits
@@ -757,6 +787,9 @@ func (p *Proc) StartReadBare(r *Region) {
 	sp.Proto.StartRead(sp.ctx, r)
 	sp.refreshFast(r)
 	sp.eng.Unlock()
+	if !r.IsHome() {
+		p.rec.RemoteMiss(trace.OpStartRead, sp.ID)
+	}
 	p.rec.End(trace.OpStartRead, sp.ID, t)
 }
 
@@ -793,6 +826,9 @@ func (p *Proc) StartWriteBare(r *Region) {
 	sp.Proto.StartWrite(sp.ctx, r)
 	sp.refreshFast(r)
 	sp.eng.Unlock()
+	if !r.IsHome() {
+		p.rec.RemoteMiss(trace.OpStartWrite, sp.ID)
+	}
 	p.rec.End(trace.OpStartWrite, sp.ID, t)
 }
 

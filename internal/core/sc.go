@@ -61,6 +61,7 @@ func scInfo() Info {
 		New:         func() Protocol { return &SCProtocol{} },
 		Optimizable: false,
 		Null:        0,
+		Adapt:       AdaptHints{Adaptive: true, Pattern: PatternGeneral},
 	}
 }
 

@@ -205,6 +205,30 @@ func (p *Proc) AllReduceInt64(op ReduceOp, v int64) int64 {
 	return int64(out)
 }
 
+// AllReduceInt64s combines each element of v across all processors with
+// op — element-wise, in a single collective round — and returns the
+// combined vector on every processor. All processors must pass the same
+// length. One round costs the same as one scalar AllReduceInt64, which
+// is the point: callers combining a feature vector (the adaptive
+// controller reduces seven counters per epoch) pay one round trip, not
+// seven. Collective.
+func (p *Proc) AllReduceInt64s(op ReduceOp, v []int64) []int64 {
+	code := map[ReduceOp]uint64{OpSum: collOpSumI, OpMin: collOpMinI, OpMax: collOpMaxI}[op]
+	p.collSeq++
+	tag := p.collSeq
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(x))
+	}
+	p.ep.Send(amnet.Msg{Dst: 0, Handler: hColl, A: tag, C: code, Payload: buf})
+	out := p.collAwait(tag)
+	res := make([]int64, len(out)/8)
+	for i := range res {
+		res[i] = int64(binary.LittleEndian.Uint64(out[i*8:]))
+	}
+	return res
+}
+
 // AllReduceFloat64 combines v across all processors with op and returns
 // the result on every processor. Collective.
 func (p *Proc) AllReduceFloat64(op ReduceOp, v float64) float64 {
@@ -223,54 +247,59 @@ func (p *Proc) allReduce(code uint64, word uint64) uint64 {
 	return binary.LittleEndian.Uint64(out)
 }
 
-// reduce combines contribution payloads with the operator encoded in code.
+// reduce combines contribution payloads element-wise with the operator
+// encoded in code. Payloads are vectors of 64-bit words — the scalar
+// collectives send one-word vectors — and every contribution has the
+// same length.
 func reduce(code uint64, vals [][]byte) []byte {
+	out := make([]byte, len(vals[0]))
 	words := make([]uint64, len(vals))
-	for i, v := range vals {
-		words[i] = binary.LittleEndian.Uint64(v)
+	for e := 0; e < len(out); e += 8 {
+		for i, v := range vals {
+			words[i] = binary.LittleEndian.Uint64(v[e:])
+		}
+		var acc uint64
+		switch code {
+		case collOpSumI:
+			var s int64
+			for _, w := range words {
+				s += int64(w)
+			}
+			acc = uint64(s)
+		case collOpMinI:
+			s := int64(words[0])
+			for _, w := range words[1:] {
+				s = min(s, int64(w))
+			}
+			acc = uint64(s)
+		case collOpMaxI:
+			s := int64(words[0])
+			for _, w := range words[1:] {
+				s = max(s, int64(w))
+			}
+			acc = uint64(s)
+		case collOpSumF:
+			var s float64
+			for _, w := range words {
+				s += math.Float64frombits(w)
+			}
+			acc = math.Float64bits(s)
+		case collOpMinF:
+			s := math.Float64frombits(words[0])
+			for _, w := range words[1:] {
+				s = math.Min(s, math.Float64frombits(w))
+			}
+			acc = math.Float64bits(s)
+		case collOpMaxF:
+			s := math.Float64frombits(words[0])
+			for _, w := range words[1:] {
+				s = math.Max(s, math.Float64frombits(w))
+			}
+			acc = math.Float64bits(s)
+		default:
+			panic(fmt.Sprintf("core: bad reduction code %d", code))
+		}
+		binary.LittleEndian.PutUint64(out[e:], acc)
 	}
-	var acc uint64
-	switch code {
-	case collOpSumI:
-		var s int64
-		for _, w := range words {
-			s += int64(w)
-		}
-		acc = uint64(s)
-	case collOpMinI:
-		s := int64(words[0])
-		for _, w := range words[1:] {
-			s = min(s, int64(w))
-		}
-		acc = uint64(s)
-	case collOpMaxI:
-		s := int64(words[0])
-		for _, w := range words[1:] {
-			s = max(s, int64(w))
-		}
-		acc = uint64(s)
-	case collOpSumF:
-		var s float64
-		for _, w := range words {
-			s += math.Float64frombits(w)
-		}
-		acc = math.Float64bits(s)
-	case collOpMinF:
-		s := math.Float64frombits(words[0])
-		for _, w := range words[1:] {
-			s = math.Min(s, math.Float64frombits(w))
-		}
-		acc = math.Float64bits(s)
-	case collOpMaxF:
-		s := math.Float64frombits(words[0])
-		for _, w := range words[1:] {
-			s = math.Max(s, math.Float64frombits(w))
-		}
-		acc = math.Float64bits(s)
-	default:
-		panic(fmt.Sprintf("core: bad reduction code %d", code))
-	}
-	out := make([]byte, 8)
-	binary.LittleEndian.PutUint64(out, acc)
 	return out
 }

@@ -123,9 +123,16 @@ func (a *AceRT) StartRead(h Handle)          { a.P.StartRead(h.(aceHandle).r) }
 func (a *AceRT) EndRead(h Handle)            { a.P.EndRead(h.(aceHandle).r) }
 func (a *AceRT) StartWrite(h Handle)         { a.P.StartWrite(h.(aceHandle).r) }
 func (a *AceRT) EndWrite(h Handle)           { a.P.EndWrite(h.(aceHandle).r) }
-func (a *AceRT) Barrier()                    { a.P.GlobalBarrier() }
-func (a *AceRT) Lock(h Handle)               { a.P.Lock(h.(aceHandle).r) }
-func (a *AceRT) Unlock(h Handle)             { a.P.Unlock(h.(aceHandle).r) }
+
+// Barrier runs the default space's protocol barrier (the paper's full
+// access control: even the plain barrier dispatches through the
+// protocol). Under the default sc protocol this is exactly the global
+// barrier, but it keeps the barrier's coherence actions — and the
+// adaptive controller's evaluation point — attached to the space the
+// runtime-neutral benchmarks allocate from.
+func (a *AceRT) Barrier()        { a.P.Barrier(a.P.DefaultSpace()) }
+func (a *AceRT) Lock(h Handle)   { a.P.Lock(h.(aceHandle).r) }
+func (a *AceRT) Unlock(h Handle) { a.P.Unlock(h.(aceHandle).r) }
 
 func (a *AceRT) Broadcast(root int, data []byte) []byte { return a.P.Broadcast(root, data) }
 func (a *AceRT) BroadcastID(root int, id core.RegionID) core.RegionID {

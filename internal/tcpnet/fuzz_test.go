@@ -31,6 +31,12 @@ func encodeTestFrame(seq uint64, payload []byte) []byte {
 func FuzzReadFrame(f *testing.F) {
 	f.Add(encodeTestFrame(1, []byte("hello fabric")))
 	f.Add(encodeTestFrame(0, nil)) // control frame
+	// Control frame acking a sequence number no sender ever journaled:
+	// the decoder passes it through, and the sender's ack() must treat
+	// it as a no-op (see TestAckNeverJournaledIgnored).
+	bogusAck := encodeTestFrame(0, nil)
+	binary.LittleEndian.PutUint64(bogusAck[14:], ^uint64(0))
+	f.Add(bogusAck)
 	f.Add(encodeTestFrame(1, nil)[:10])
 	f.Add([]byte{})
 	f.Add([]byte("garbage that is definitely not a frame header at all.."))

@@ -239,3 +239,119 @@ func TestUnreachablePeerDeclaredDown(t *testing.T) {
 	// Sends to a downed peer are dropped, not blocked or crashed.
 	eps[0].Send(amnet.Msg{Dst: 1, Handler: 7})
 }
+
+// TestBlockedEnqueueUnblocksOnPeerDown reproduces the enqueue hang: a
+// sender whose journal sits at maxPending fully written but unacked has
+// an idle writer (queue empty, parked on notEmpty), so nothing ever
+// touches the connection again after the peer dies — the reconnect
+// budget is never consumed, peerLost is never reached, and a producer
+// blocked in enqueue on notFull hangs forever instead of the peer being
+// declared down and the send failing out. The ack-stall probe must
+// drive the writer onto the dead connection so the existing
+// reconnect→peerLost path runs and its notFull broadcast frees the
+// producer.
+func TestBlockedEnqueueUnblocksOnPeerDown(t *testing.T) {
+	nwi, err := NewLoopbackNetworkConfig(2, Config{
+		DialTimeout: 100 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nwi.Close()
+	nw := nwi.(*network)
+	eps := nw.Endpoints()
+	downs := make(chan amnet.NodeID, 1)
+	eps[0].(amnet.PeerAware).SetPeerDownHandler(func(peer amnet.NodeID) { downs <- peer })
+	var delivered atomic.Uint64
+	eps[1].Register(7, func(m amnet.Msg) { delivered.Add(1) })
+
+	// Silence the ack path first: acks from node 1 ride its own 1→0
+	// sender, so closing node 0's listener and severing that link stops
+	// every ack while 0→1 data keeps flowing — the journal fills with
+	// frames that are written but never acknowledged.
+	nw.listeners[0].Close()
+	nw.KillLink(1, 0)
+
+	for i := 0; i < maxPending; i++ {
+		eps[0].Send(amnet.Msg{Dst: 1, Handler: 7, A: uint64(i)})
+	}
+	// Wait until every frame is delivered and the writer has gone idle
+	// with the journal at capacity.
+	s := nw.eps[0].out[1]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		idle := len(s.journal) == maxPending && len(s.queue) == 0
+		s.mu.Unlock()
+		if idle && delivered.Load() == maxPending {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached the stalled state: delivered %d", delivered.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	sendDone := make(chan struct{})
+	go func() {
+		eps[0].Send(amnet.Msg{Dst: 1, Handler: 7, A: maxPending})
+		close(sendDone)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-sendDone:
+		t.Fatal("send did not block with the journal at maxPending")
+	default:
+	}
+
+	// Now the peer dies for good. The blocked producer must be released
+	// by the peer-down path, not left hanging.
+	nw.listeners[1].Close()
+	nw.KillLink(0, 1)
+
+	select {
+	case peer := <-downs:
+		if peer != 1 {
+			t.Fatalf("peer down for %d, want 1", peer)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("peer never declared down while a sender was blocked in enqueue")
+	}
+	select {
+	case <-sendDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("enqueue still blocked after the peer was declared down")
+	}
+}
+
+// TestAckNeverJournaledIgnored pins the ack guard: a cumulative ack for
+// a sequence number beyond anything this sender ever journaled (a
+// corrupt or hostile peer) must be ignored — accepting it would recycle
+// in-flight journal frames (use-after-free via the buffer pool) and
+// wedge the link by making every genuine ack look stale.
+func TestAckNeverJournaledIgnored(t *testing.T) {
+	s := &sender{}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	for i := uint64(1); i <= 3; i++ {
+		f := amnet.Alloc(frameHeader)
+		binary.LittleEndian.PutUint64(f[seqOff:], i)
+		s.journal = append(s.journal, f)
+		s.nextSeq = i
+	}
+	s.ack(100) // never journaled: must be a no-op
+	if len(s.journal) != 3 || s.acked != 0 {
+		t.Fatalf("bogus ack accepted: journal %d frames, acked %d", len(s.journal), s.acked)
+	}
+	s.ack(2) // genuine ack still works after the bogus one
+	if len(s.journal) != 1 || s.acked != 2 {
+		t.Fatalf("genuine ack after bogus one: journal %d frames, acked %d", len(s.journal), s.acked)
+	}
+	if got := seqOf(s.journal[0]); got != 3 {
+		t.Fatalf("surviving journal frame has seq %d, want 3", got)
+	}
+	amnet.Recycle(s.journal[0])
+}

@@ -64,6 +64,16 @@ type Config struct {
 	// AckEvery is the receive-side ack cadence in data frames; an ack
 	// is also sent whenever the reader drains its buffer. Default 64.
 	AckEvery int
+
+	// ProbeInterval is the cadence of the ack-stall probe. When a
+	// sender's journal is non-empty but its queue is empty, the writer
+	// is idle — if the connection silently died in that state nothing
+	// would ever touch it again, leaving producers blocked on
+	// backpressure forever with the peer never declared down. The probe
+	// enqueues a harmless control frame so the writer exercises the
+	// connection and a dead one enters the normal reconnect→peer-down
+	// path. Default 1s.
+	ProbeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AckEvery <= 0 {
 		c.AckEvery = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
 	}
 	return c
 }
@@ -147,8 +160,9 @@ func NewLoopbackNetworkConfig(n int, cfg Config) (amnet.Network, error) {
 				return nil, err
 			}
 			nw.eps[i].out[j] = s
-			nw.sendWG.Add(1)
+			nw.sendWG.Add(2)
 			go s.run(&nw.sendWG, &nw.eps[i].stats)
+			go s.probeLoop(&nw.sendWG)
 		}
 	}
 	for _, ep := range nw.eps {
@@ -298,14 +312,48 @@ type sender struct {
 	peer  amnet.NodeID
 	addr  string
 	hello [4]byte
+
+	// stop ends the ack-stall probe goroutine; closed once the sender
+	// shuts down (close or peerLost).
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 func newSender(ep *endpoint, peer amnet.NodeID, addr string, conn net.Conn) *sender {
-	s := &sender{conn: conn, ep: ep, peer: peer, addr: addr}
+	s := &sender{conn: conn, ep: ep, peer: peer, addr: addr, stop: make(chan struct{})}
 	binary.LittleEndian.PutUint32(s.hello[:], uint32(ep.id))
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
 	return s
+}
+
+// probeLoop is the ack-stall watchdog: while the journal holds unacked
+// frames and the queue is empty, the writer is parked — if the
+// connection died in that state nothing would ever write to it again,
+// so the reconnect budget would never be consumed and producers blocked
+// on backpressure would hang forever with the peer never declared
+// down. Enqueueing a no-op control frame (a stale ack the peer
+// ignores) forces the writer through a write: on a live connection it
+// is invisible, on a dead one it triggers the normal
+// reconnect→peerLost path, whose notFull broadcast frees the
+// producers.
+func (s *sender) probeLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	t := time.NewTicker(s.ep.nw.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		stalled := !s.closed && len(s.journal) > 0 && len(s.queue) == 0
+		s.mu.Unlock()
+		if stalled {
+			s.ep.sendAck(s.peer, 0)
+		}
+	}
 }
 
 // enqueue appends one encoded data frame, assigning its sequence number
@@ -355,6 +403,15 @@ func (s *sender) ack(n uint64) {
 		s.mu.Unlock()
 		return
 	}
+	if n > s.nextSeq {
+		// An ack for a sequence never journaled here can only come from
+		// a corrupt or hostile peer. Accepting it would recycle
+		// in-flight journal frames (a use-after-free through the buffer
+		// pool) and pin acked above every genuine ack, wedging the
+		// link's backpressure forever.
+		s.mu.Unlock()
+		return
+	}
 	s.acked = n
 	if s.replaying {
 		s.mu.Unlock()
@@ -381,6 +438,7 @@ func (s *sender) close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.notEmpty.Signal()
 	s.notFull.Broadcast()
 }
@@ -611,6 +669,7 @@ func (s *sender) peerLost() {
 	}
 	s.journal = nil
 	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.notFull.Broadcast()
 	s.ep.firePeerDown(s.peer)
 }
@@ -767,9 +826,25 @@ func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
 			}
 			link.mu.Lock()
 			if f.seq <= link.seen {
+				// A duplicate means the sender is replaying frames whose
+				// ack it never saw (it died with the old connection).
+				// Re-ack the dedup horizon on the usual cadence: dropping
+				// dups silently would leave a journal that is already at
+				// the backpressure bound permanently full — no new data
+				// frame could ever flow to earn a fresh ack.
+				link.sinceAck++
+				reack := link.sinceAck >= ackEvery || br.Buffered() == 0
+				var reackSeq uint64
+				if reack {
+					link.sinceAck = 0
+					reackSeq = link.seen
+				}
 				link.mu.Unlock()
 				e.stats.DupFramesDropped.Add(1)
 				amnet.Recycle(f.msg.Payload)
+				if reack {
+					e.sendAck(src, reackSeq)
+				}
 				continue
 			}
 			link.seen = f.seq

@@ -29,10 +29,15 @@ func (c OpCounts) Add(o OpCounts) OpCounts {
 	return c
 }
 
-// Sub returns the element-wise difference c - o.
+// Sub returns the element-wise difference c - o, saturating at zero so
+// that deltas taken across a counter reset clamp instead of wrapping.
 func (c OpCounts) Sub(o OpCounts) OpCounts {
 	for i := range c {
-		c[i] -= o[i]
+		if c[i] >= o[i] {
+			c[i] -= o[i]
+		} else {
+			c[i] = 0
+		}
 	}
 	return c
 }
@@ -51,6 +56,10 @@ type SpaceMetrics struct {
 	FastOps OpCounts
 	// Latency holds one invocation-latency histogram per operation.
 	Latency [NumOps]Histogram
+	// RemoteReadMisses / RemoteWriteMisses count bracket opens that had
+	// to reach a remote home for data or permission (slow path only).
+	RemoteReadMisses  uint64
+	RemoteWriteMisses uint64
 }
 
 func (m SpaceMetrics) merge(o SpaceMetrics) SpaceMetrics {
@@ -59,10 +68,55 @@ func (m SpaceMetrics) merge(o SpaceMetrics) SpaceMetrics {
 	for i := range m.Latency {
 		m.Latency[i] = m.Latency[i].Add(o.Latency[i])
 	}
+	m.RemoteReadMisses += o.RemoteReadMisses
+	m.RemoteWriteMisses += o.RemoteWriteMisses
 	if m.Protocol == "" {
 		m.Protocol = o.Protocol
 	}
 	return m
+}
+
+// Sub returns the element-wise delta m - o of two snapshots of the same
+// space, saturating at zero (see OpCounts.Sub and Histogram.Sub): the
+// adaptive controller's per-epoch feature vector. The protocol name is
+// taken from the newer snapshot.
+func (m SpaceMetrics) Sub(o SpaceMetrics) SpaceMetrics {
+	m.Ops = m.Ops.Sub(o.Ops)
+	m.FastOps = m.FastOps.Sub(o.FastOps)
+	for i := range m.Latency {
+		m.Latency[i] = m.Latency[i].Sub(o.Latency[i])
+	}
+	if m.RemoteReadMisses >= o.RemoteReadMisses {
+		m.RemoteReadMisses -= o.RemoteReadMisses
+	} else {
+		m.RemoteReadMisses = 0
+	}
+	if m.RemoteWriteMisses >= o.RemoteWriteMisses {
+		m.RemoteWriteMisses -= o.RemoteWriteMisses
+	} else {
+		m.RemoteWriteMisses = 0
+	}
+	return m
+}
+
+// AdaptStats is one space's adaptive-controller state, surfaced through
+// Metrics.Adapt when Options.Adapt is set. The controller runs the same
+// deterministic decision sequence on every processor, so per-processor
+// snapshots agree; aggregation keeps the furthest-evolved one.
+type AdaptStats struct {
+	// Space is the space id.
+	Space int
+	// Protocol is the currently installed protocol.
+	Protocol string
+	// Pattern is the most recent classified access pattern (empty until
+	// the first epoch with enough signal).
+	Pattern string
+	// Epochs counts adaptation evaluations (controller barriers).
+	Epochs uint64
+	// Switches counts controller-initiated ChangeProtocol calls.
+	Switches uint64
+	// LastSwitchEpoch is the epoch of the most recent switch (0 = none).
+	LastSwitchEpoch uint64
 }
 
 // Metrics is the unified observability snapshot: operation counts and
@@ -79,6 +133,9 @@ type Metrics struct {
 	OpLatency [NumOps]Histogram
 	// Spaces breaks the counts down by space and protocol.
 	Spaces []SpaceMetrics
+	// Adapt holds per-space adaptive-controller state (empty unless the
+	// cluster runs with Options.Adapt).
+	Adapt []AdaptStats
 	// Net aggregates the endpoint traffic counters.
 	Net NetSnapshot
 }
@@ -107,6 +164,27 @@ func (m Metrics) Add(o Metrics) Metrics {
 		}
 	}
 	m.Spaces = merged
+	adapt := make([]AdaptStats, len(m.Adapt))
+	copy(adapt, m.Adapt)
+	for _, oa := range o.Adapt {
+		found := false
+		for i := range adapt {
+			if adapt[i].Space == oa.Space {
+				// The controller is deterministic and collective, so
+				// per-processor states agree; keep the furthest-evolved
+				// snapshot in case one was taken mid-epoch.
+				if oa.Epochs > adapt[i].Epochs {
+					adapt[i] = oa
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			adapt = append(adapt, oa)
+		}
+	}
+	m.Adapt = adapt
 	m.Net = m.Net.Add(o.Net)
 	return m
 }

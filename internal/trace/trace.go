@@ -70,6 +70,15 @@ type Config struct {
 	// endpoints.
 	Metrics bool
 
+	// Counters enables the cheap tier of Metrics: per-space operation
+	// and miss counters without latency histograms, timestamps, or
+	// network latency sampling. A counted bracket costs two atomic adds
+	// and no clock reads, so the tier is safe to leave on under
+	// benchmarks — it exists for the adaptive controller, which needs
+	// the counts at every barrier but must not tax the application it
+	// is trying to speed up. Implied by Metrics.
+	Counters bool
+
 	// Events, when positive, is the per-processor event ring capacity:
 	// the last Events bracketed operations per processor are retained
 	// and exported by WriteChromeTrace. Zero disables event tracing.
@@ -109,6 +118,12 @@ type spaceCounters struct {
 	ops   [NumOps]atomic.Uint64
 	fast  [NumOps]atomic.Uint64
 	lat   [NumOps]hist
+	// rmRead/rmWrite count bracket opens that found the region's data
+	// remote (home elsewhere, slow path taken): the adaptive
+	// controller's sharing-pattern signal. Only the slow path reports
+	// them, so the fast path stays allocation- and branch-lean.
+	rmRead  atomic.Uint64
+	rmWrite atomic.Uint64
 }
 
 // Recorder collects one processor's operation metrics and events. The
@@ -120,6 +135,7 @@ type spaceCounters struct {
 type Recorder struct {
 	proc    int32
 	enabled atomic.Bool
+	timing  atomic.Bool // latency histograms + timestamps (full Metrics tier)
 	spaces  atomic.Pointer[[]*spaceCounters]
 
 	evOn   atomic.Bool
@@ -133,8 +149,9 @@ type Recorder struct {
 // names (so enabling later via Enable observes a correct space table).
 func NewRecorder(proc int, cfg *Config) *Recorder {
 	r := &Recorder{proc: int32(proc)}
-	if cfg != nil && (cfg.Metrics || cfg.Events > 0) {
+	if cfg != nil && (cfg.Metrics || cfg.Counters || cfg.Events > 0) {
 		r.enabled.Store(true)
+		r.timing.Store(cfg.Metrics || cfg.Events > 0)
 		if cfg.Events > 0 {
 			r.events = make([]Event, cfg.Events)
 			r.evOn.Store(true)
@@ -143,7 +160,9 @@ func NewRecorder(proc int, cfg *Config) *Recorder {
 	return r
 }
 
-// Enable switches metric collection on or off at runtime.
+// Enable switches metric collection on or off at runtime, at the tier
+// the recorder was configured with (a counters-only recorder re-enables
+// as counters-only).
 func (r *Recorder) Enable(on bool) {
 	if r == nil {
 		return
@@ -192,21 +211,38 @@ func (r *Recorder) SetProtocol(id int, proto string) {
 	}
 }
 
+// countOnly is Begin's token for the counters-only tier: the bracket is
+// counted but not timed. Now() is nanoseconds since process start, so a
+// negative value can never be a real timestamp.
+const countOnly int64 = -1
+
 // Begin opens a bracketed operation, returning a timestamp token to pass
 // to End. It returns 0 when the recorder is disabled, which makes the
-// matching End a single branch. Zero-allocation.
+// matching End a single branch, and the countOnly token when only
+// counters are collected — the token is what keeps clock reads off the
+// counters-only hot path. Zero-allocation.
 func (r *Recorder) Begin() int64 {
 	if r == nil || !r.enabled.Load() {
 		return 0
+	}
+	if !r.timing.Load() {
+		return countOnly
 	}
 	return Now()
 }
 
 // End closes a bracketed operation started at begin, attributing it to
 // op on the given space (-1 for no space). A zero begin (disabled
-// recorder) returns immediately. Zero-allocation.
+// recorder) returns immediately; a countOnly begin increments the
+// operation counter and nothing else. Zero-allocation.
 func (r *Recorder) End(op Op, space int, begin int64) {
 	if begin == 0 {
+		return
+	}
+	if begin == countOnly {
+		if p := r.spaces.Load(); p != nil && space >= 0 && space < len(*p) {
+			(*p)[space].ops[op].Add(1)
+		}
 		return
 	}
 	end := Now()
@@ -237,6 +273,50 @@ func (r *Recorder) FastHit(op Op, space int) {
 	if p := r.spaces.Load(); p != nil && space >= 0 && space < len(*p) {
 		(*p)[space].fast[op].Add(1)
 	}
+}
+
+// RemoteMiss counts a bracket open (OpStartRead or OpStartWrite) on
+// space that had to reach a remote home for data or permission — the
+// slow-path analogue of a cache miss. Nil-safe, zero-allocation, one
+// branch when disabled.
+func (r *Recorder) RemoteMiss(op Op, space int) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	if p := r.spaces.Load(); p != nil && space >= 0 && space < len(*p) {
+		sc := (*p)[space]
+		if op == OpStartWrite {
+			sc.rmWrite.Add(1)
+		} else {
+			sc.rmRead.Add(1)
+		}
+	}
+}
+
+// SpaceSnapshot returns one space's metrics (ok=false for an unknown
+// space or a nil recorder). The adaptive controller diffs consecutive
+// snapshots with SpaceMetrics.Sub to get per-epoch deltas.
+func (r *Recorder) SpaceSnapshot(id int) (SpaceMetrics, bool) {
+	if r == nil {
+		return SpaceMetrics{}, false
+	}
+	p := r.spaces.Load()
+	if p == nil || id < 0 || id >= len(*p) {
+		return SpaceMetrics{}, false
+	}
+	return (*p)[id].snapshot(id), true
+}
+
+func (sc *spaceCounters) snapshot(id int) SpaceMetrics {
+	sm := SpaceMetrics{Space: id, Protocol: *sc.proto.Load()}
+	for op := Op(0); op < NumOps; op++ {
+		sm.Ops[op] = sc.ops[op].Load()
+		sm.FastOps[op] = sc.fast[op].Load()
+		sm.Latency[op] = sc.lat[op].snapshot()
+	}
+	sm.RemoteReadMisses = sc.rmRead.Load()
+	sm.RemoteWriteMisses = sc.rmWrite.Load()
+	return sm
 }
 
 func (r *Recorder) pushEvent(ev Event) {
@@ -285,12 +365,7 @@ func (r *Recorder) Snapshot() Metrics {
 		return m
 	}
 	for id, sc := range *p {
-		sm := SpaceMetrics{Space: id, Protocol: *sc.proto.Load()}
-		for op := Op(0); op < NumOps; op++ {
-			sm.Ops[op] = sc.ops[op].Load()
-			sm.FastOps[op] = sc.fast[op].Load()
-			sm.Latency[op] = sc.lat[op].snapshot()
-		}
+		sm := sc.snapshot(id)
 		m.Ops = m.Ops.Add(sm.Ops)
 		m.FastOps = m.FastOps.Add(sm.FastOps)
 		for op := Op(0); op < NumOps; op++ {

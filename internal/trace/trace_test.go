@@ -68,6 +68,36 @@ func TestRecorderCountsAndLatency(t *testing.T) {
 	}
 }
 
+// TestRecorderCountersOnly: the cheap tier counts brackets and misses
+// without touching the clock — Begin returns the countOnly token and the
+// latency histograms stay empty. The adaptive controller runs on this
+// tier, so the counts it consumes must still be exact.
+func TestRecorderCountersOnly(t *testing.T) {
+	r := NewRecorder(0, &Config{Counters: true})
+	r.AddSpace(0, "sc")
+	if tok := r.Begin(); tok != countOnly {
+		t.Errorf("Begin = %d, want countOnly", tok)
+	}
+	for i := 0; i < 7; i++ {
+		r.End(OpStartWrite, 0, r.Begin())
+	}
+	r.RemoteMiss(OpStartWrite, 0)
+	r.FastHit(OpStartWrite, 0)
+	m := r.Snapshot()
+	if got := m.Ops.Get(OpStartWrite); got != 7 {
+		t.Errorf("start_write = %d, want 7", got)
+	}
+	if got := m.Spaces[0].RemoteWriteMisses; got != 1 {
+		t.Errorf("remote write misses = %d, want 1", got)
+	}
+	if got := m.FastOps.Get(OpStartWrite); got != 1 {
+		t.Errorf("fast start_write = %d, want 1", got)
+	}
+	if h := m.OpLatency[OpStartWrite]; h.Count != 0 || h.SumNS != 0 {
+		t.Errorf("counters-only tier recorded latency: count=%d sum=%d", h.Count, h.SumNS)
+	}
+}
+
 // TestRecorderConcurrency hammers brackets from P goroutines while a
 // reader snapshots; run under -race this is the data-race check the
 // lock-free counters must pass.

@@ -177,6 +177,82 @@ func TestChangeProtocolUnderFaultMatrix(t *testing.T) {
 	}
 }
 
+// TestAdaptiveControllerUnderFaults covers controller-driven switching
+// on each transport condition: a cluster started on sc with the online
+// controller enabled runs a read-dominated home-writer workload, the
+// controller must converge on staticupdate mid-schedule without ever
+// breaking the sequential model, and a manual ChangeProtocol issued on
+// top of the controller's choice must flush and compose with it (both go
+// through the same collective).
+func TestAdaptiveControllerUnderFaults(t *testing.T) {
+	const procs, nRegions, iters, seed = 4, 5, 8, 42
+	for _, polName := range faultPolicyNames {
+		polName := polName
+		t.Run(polName, func(t *testing.T) {
+			t.Parallel()
+			cl, err := core.NewCluster(core.Options{
+				Procs:           procs,
+				Registry:        NewRegistry(),
+				DefaultProtocol: "sc",
+				Adapt:           &core.AdaptConfig{EpochBarriers: 2, Hysteresis: 2, Cooldown: 1, MinOps: 1},
+				Faults:          faultPolicyFor(polName, seed),
+				SyncTimeout:     30 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			err = cl.Run(func(p *core.Proc) error {
+				sp := p.DefaultSpace()
+				hs := setupScheduleRegions(p, sp, nRegions)
+				model := make([]int64, nRegions)
+				checkAll := func(stage string) error {
+					for r := 0; r < nRegions; r++ {
+						p.StartRead(hs[r])
+						got := hs[r].Data.Int64(0)
+						p.EndRead(hs[r])
+						if want := model[r]; got != want {
+							return fmt.Errorf("%s: region %d = %d, model %d (installed: %s)",
+								stage, r, got, want, sp.ProtoName)
+						}
+					}
+					return nil
+				}
+				for e := 0; e < iters; e++ {
+					for r := 0; r < nRegions; r++ {
+						v := int64(100*e + r + 1)
+						if r%procs == p.ID() {
+							p.StartWrite(hs[r])
+							hs[r].Data.SetInt64(0, v)
+							p.EndWrite(hs[r])
+						}
+						model[r] = v
+					}
+					p.Barrier(sp)
+					if err := checkAll(fmt.Sprintf("iteration %d", e)); err != nil {
+						return err
+					}
+					p.Barrier(sp)
+				}
+				if sp.ProtoName != "staticupdate" {
+					return fmt.Errorf("controller landed on %q, want staticupdate", sp.ProtoName)
+				}
+				if err := p.ChangeProtocol(sp, "sc"); err != nil {
+					return err
+				}
+				if err := checkAll("after manual switch to sc"); err != nil {
+					return err
+				}
+				p.Barrier(sp)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("adaptive/%s: %v", polName, err)
+			}
+		})
+	}
+}
+
 // TestPipelineChangeProtocolUnderFaults covers the one optimizable
 // protocol with additive write semantics: every processor contributes
 // an addend per turn, the space switches to sc (flushed sums must

@@ -24,6 +24,11 @@ func HomeWriteInfo() core.Info {
 		Name:        "homewrite",
 		New:         func() core.Protocol { return &homeWriteProto{} },
 		Optimizable: true,
+		Adapt: core.AdaptHints{
+			Adaptive:       true,
+			Pattern:        core.PatternHomeWrite,
+			HomeWritesOnly: true,
+		},
 		Null: core.PointSet(0).
 			With(core.PointMap).
 			With(core.PointUnmap).

@@ -26,6 +26,11 @@ func StaticUpdateInfo() core.Info {
 		Name:        "staticupdate",
 		New:         func() core.Protocol { return &staticUpdateProto{} },
 		Optimizable: true,
+		Adapt: core.AdaptHints{
+			Adaptive:       true,
+			Pattern:        core.PatternProducerConsumer,
+			HomeWritesOnly: true,
+		},
 		Null: core.PointSet(0).
 			With(core.PointMap).
 			With(core.PointUnmap).
