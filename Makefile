@@ -4,11 +4,11 @@ GO ?= go
 # proto rides along for the adaptive-controller convergence tests: the
 # controller's counter snapshots and collective decisions run
 # concurrently with the bracket fast path.
-RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet ./proto
+RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet ./internal/gossip ./proto
 
-.PHONY: ci vet build test race bench bench-smoke bench-allocs chaos-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-allocs chaos-smoke cluster-smoke
 
-ci: vet build test race bench-smoke bench-allocs chaos-smoke
+ci: vet build test race bench-smoke bench-allocs chaos-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,13 @@ bench-smoke:
 chaos-smoke:
 	$(GO) test -run 'TestMatrixFixedSeeds|TestBrokenDoubleCaught' ./internal/chaos
 	$(GO) test -race -run 'TestMatrixFixedSeeds/^(update|adaptive)$$/lossy' ./internal/chaos
+
+# cluster-smoke is the multi-process deployment gate: 4 real acenode
+# processes assemble over gossip + TCP on loopback, run em3d (checksum
+# must match the in-process run), and a SIGKILLed member must surface as
+# ErrPeerLost on every survivor within the detector bound.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # bench-allocs is the regression gate for the lock-free bracket fast
 # path: with tracing disabled a hit bracket must not allocate. The awk

@@ -152,12 +152,6 @@ type (
 	// AdaptHints is a protocol's declaration to the adaptive controller,
 	// part of its registry Info.
 	AdaptHints = core.AdaptHints
-	// OpStats counts runtime primitive invocations.
-	//
-	// Deprecated: use Metrics (from Proc.Snapshot or Cluster.Metrics),
-	// which carries the same counts keyed by space and protocol plus
-	// invocation latency.
-	OpStats = core.OpStats
 	// Base is an embeddable no-op Protocol implementation.
 	Base = core.Base
 	// PeerLostError reports which peer's loss failed a blocked wait.

@@ -81,14 +81,6 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if got := m.Ops.Get(ace.OpStartWrite); got != 4*25 {
 		t.Errorf("start_write count = %d, want %d", got, 4*25)
 	}
-	// The new metrics agree with the legacy counters on the same run.
-	legacy := cl.OpTotals()
-	if m.Ops.Get(ace.OpStartWrite) != legacy.StartWrites ||
-		m.Ops.Get(ace.OpLock) != legacy.Locks ||
-		m.Ops.Get(ace.OpBarrier) != legacy.Barriers ||
-		m.Ops.Get(ace.OpChangeProtocol) != legacy.ProtocolChanges {
-		t.Errorf("metrics %v disagree with legacy op totals %+v", m.Ops, legacy)
-	}
 	if len(m.Spaces) == 0 || m.Spaces[0].Protocol == "" {
 		t.Errorf("space metrics missing: %+v", m.Spaces)
 	}

@@ -1,0 +1,167 @@
+// Command acenode runs one OS process's share of a multi-process Ace
+// cluster: it hosts one (or a slice of) logical processor(s), discovers
+// the other processes through the gossip membership layer, assembles
+// the data-plane mesh over supervised TCP, and executes a workload
+// SPMD with them.
+//
+// A 4-node cluster on loopback, one processor per process:
+//
+//	acenode -nodes 4 -local 0 -gossip 127.0.0.1:7946 -run em3d &
+//	acenode -nodes 4 -local 1 -seeds 127.0.0.1:7946 -run em3d &
+//	acenode -nodes 4 -local 2 -seeds 127.0.0.1:7946 -run em3d &
+//	acenode -nodes 4 -local 3 -seeds 127.0.0.1:7946 -run em3d &
+//
+// The first process binds a known gossip port and seeds the rest;
+// everything else — data-plane ports, membership, failure detection —
+// is negotiated. Each process prints its result; the process hosting
+// node 0 prints the cluster checksum, which matches the same workload
+// on the in-process fabric bit for bit.
+//
+// Exit codes: 0 success, 1 usage or bootstrap failure, 2 workload
+// error, 3 a peer was lost mid-run (ErrPeerLost — the failure
+// detector's verdict surfaced through a failed synchronization wait).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/acedsm/ace"
+	"github.com/acedsm/ace/internal/apps/em3d"
+	"github.com/acedsm/ace/internal/rtiface"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 0, "total logical processors in the cluster (required)")
+		local    = flag.String("local", "", "comma-separated node ids this process hosts (required)")
+		gossipAt = flag.String("gossip", "127.0.0.1:0", "gossip bind address (seed processes need a fixed port)")
+		seeds    = flag.String("seeds", "", "comma-separated gossip addresses of peer processes")
+		seed     = flag.Int64("seed", 0, "gossip RNG seed")
+		interval = flag.Duration("interval", 50*time.Millisecond, "gossip round period")
+		suspect  = flag.Duration("suspect", 0, "failure-detector suspicion threshold (default 20 intervals)")
+		dead     = flag.Duration("dead", 0, "failure-detector death threshold (default 3x suspicion)")
+		joinWait = flag.Duration("join-timeout", 30*time.Second, "bound on membership convergence")
+		syncWait = flag.Duration("sync-timeout", 0, "bound on blocking synchronization waits (0 = forever)")
+		run      = flag.String("run", "em3d", "workload: em3d | wait | hang")
+		standAl  = flag.Bool("standalone", false, "skip gossip/TCP: run all nodes in this process on the in-process fabric (reference mode)")
+		steps    = flag.Int("steps", 10, "em3d: simulation steps")
+		size     = flag.Int("size", 256, "em3d: E and H vertices, each")
+		proto    = flag.String("proto", "", "em3d: protocol for the value spaces (empty = default)")
+		appSeed  = flag.Int64("app-seed", 42, "em3d: workload seed")
+	)
+	flag.Parse()
+
+	var cl *ace.Cluster
+	if *standAl {
+		if *nodes <= 0 {
+			fmt.Fprintln(os.Stderr, "usage: acenode -standalone -nodes N [-run em3d|wait]")
+			os.Exit(1)
+		}
+		var err error
+		cl, err = ace.NewCluster(ace.Options{Procs: *nodes, SyncTimeout: *syncWait})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acenode: cluster:", err)
+			os.Exit(1)
+		}
+	} else {
+		localIDs, err := parseIDs(*local)
+		if *nodes <= 0 || err != nil || len(localIDs) == 0 {
+			fmt.Fprintln(os.Stderr, "usage: acenode -nodes N -local i[,j...] [-gossip addr] [-seeds a,b] [-run em3d|wait]")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "  -local:", err)
+			}
+			os.Exit(1)
+		}
+		var seedList []string
+		if *seeds != "" {
+			seedList = strings.Split(*seeds, ",")
+		}
+		cl, err = ace.Join(ace.NodeConfig{
+			Nodes:        *nodes,
+			Local:        localIDs,
+			Gossip:       *gossipAt,
+			Seeds:        seedList,
+			Seed:         *seed,
+			Interval:     *interval,
+			SuspectAfter: *suspect,
+			DeadAfter:    *dead,
+			JoinTimeout:  *joinWait,
+			Options:      ace.Options{SyncTimeout: *syncWait},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acenode: join:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("acenode: joined as node(s) %s of %d\n", *local, *nodes)
+	}
+	defer cl.Close()
+
+	var err error
+	switch *run {
+	case "wait":
+		// Membership only: hold the processors in a barrier so the
+		// cluster stays assembled until every process reaches it (or a
+		// peer is lost / the sync timeout fires).
+		err = cl.Run(func(p *ace.Proc) error {
+			p.GlobalBarrier()
+			return nil
+		})
+	case "hang":
+		// Join, then block forever without entering any synchronization
+		// — the victim role in failure-detection drills: peers in -run
+		// wait stay blocked at their barrier until this process is
+		// killed and the gossip layer declares its nodes down.
+		err = cl.Run(func(p *ace.Proc) error {
+			select {}
+		})
+	case "em3d":
+		cfg := em3d.DefaultConfig()
+		cfg.Steps = *steps
+		cfg.Nodes = *size
+		cfg.Seed = *appSeed
+		cfg.Proto = *proto
+		err = cl.Run(func(p *ace.Proc) error {
+			res, err := em3d.Run(rtiface.NewAce(p), cfg)
+			if err != nil {
+				return err
+			}
+			if p.ID() == 0 {
+				fmt.Printf("acenode: em3d checksum %.17g (%d steps, %d vertices)\n",
+					res.Checksum, cfg.Steps, cfg.Nodes)
+			}
+			return nil
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "acenode: unknown workload %q\n", *run)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acenode: run:", err)
+		if errors.Is(err, ace.ErrPeerLost) {
+			os.Exit(3)
+		}
+		os.Exit(2)
+	}
+	fmt.Println("acenode: done")
+}
+
+func parseIDs(s string) ([]int, error) {
+	if s == "" {
+		return nil, errors.New("empty")
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -21,15 +21,11 @@ import (
 
 func main() {
 	const procs = 4
-	nw, err := tcpnet.NewLoopbackNetwork(procs)
+	cl, err := ace.NewCluster(ace.Options{Procs: procs, Transport: tcpnet.Loopback(procs)})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cl, err := ace.NewCluster(ace.Options{Procs: procs, Network: nw})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer nw.Close()
+	defer cl.Close()
 
 	start := time.Now()
 	err = cl.Run(func(p *ace.Proc) error {

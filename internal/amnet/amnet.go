@@ -85,7 +85,7 @@ type Endpoint interface {
 	// identified by the PayloadCopier interface).
 	Send(m Msg)
 	// Stats returns this endpoint's traffic counters.
-	Stats() *Stats
+	Stats() *trace.NetStats
 }
 
 // PayloadCopier is implemented by endpoints whose Send copies the
@@ -179,7 +179,7 @@ type chanEndpoint struct {
 	nw       *chanNetwork
 	box      *mailbox
 	handlers [MaxHandlers]Handler
-	stats    Stats
+	stats    trace.NetStats
 }
 
 func (e *chanEndpoint) ID() NodeID { return e.id }
@@ -207,7 +207,7 @@ func (e *chanEndpoint) Send(m Msg) {
 	dst.box.push(item{msg: m, due: due, sent: e.stats.SendStamp()})
 }
 
-func (e *chanEndpoint) Stats() *Stats { return &e.stats }
+func (e *chanEndpoint) Stats() *trace.NetStats { return &e.stats }
 
 func (e *chanEndpoint) pump(wg *sync.WaitGroup) {
 	defer wg.Done()

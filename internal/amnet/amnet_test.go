@@ -1,6 +1,7 @@
 package amnet
 
 import (
+	"github.com/acedsm/ace/internal/trace"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -167,8 +168,8 @@ func TestStatsCounting(t *testing.T) {
 }
 
 func TestSnapshotArithmetic(t *testing.T) {
-	a := Snapshot{MsgsSent: 10, BytesSent: 100, MsgsRecv: 5, BytesRecv: 50}
-	b := Snapshot{MsgsSent: 4, BytesSent: 40, MsgsRecv: 2, BytesRecv: 20}
+	a := trace.NetSnapshot{MsgsSent: 10, BytesSent: 100, MsgsRecv: 5, BytesRecv: 50}
+	b := trace.NetSnapshot{MsgsSent: 4, BytesSent: 40, MsgsRecv: 2, BytesRecv: 20}
 	d := a.Sub(b)
 	if d.MsgsSent != 6 || d.BytesSent != 60 || d.MsgsRecv != 3 || d.BytesRecv != 30 {
 		t.Fatalf("Sub = %+v", d)

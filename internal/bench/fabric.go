@@ -58,7 +58,7 @@ func newFabric(transport string, n int) (amnet.Network, error) {
 	case "chan":
 		return amnet.NewChanNetwork(amnet.ChanConfig{Nodes: n})
 	case "tcp":
-		return tcpnet.NewLoopbackNetwork(n)
+		return tcpnet.New(tcpnet.Loopback(n))
 	default:
 		return nil, fmt.Errorf("bench: unknown transport %q", transport)
 	}

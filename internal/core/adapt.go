@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/acedsm/ace/internal/trace"
 )
@@ -17,6 +18,24 @@ const (
 	PatternSingleWriter     = "single-writer"
 	PatternProducerConsumer = "producer-consumer"
 	PatternHomeWrite        = "home-write"
+)
+
+// probeEpochs is the length of a switch's probation window: the number
+// of post-cooldown epochs whose mean duration prices the freshly
+// installed protocol against the pre-switch per-epoch baseline.
+const probeEpochs = 2
+
+// The controller's monitoring collective is an extra cluster-wide
+// synchronization round every epoch — real money on a converged space
+// that will never switch again. After stableEpochs consecutive epochs
+// that gave the controller nothing to do, the epoch length doubles, up
+// to maxEpochStretch times the configured EpochBarriers; any signal
+// snaps it back. Both windows of a switch measurement (pre-switch
+// baseline, post-switch probe) run at the configured length, so their
+// per-epoch costs stay comparable.
+const (
+	stableEpochs    = 3
+	maxEpochStretch = 8
 )
 
 // AdaptHints is a protocol's declaration to the adaptive controller, part
@@ -53,7 +72,9 @@ type AdaptHints struct {
 type AdaptConfig struct {
 	// EpochBarriers is the number of barriers on a space forming one
 	// observation epoch; the controller evaluates once per epoch.
-	// Default 4.
+	// Epochs that give the controller nothing to do stretch this
+	// geometrically (up to 8×) so a converged space stops paying the
+	// per-epoch collective; any signal snaps back. Default 4.
 	EpochBarriers int
 	// Hysteresis is the number of consecutive epochs a space's observed
 	// pattern must point at the same non-installed protocol before the
@@ -68,6 +89,15 @@ type AdaptConfig struct {
 	// per epoch for the epoch to carry signal; quieter epochs decay the
 	// hysteresis streak instead of feeding it. Default 64.
 	MinOps uint64
+	// RollbackMargin is the slack factor a switch is granted before the
+	// controller reverses it: the first few epochs after the cooldown
+	// are the probation window, and if their mean cost per barrier
+	// (cluster-wide processor-nanoseconds, quiet epochs included)
+	// exceeds the incumbent's recent-epoch baseline times this factor,
+	// the controller switches back and stops targeting that pattern on
+	// the space for the rest of the run. Default 1.25; negative disables
+	// rollback.
+	RollbackMargin float64
 }
 
 func (c AdaptConfig) withDefaults() AdaptConfig {
@@ -84,6 +114,11 @@ func (c AdaptConfig) withDefaults() AdaptConfig {
 	}
 	if c.MinOps == 0 {
 		c.MinOps = 64
+	}
+	if c.RollbackMargin == 0 {
+		c.RollbackMargin = 1.25
+	} else if c.RollbackMargin < 0 {
+		c.RollbackMargin = 0
 	}
 	return c
 }
@@ -123,7 +158,63 @@ type adaptState struct {
 	switches uint64
 	lastSw   uint64
 
+	lastTick time.Time // this processor's clock at the last epoch boundary
+
+	// A switch is measured on both sides. recent is a ring of the
+	// incumbent protocol's last few epochs, each priced per barrier
+	// (cluster-wide processor-nanoseconds over the epoch's barrier
+	// count, so cadence-stretched epochs weigh the same as base ones);
+	// its mean at switch time becomes baseCost, and baseProto holds the
+	// protocol to restore. Then the new protocol is on probation: after
+	// the cooldown, probeEpochs epochs are priced the same way — loud or
+	// quiet, wall time is wall time in a bulk-synchronous program — and
+	// a mean above baseCost × RollbackMargin restores baseProto.
+	// Patterns whose switch regressed land in cooled and are never
+	// targeted on this space again.
+	recent        [probeEpochs * 2]int64
+	recentN       int
+	baseProto     string
+	basePattern   string
+	baseCost      float64
+	probeNanos    int64
+	probeBarriers int64
+	probeCount    int
+	cooled        map[string]bool
+	rollbacks     uint64
+
+	// Monitoring-cadence backoff (see stableEpochs): stable counts
+	// consecutive do-nothing epochs, epochLen is the current barriers-
+	// per-epoch (0 means the configured EpochBarriers).
+	stable   int
+	epochLen int
+
 	pub atomic.Pointer[trace.AdaptStats]
+}
+
+// calm records a do-nothing epoch: after stableEpochs in a row the
+// monitoring cadence halves (the epoch length doubles, capped at
+// maxEpochStretch×), so a converged space stops paying the per-epoch
+// collective.
+func (st *adaptState) calm(cfg *AdaptConfig) {
+	st.stable++
+	if st.stable < stableEpochs {
+		return
+	}
+	st.stable = 0
+	cur := st.epochLen
+	if cur <= 0 {
+		cur = cfg.EpochBarriers
+	}
+	if next := cur * 2; next <= cfg.EpochBarriers*maxEpochStretch {
+		st.epochLen = next
+	}
+}
+
+// wake snaps the cadence back to the configured epoch length: the epoch
+// carried signal and the controller needs full resolution again.
+func (st *adaptState) wake() {
+	st.stable = 0
+	st.epochLen = 0
 }
 
 // adaptState returns sp's controller state, creating it on first use.
@@ -134,7 +225,7 @@ func (sp *Space) adaptState() *adaptState {
 	if st := sp.adapt.Load(); st != nil {
 		return st
 	}
-	st := &adaptState{}
+	st := &adaptState{lastTick: time.Now()}
 	if cur, ok := sp.proc.rec.SpaceSnapshot(sp.ID); ok {
 		st.prev = cur
 	}
@@ -149,6 +240,7 @@ func (st *adaptState) publish(sp *Space) {
 		Pattern:         st.pattern,
 		Epochs:          st.epoch,
 		Switches:        st.switches,
+		Rollbacks:       st.rollbacks,
 		LastSwitchEpoch: st.lastSw,
 	}
 	st.pub.Store(&s)
@@ -173,7 +265,11 @@ func (p *Proc) adaptTick(sp *Space) {
 	}
 	st := sp.adaptState()
 	st.barriers++
-	if st.barriers < cfg.EpochBarriers {
+	epochLen := st.epochLen
+	if epochLen <= 0 {
+		epochLen = cfg.EpochBarriers
+	}
+	if st.barriers < epochLen {
 		return
 	}
 	st.barriers = 0
@@ -185,6 +281,9 @@ func (p *Proc) adaptTick(sp *Space) {
 	}
 	delta := cur.Sub(st.prev)
 	st.prev = cur
+	now := time.Now()
+	epochNanos := now.Sub(st.lastTick).Nanoseconds()
+	st.lastTick = now
 
 	// The cluster-wide feature vector for this epoch, combined in a
 	// single collective round (the tick runs at barrier frequency, so
@@ -212,19 +311,77 @@ func (p *Proc) adaptTick(sp *Space) {
 		// the slow path (fast bits start withdrawn), which is where
 		// misses are counted.
 		int64(cur.RemoteWriteMisses),
+		// Processor-nanoseconds spent in the epoch; with the op counts
+		// it prices the installed protocol, so a switch can be judged
+		// against its pre-switch baseline (and reversed).
+		epochNanos,
 	})
 	reads, writes, locks := agg[0], agg[1], agg[2]
 	remoteReads, nWriters, nReaders := agg[3], agg[4], agg[5]
-	remoteWritesEver := agg[6]
+	remoteWritesEver, nanos := agg[6], agg[7]
 
 	if st.cooldown > 0 {
 		st.cooldown--
 		st.streak = 0
+		st.wake()
 		st.publish(sp)
 		return
 	}
+
+	// Probation: the first probeEpochs epochs after the cooldown price
+	// the freshly installed protocol — per barrier, and with quiet
+	// epochs included, because barriers delimit the program's work units
+	// and a protocol that stretches them costs wall time whether or not
+	// the brackets were busy. A mean above the pre-switch baseline (with
+	// margin) means the classifier was wrong about this space — switch
+	// back and stop chasing the pattern that misled it. Like the
+	// decision aggregates, cost is cluster-wide, so every processor
+	// reverses (or confirms) in the same collective round.
+	if st.baseProto != "" && cfg.RollbackMargin > 0 {
+		st.wake()
+		st.probeNanos += nanos
+		st.probeBarriers += int64(epochLen)
+		st.probeCount++
+		if st.probeCount < probeEpochs {
+			st.publish(sp)
+			return
+		}
+		cost := float64(st.probeNanos) / float64(st.probeBarriers)
+		if cost > st.baseCost*cfg.RollbackMargin {
+			restore := st.baseProto
+			if st.cooled == nil {
+				st.cooled = make(map[string]bool)
+			}
+			st.cooled[st.basePattern] = true
+			st.baseProto = ""
+			st.rollbacks++
+			st.switches++
+			st.lastSw = st.epoch
+			st.cooldown = cfg.Cooldown
+			st.streak = 0
+			st.target = ""
+			if err := p.ChangeProtocol(sp, restore); err != nil {
+				panic(fmt.Sprintf("core: proc %d: adaptive rollback of space %d to %q failed: %v",
+					p.id, sp.ID, restore, err))
+			}
+			if cur, ok := p.rec.SpaceSnapshot(sp.ID); ok {
+				st.prev = cur
+			}
+			st.lastTick = time.Now()
+			st.publish(sp)
+			return
+		}
+		st.baseProto = "" // probation passed; the switch stands
+	}
+
+	// This epoch is the status quo protocol's to account for: it feeds
+	// the per-barrier cost baseline the next switch will be judged by.
+	st.recent[st.recentN%len(st.recent)] = nanos / int64(epochLen)
+	st.recentN++
+
 	if uint64(reads+writes) < cfg.MinOps {
 		st.streak = 0
+		st.calm(cfg)
 		st.publish(sp)
 		return
 	}
@@ -232,6 +389,9 @@ func (p *Proc) adaptTick(sp *Space) {
 	st.pattern = classifyPattern(reads, writes, locks, remoteReads,
 		nReaders, nWriters, remoteWritesEver == 0, info.Adapt.Pattern)
 	target, ok := p.cl.adaptTargets[st.pattern]
+	if ok && st.cooled[st.pattern] {
+		ok = false // a switch for this pattern already regressed here
+	}
 	if ok {
 		tinfo, _ := p.cl.reg.Lookup(target)
 		if tinfo.Adapt.HomeWritesOnly && remoteWritesEver != 0 {
@@ -241,6 +401,7 @@ func (p *Proc) adaptTick(sp *Space) {
 	if !ok || target == sp.ProtoName {
 		st.streak = 0
 		st.target = ""
+		st.calm(cfg)
 		st.publish(sp)
 		return
 	}
@@ -249,6 +410,7 @@ func (p *Proc) adaptTick(sp *Space) {
 		st.streak = 0
 	}
 	st.streak++
+	st.wake()
 	if st.streak < cfg.Hysteresis {
 		st.publish(sp)
 		return
@@ -259,6 +421,23 @@ func (p *Proc) adaptTick(sp *Space) {
 	st.cooldown = cfg.Cooldown
 	st.switches++
 	st.lastSw = st.epoch
+	// Arm probation: remember where we came from and what the incumbent's
+	// recent epochs cost per barrier, so the post-cooldown probe window
+	// can judge the switch.
+	st.baseProto = sp.ProtoName
+	st.basePattern = st.pattern
+	n := st.recentN
+	if n > len(st.recent) {
+		n = len(st.recent)
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += st.recent[i]
+	}
+	st.baseCost = float64(sum) / float64(n)
+	st.probeNanos = 0
+	st.probeBarriers = 0
+	st.probeCount = 0
 	if err := p.ChangeProtocol(sp, target); err != nil {
 		// Unreachable unless the lockstep invariant above is broken:
 		// the target was looked up, and verifyCollective can only
@@ -271,6 +450,7 @@ func (p *Proc) adaptTick(sp *Space) {
 	if cur, ok := p.rec.SpaceSnapshot(sp.ID); ok {
 		st.prev = cur
 	}
+	st.lastTick = time.Now()
 	st.publish(sp)
 }
 

@@ -28,12 +28,17 @@ type Options struct {
 	// means "sc".
 	DefaultProtocol string
 
-	// Network, if non-nil, supplies the transport (it must have exactly
-	// Procs endpoints). Nil means an in-process channel network.
-	Network amnet.Network
+	// Transport, if non-nil, supplies the fabric factory: an
+	// amnet.ChanConfig, a tcpnet.Config, or amnet.Fixed around an
+	// already-built network. Connect is asked for Procs nodes; the
+	// endpoints it returns are this process's share of the cluster —
+	// all Procs of them in-process, a subset in a multi-process
+	// deployment (see Join). Nil means an in-process channel network.
+	Transport amnet.Transport
 
-	// Latency, for the in-process network, delays every inter-node
-	// message by the given duration. Ignored when Network is set.
+	// Latency, for the default in-process network, delays every
+	// inter-node message by the given duration. Ignored when Transport
+	// is set.
 	Latency time.Duration
 
 	// Trace, if non-nil, enables the observability layer (package
@@ -48,8 +53,8 @@ type Options struct {
 	// duplication, reordering, drop-with-redelivery, partition windows
 	// and slow-receiver backpressure, all surfaced in Metrics. The
 	// wrapper preserves the fabric's FIFO/exactly-once contract; only
-	// timing is perturbed. When Network was provided by the caller, the
-	// wrapper (and the wrapped network with it) is closed by Close.
+	// timing is perturbed. When the network came through amnet.Fixed,
+	// the wrapper (and the wrapped network with it) is closed by Close.
 	Faults *faultnet.Policy
 
 	// Adapt, if non-nil, enables the online adaptive protocol controller:
@@ -78,7 +83,8 @@ type Cluster struct {
 	reg    *Registry
 	net    amnet.Network
 	ownNet bool
-	procs  []*Proc
+	nodes  int     // total logical processors in the cluster
+	procs  []*Proc // the processors hosted by this OS process
 	ran    bool
 
 	// adapt is the normalized controller configuration (nil when
@@ -86,6 +92,18 @@ type Cluster struct {
 	// pattern to its registered protocol, resolved once at creation.
 	adapt        *AdaptConfig
 	adaptTargets map[string]string
+
+	// onClose holds auxiliary teardown hooks (the gossip membership
+	// machinery a bootstrap layer attached), run by Close after the
+	// network shuts down.
+	onClose []func() error
+}
+
+// RegisterCloser attaches fn to Close: bootstrap layers (Join) park the
+// teardown of whatever they started — gossip tickers, discovery
+// sockets — on the cluster, so callers only ever close one thing.
+func (c *Cluster) RegisterCloser(fn func() error) {
+	c.onClose = append(c.onClose, fn)
 }
 
 // NewCluster creates a cluster and its processors.
@@ -119,15 +137,17 @@ func NewCluster(opts Options) (*Cluster, error) {
 		}
 		opts.Trace = &tc
 	}
-	nw := opts.Network
-	own := false
-	if nw == nil {
-		var err error
-		nw, err = amnet.NewChanNetwork(amnet.ChanConfig{Nodes: opts.Procs, Latency: opts.Latency})
-		if err != nil {
-			return nil, err
-		}
-		own = true
+	tr := opts.Transport
+	own := true
+	if tr == nil {
+		tr = amnet.ChanConfig{Latency: opts.Latency}
+	} else if _, fixed := tr.(amnet.FixedTransport); fixed {
+		// A pre-built network stays caller-owned.
+		own = false
+	}
+	nw, err := tr.Connect(opts.Procs)
+	if err != nil {
+		return nil, err
 	}
 	if opts.Faults != nil {
 		// The wrapper owns the inner network (its Close closes both), so
@@ -136,13 +156,17 @@ func NewCluster(opts Options) (*Cluster, error) {
 		own = true
 	}
 	eps := nw.Endpoints()
-	if len(eps) != opts.Procs {
+	if len(eps) == 0 || len(eps) > opts.Procs || eps[0].Nodes() != opts.Procs {
+		total := 0
+		if len(eps) > 0 {
+			total = eps[0].Nodes()
+		}
 		if own {
 			nw.Close()
 		}
-		return nil, fmt.Errorf("core: network has %d endpoints, want %d", len(eps), opts.Procs)
+		return nil, fmt.Errorf("core: network is %d nodes (%d local), cluster wants %d", total, len(eps), opts.Procs)
 	}
-	c := &Cluster{opts: opts, reg: reg, net: nw, ownNet: own}
+	c := &Cluster{opts: opts, reg: reg, net: nw, ownNet: own, nodes: opts.Procs}
 	if opts.Adapt != nil {
 		c.adapt = opts.Adapt
 		c.adaptTargets = adaptTargetTable(reg)
@@ -152,9 +176,14 @@ func NewCluster(opts Options) (*Cluster, error) {
 			ep.Stats().EnableLatencySampling(true)
 		}
 	}
-	c.procs = make([]*Proc, opts.Procs)
+	c.procs = make([]*Proc, len(eps))
 	for i := range c.procs {
 		c.procs[i] = newProc(c, eps[i])
+	}
+	// Every local handler table is installed; a gated transport
+	// (amnet.Starter) may begin dispatching remote frames.
+	if st, ok := nw.(amnet.Starter); ok {
+		st.Start()
 	}
 	return c, nil
 }
@@ -162,13 +191,20 @@ func NewCluster(opts Options) (*Cluster, error) {
 // Registry returns the cluster's protocol registry.
 func (c *Cluster) Registry() *Registry { return c.reg }
 
-// Procs returns the number of processors.
-func (c *Cluster) Procs() int { return len(c.procs) }
+// Procs returns the total number of logical processors in the cluster —
+// across every OS process in a multi-process deployment, not just the
+// local ones (see Local).
+func (c *Cluster) Procs() int { return c.nodes }
 
-// Run executes fn on every processor concurrently (the SPMD model: one
-// user thread per processor) and waits for all to finish. It returns the
-// joined errors, including recovered panics. Run may be called at most
-// once per cluster.
+// Local returns the processors hosted by this OS process, in endpoint
+// order. In a single-process cluster that is all of them.
+func (c *Cluster) Local() []*Proc { return c.procs }
+
+// Run executes fn on every local processor concurrently (the SPMD
+// model: one user thread per processor — in a multi-process cluster,
+// each process Runs its own share) and waits for all to finish. It
+// returns the joined errors, including recovered panics. Run may be
+// called at most once per cluster.
 func (c *Cluster) Run(fn func(p *Proc) error) error {
 	if c.ran {
 		return errors.New("core: cluster Run called twice")
@@ -196,15 +232,21 @@ func (c *Cluster) Run(fn func(p *Proc) error) error {
 	return errors.Join(errs...)
 }
 
-// Close shuts the cluster's network down.
+// Close shuts the cluster's network down, then runs any registered
+// auxiliary closers.
 func (c *Cluster) Close() error {
+	var errs []error
 	if c.ownNet {
-		return c.net.Close()
+		errs = append(errs, c.net.Close())
 	}
-	return nil
+	for _, fn := range c.onClose {
+		errs = append(errs, fn())
+	}
+	return errors.Join(errs...)
 }
 
-// Metrics aggregates the observability snapshot across all processors:
+// Metrics aggregates the observability snapshot across the local
+// processors:
 // per-space operation counts and latency histograms (populated when
 // Options.Trace enabled them) plus network traffic counters (always
 // live). Call it only while the cluster is quiescent (before Run, after
@@ -232,34 +274,6 @@ func (c *Cluster) TraceEvents() []trace.Event {
 // loadable in chrome://tracing or Perfetto. Call it after Run.
 func (c *Cluster) WriteTrace(w io.Writer) error {
 	return trace.WriteChromeTrace(w, c.TraceEvents(), c.Procs())
-}
-
-// NetSnapshot aggregates traffic counters across all processors. Call it
-// only while the cluster is quiescent (before Run, after Run, or inside a
-// barrier) for a consistent view.
-//
-// Deprecated: use Metrics, whose Net field carries the same counters
-// plus send→deliver latency.
-func (c *Cluster) NetSnapshot() amnet.Snapshot {
-	var s amnet.Snapshot
-	for _, p := range c.procs {
-		s = s.Add(p.ep.Stats().Snapshot())
-	}
-	return s
-}
-
-// OpTotals aggregates runtime operation counters across processors. The
-// same quiescence caveat as NetSnapshot applies.
-//
-// Deprecated: use Metrics, which carries the same counts (keyed by
-// space and protocol) plus invocation latency, when Options.Trace
-// enables them.
-func (c *Cluster) OpTotals() OpStats {
-	var t OpStats
-	for _, p := range c.procs {
-		t = t.Add(p.Stats())
-	}
-	return t
 }
 
 // The handler identifiers reserved by the runtime.

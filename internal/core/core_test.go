@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"github.com/acedsm/ace/internal/trace"
 )
 
 // run spins up a cluster of n procs, runs fn SPMD, and fails the test on
@@ -477,7 +479,7 @@ func TestChangeProtocolFlushes(t *testing.T) {
 }
 
 func TestOpStatsCounted(t *testing.T) {
-	cl, err := NewCluster(Options{Procs: 2})
+	cl, err := NewCluster(Options{Procs: 2, Trace: &trace.Config{Counters: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,13 +502,14 @@ func TestOpStatsCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tot := cl.OpTotals()
-	if tot.GMallocs != 1 || tot.Maps != 2 || tot.StartWrites != 2 || tot.StartReads != 2 || tot.Unmaps != 2 {
-		t.Fatalf("unexpected op totals: %+v", tot)
+	m := cl.Metrics()
+	if m.Ops.Get(trace.OpGMalloc) != 1 || m.Ops.Get(trace.OpMap) != 2 ||
+		m.Ops.Get(trace.OpStartWrite) != 2 || m.Ops.Get(trace.OpStartRead) != 2 ||
+		m.Ops.Get(trace.OpUnmap) != 2 {
+		t.Fatalf("unexpected op totals: %+v", m.Ops)
 	}
-	net := cl.NetSnapshot()
-	if net.MsgsSent == 0 || net.MsgsSent != net.MsgsRecv {
-		t.Fatalf("net totals inconsistent: %+v", net)
+	if m.Net.MsgsSent == 0 || m.Net.MsgsSent != m.Net.MsgsRecv {
+		t.Fatalf("net totals inconsistent: %+v", m.Net)
 	}
 }
 

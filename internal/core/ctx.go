@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/trace"
 )
 
 // Ctx provides the services protocol implementations build on: sending
@@ -278,7 +279,7 @@ func (c *Ctx) DefaultUnlock(r *Region) {
 }
 
 // NetStats returns the processor's endpoint traffic counters.
-func (c *Ctx) NetStats() *amnet.Stats { return c.p.ep.Stats() }
+func (c *Ctx) NetStats() *trace.NetStats { return c.p.ep.Stats() }
 
 // cloneForSend prepares a payload for Endpoint.Send. On fabrics that
 // copy the payload synchronously (amnet.PayloadCopier) the caller's

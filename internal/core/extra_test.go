@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/trace"
 )
 
 // TestNetworkSizeMismatch: a supplied network must match the proc count.
@@ -16,7 +17,7 @@ func TestNetworkSizeMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nw.Close()
-	if _, err := NewCluster(Options{Procs: 2, Network: nw}); err == nil {
+	if _, err := NewCluster(Options{Procs: 2, Transport: amnet.Fixed(nw)}); err == nil {
 		t.Fatal("expected endpoint-count mismatch error")
 	}
 }
@@ -159,9 +160,9 @@ func TestUnmapTooMany(t *testing.T) {
 	}
 }
 
-// TestStatsSnapshot: per-proc op counters are visible through Stats().
+// TestStatsSnapshot: per-proc op counters are visible through Snapshot().
 func TestStatsSnapshot(t *testing.T) {
-	cl, err := NewCluster(Options{Procs: 1})
+	cl, err := NewCluster(Options{Procs: 1, Trace: &trace.Config{Counters: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +172,9 @@ func TestStatsSnapshot(t *testing.T) {
 		r := p.Map(id)
 		p.StartRead(r)
 		p.EndRead(r)
-		s := p.Stats()
-		if s.GMallocs != 1 || s.Maps != 1 || s.StartReads != 1 {
-			return fmt.Errorf("stats = %+v", s)
+		s := p.Snapshot()
+		if s.Ops.Get(trace.OpGMalloc) != 1 || s.Ops.Get(trace.OpMap) != 1 || s.Ops.Get(trace.OpStartRead) != 1 {
+			return fmt.Errorf("stats = %+v", s.Ops)
 		}
 		return nil
 	})

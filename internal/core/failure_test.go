@@ -47,7 +47,7 @@ func TestPeerLostFailsBlockedBarrier(t *testing.T) {
 		t.Fatal(err)
 	}
 	nw := faultnet.Wrap(inner, faultnet.Policy{})
-	cl, err := NewCluster(Options{Procs: 2, Network: nw})
+	cl, err := NewCluster(Options{Procs: 2, Transport: amnet.Fixed(nw)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestLateCompletionAfterStallIsDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	nw := faultnet.Wrap(inner, faultnet.Policy{Delay: 150 * time.Millisecond})
-	cl, err := NewCluster(Options{Procs: 2, Network: nw, SyncTimeout: 40 * time.Millisecond})
+	cl, err := NewCluster(Options{Procs: 2, Transport: amnet.Fixed(nw), SyncTimeout: 40 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -150,12 +150,13 @@ func TestFastHitCounters(t *testing.T) {
 			r.Data.SetInt64(0, int64(i))
 			p.EndWrite(r)
 		}
-		st := p.Stats()
-		if st.StartReads != 2*k || st.EndReads != 2*k || st.StartWrites != k || st.EndWrites != k {
+		st := p.Snapshot().Ops
+		if st.Get(trace.OpStartRead) != 2*k || st.Get(trace.OpEndRead) != 2*k ||
+			st.Get(trace.OpStartWrite) != k || st.Get(trace.OpEndWrite) != k {
 			return fmt.Errorf("op counts: %+v", st)
 		}
 		fast := p.FastHits()
-		if fast[trace.OpStartRead] > st.StartReads || fast[trace.OpEndRead] > st.EndReads {
+		if fast[trace.OpStartRead] > st.Get(trace.OpStartRead) || fast[trace.OpEndRead] > st.Get(trace.OpEndRead) {
 			return fmt.Errorf("fast hits exceed op counts: %v vs %+v", fast, st)
 		}
 		// A single-proc home region is permanently quiescent: at most the

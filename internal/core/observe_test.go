@@ -52,29 +52,30 @@ func TestMetricsParityWithOpStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := cl.Metrics()
-	legacy := cl.OpTotals()
-	pairs := []struct {
+	// Exact counts from the workload: 4 procs × 10 locked increments.
+	wants := []struct {
 		op   trace.Op
 		want uint64
 	}{
-		{trace.OpGMalloc, legacy.GMallocs},
-		{trace.OpMap, legacy.Maps},
-		{trace.OpUnmap, legacy.Unmaps},
-		{trace.OpStartRead, legacy.StartReads},
-		{trace.OpEndRead, legacy.EndReads},
-		{trace.OpStartWrite, legacy.StartWrites},
-		{trace.OpEndWrite, legacy.EndWrites},
-		{trace.OpBarrier, legacy.Barriers},
-		{trace.OpLock, legacy.Locks},
-		{trace.OpUnlock, legacy.Unlocks},
-		{trace.OpChangeProtocol, legacy.ProtocolChanges},
+		{trace.OpGMalloc, 1},
+		{trace.OpMap, 4},
+		{trace.OpUnmap, 4},
+		{trace.OpStartWrite, 40},
+		{trace.OpEndWrite, 40},
+		{trace.OpLock, 40},
+		{trace.OpUnlock, 40},
+		{trace.OpStartRead, 4},
+		{trace.OpEndRead, 4},
 	}
-	for _, pr := range pairs {
+	for _, pr := range wants {
 		if got := m.Ops.Get(pr.op); got != pr.want {
-			t.Errorf("%v: metrics %d != legacy %d", pr.op, got, pr.want)
+			t.Errorf("%v: metrics %d != want %d", pr.op, got, pr.want)
 		}
-		if h := m.OpLatency[pr.op]; h.Count != pr.want {
-			t.Errorf("%v: latency count %d != op count %d", pr.op, h.Count, pr.want)
+	}
+	// Every operation's latency histogram count matches its op count.
+	for op := trace.Op(0); op < trace.NumOps; op++ {
+		if h := m.OpLatency[op]; h.Count != m.Ops.Get(op) {
+			t.Errorf("%v: latency count %d != op count %d", op, h.Count, m.Ops.Get(op))
 		}
 	}
 	// Per-proc snapshots sum to the cluster aggregate.

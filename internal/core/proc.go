@@ -177,27 +177,6 @@ func (p *Proc) space(id int) *Space {
 	return (*sps)[id]
 }
 
-// Stats returns a copy of this processor's operation counters.
-//
-// Deprecated: use Snapshot, which carries the same counts keyed by
-// space and protocol plus invocation latency (when Options.Trace
-// enables them) and this processor's network traffic.
-func (p *Proc) Stats() OpStats {
-	return OpStats{
-		GMallocs:        p.ops[trace.OpGMalloc].Load(),
-		Maps:            p.ops[trace.OpMap].Load(),
-		Unmaps:          p.ops[trace.OpUnmap].Load(),
-		StartReads:      p.ops[trace.OpStartRead].Load(),
-		EndReads:        p.ops[trace.OpEndRead].Load(),
-		StartWrites:     p.ops[trace.OpStartWrite].Load(),
-		EndWrites:       p.ops[trace.OpEndWrite].Load(),
-		Barriers:        p.ops[trace.OpBarrier].Load(),
-		Locks:           p.ops[trace.OpLock].Load(),
-		Unlocks:         p.ops[trace.OpUnlock].Load(),
-		ProtocolChanges: p.ops[trace.OpChangeProtocol].Load(),
-	}
-}
-
 // FastHits returns how many invocations of each operation completed on
 // the lock-free bracket fast path (always a subset of the counts in
 // Stats/Snapshot).
@@ -728,38 +707,6 @@ func (sp *Space) refreshFast(r *Region) {
 		bits = sp.fp.FastBits(r)
 	}
 	r.publishFast(bits)
-}
-
-// OpStats counts runtime primitive invocations on one processor.
-type OpStats struct {
-	GMallocs        uint64
-	Maps            uint64
-	Unmaps          uint64
-	StartReads      uint64
-	EndReads        uint64
-	StartWrites     uint64
-	EndWrites       uint64
-	Barriers        uint64
-	Locks           uint64
-	Unlocks         uint64
-	ProtocolChanges uint64
-}
-
-// Add returns the element-wise sum of two OpStats.
-func (s OpStats) Add(o OpStats) OpStats {
-	return OpStats{
-		GMallocs:        s.GMallocs + o.GMallocs,
-		Maps:            s.Maps + o.Maps,
-		Unmaps:          s.Unmaps + o.Unmaps,
-		StartReads:      s.StartReads + o.StartReads,
-		EndReads:        s.EndReads + o.EndReads,
-		StartWrites:     s.StartWrites + o.StartWrites,
-		EndWrites:       s.EndWrites + o.EndWrites,
-		Barriers:        s.Barriers + o.Barriers,
-		Locks:           s.Locks + o.Locks,
-		Unlocks:         s.Unlocks + o.Unlocks,
-		ProtocolChanges: s.ProtocolChanges + o.ProtocolChanges,
-	}
 }
 
 // The Bare section operations invoke the protocol routine without the

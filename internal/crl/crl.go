@@ -26,7 +26,6 @@ package crl
 import (
 	"fmt"
 
-	"github.com/acedsm/ace/internal/amnet"
 	"github.com/acedsm/ace/internal/core"
 	"github.com/acedsm/ace/internal/trace"
 )
@@ -89,11 +88,6 @@ func (c *Cluster) Close() error { return c.inner.Close() }
 // (quiescent clusters only). CRL does not expose Options.Trace, so only
 // the network half is populated.
 func (c *Cluster) Metrics() trace.Metrics { return c.inner.Metrics() }
-
-// NetSnapshot aggregates traffic counters (quiescent clusters only).
-//
-// Deprecated: use Metrics, whose Net field carries the same counters.
-func (c *Cluster) NetSnapshot() amnet.Snapshot { return c.inner.NetSnapshot() }
 
 // Region is a CRL region handle: rgn_map's return value.
 type Region struct {

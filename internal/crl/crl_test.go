@@ -133,7 +133,7 @@ func TestCRLEvictionRefetches(t *testing.T) {
 		}
 		p.Barrier()
 		if p.ID() == 0 {
-			coldMsgs = p.inner.Cluster().NetSnapshot().MsgsSent
+			coldMsgs = p.inner.Cluster().Metrics().Net.MsgsSent
 		}
 		p.Barrier()
 		if err := sweep(); err != nil {
@@ -141,7 +141,7 @@ func TestCRLEvictionRefetches(t *testing.T) {
 		}
 		p.Barrier()
 		if p.ID() == 0 {
-			warmMsgs = p.inner.Cluster().NetSnapshot().MsgsSent
+			warmMsgs = p.inner.Cluster().Metrics().Net.MsgsSent
 		}
 		p.Barrier()
 		return nil

@@ -164,6 +164,15 @@ func (n *Network) Endpoints() []amnet.Endpoint {
 	return out
 }
 
+// Start forwards amnet.Starter to the inner network, releasing a gated
+// transport's dispatch pumps once handler registration is done. A no-op
+// for ungated inner networks.
+func (n *Network) Start() {
+	if st, ok := n.inner.(amnet.Starter); ok {
+		st.Start()
+	}
+}
+
 // Close drains pending deliveries and closes the inner network.
 func (n *Network) Close() error {
 	for _, ep := range n.eps {
@@ -270,7 +279,7 @@ type endpoint struct {
 func (e *endpoint) ID() amnet.NodeID                              { return e.inner.ID() }
 func (e *endpoint) Nodes() int                                    { return e.inner.Nodes() }
 func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) { e.inner.Register(id, fn) }
-func (e *endpoint) Stats() *amnet.Stats                           { return e.inner.Stats() }
+func (e *endpoint) Stats() *trace.NetStats                           { return e.inner.Stats() }
 
 // SetPeerDownHandler implements amnet.PeerAware: fn fires when Kill
 // declares a peer lost or the inner transport reports one down.
@@ -444,7 +453,7 @@ func (e *endpoint) run(wg *sync.WaitGroup) {
 // order) to out. Duplicates — wire dups and already-released
 // redeliveries — are suppressed and counted. Caller holds the owning
 // endpoint's mu.
-func (l *link) resequence(a attempt, stats *amnet.Stats, out []amnet.Msg) []amnet.Msg {
+func (l *link) resequence(a attempt, stats *trace.NetStats, out []amnet.Msg) []amnet.Msg {
 	if a.seq < l.expected {
 		stats.CountFault(trace.FaultWireDup)
 		return out

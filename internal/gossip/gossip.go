@@ -1,0 +1,479 @@
+// Package gossip implements the membership and failure-detection layer
+// for multi-process Ace clusters: a Cassandra-style anti-entropy
+// protocol (SYN → ACK → ACK2) with per-node heartbeat versions and
+// timeout-based suspicion.
+//
+// Every node periodically picks a few peers and exchanges digests of
+// everything it knows: (node, generation, version) triples. The peer
+// replies with the states it has newer versions of and a request list
+// for the states it is behind on; a final ACK2 delivers those. A node's
+// generation is fixed at startup (a restart gets a fresh, larger one)
+// and its version is a heartbeat counter it increments every round, so
+// "newer" is well defined across restarts: higher generation wins, then
+// higher version. Rumors spread epidemically — with fanout f, a new
+// state reaches all n nodes in O(log_f n) rounds.
+//
+// Each node state carries a small metadata payload: the node's gossip
+// address (so learned nodes become gossip targets) and its data-plane
+// address (the ephemeral tcpnet listener — the rendezvous problem this
+// layer exists to solve). Membership has converged when every expected
+// node's data address is known.
+//
+// Failure detection is the simple end of the phi-accrual spectrum: a
+// node whose heartbeat has not advanced for SuspectAfter is suspected,
+// and for DeadAfter is declared dead (the OnDead callback feeds the
+// transport's peer-down path). Fresh heartbeats un-suspect; a higher
+// generation resurrects even a declared-dead node.
+//
+// The Agent is a pure state machine: it never starts goroutines, reads
+// clocks, or touches sockets. Time enters through the explicit now
+// arguments of Tick and Handle, randomness through the seeded Config,
+// and packets leave through the send callback — which makes every test
+// deterministic and lets the daemon choose its own transport (see
+// UDPTransport) and tick cadence.
+package gossip
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a node's liveness as judged by the local failure detector.
+type Status uint8
+
+const (
+	// Unknown: expected but never heard from.
+	Unknown Status = iota
+	// Alive: heartbeat advancing within SuspectAfter.
+	Alive
+	// Suspect: no heartbeat progress for SuspectAfter.
+	Suspect
+	// Dead: no heartbeat progress for DeadAfter; surfaced through
+	// OnDead. Only a higher generation (a restart) revives it.
+	Dead
+)
+
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes an Agent.
+type Config struct {
+	// ID is this node's id, in [0, Nodes).
+	ID int
+	// Nodes is the expected cluster size.
+	Nodes int
+	// Generation distinguishes incarnations of the same id; a restart
+	// must supply a larger value (wall-clock start time works). Zero
+	// gets 1 so a live node always beats an Unknown one.
+	Generation uint64
+	// Seed seeds the peer-selection RNG; runs with equal seeds and
+	// equal packet orders make identical choices.
+	Seed int64
+	// Fanout is how many peers each Tick gossips to. Default 3.
+	Fanout int
+	// SuspectAfter and DeadAfter are the failure detector's two
+	// thresholds, measured in time since a node's heartbeat last
+	// advanced. Defaults 3s / 10s.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// GossipAddr and DataAddr are this node's advertised addresses:
+	// where peers gossip to it and where its tcpnet listener accepts
+	// data connections.
+	GossipAddr string
+	DataAddr   string
+	// Seeds are gossip addresses to contact before any peers are
+	// known — at least one (that is not this node's own) is needed to
+	// join a cluster of strangers.
+	Seeds []string
+
+	// OnAlive fires when a node is first heard from or recovers from
+	// suspicion; OnSuspect and OnDead fire on the respective
+	// transitions. All callbacks run synchronously inside Tick or
+	// Handle, at most once per transition, and must not call back into
+	// the Agent.
+	OnAlive   func(node int)
+	OnSuspect func(node int)
+	OnDead    func(node int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout <= 0 {
+		c.Fanout = 3
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * time.Second
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter
+	}
+	if c.Generation == 0 {
+		c.Generation = 1
+	}
+	return c
+}
+
+// NodeState is one node's gossiped state: the (Gen, Ver) heartbeat pair
+// that orders rumors, the advertised addresses, and the local
+// detector's verdict.
+type NodeState struct {
+	Node       int    `json:"node"`
+	Gen        uint64 `json:"gen"`
+	Ver        uint64 `json:"ver"`
+	GossipAddr string `json:"gossip_addr"`
+	DataAddr   string `json:"data_addr"`
+	Status     Status `json:"-"`
+}
+
+// newer reports whether s supersedes o: higher generation, or same
+// generation and higher version.
+func (s NodeState) newer(o NodeState) bool {
+	if s.Gen != o.Gen {
+		return s.Gen > o.Gen
+	}
+	return s.Ver > o.Ver
+}
+
+type digest struct {
+	Node int    `json:"node"`
+	Gen  uint64 `json:"gen"`
+	Ver  uint64 `json:"ver"`
+}
+
+// packet kinds: the three phases of one anti-entropy exchange.
+const (
+	kindSyn  = 1 // digests of everything the sender knows
+	kindAck  = 2 // states newer than the digests + request list
+	kindAck2 = 3 // the requested states
+)
+
+type packet struct {
+	Kind    int         `json:"kind"`
+	From    int         `json:"from"`
+	Digests []digest    `json:"digests,omitempty"`
+	States  []NodeState `json:"states,omitempty"`
+	Want    []int       `json:"want,omitempty"`
+}
+
+// Agent is one node's gossip state machine. Methods are safe for
+// concurrent use; callbacks run under the Agent's lock.
+type Agent struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	send  func(addr string, pkt []byte)
+	peers map[int]*peerState // every node id ever heard of, incl. self
+}
+
+type peerState struct {
+	NodeState
+	// heard is the last instant the node's heartbeat advanced (for
+	// self: always fresh).
+	heard time.Time
+}
+
+// New builds an Agent. send transmits one encoded packet to a peer's
+// gossip address; it may drop, delay or duplicate (the protocol is
+// idempotent) and must not call back into the Agent synchronously with
+// a Handle of its own delivery.
+func New(cfg Config, send func(addr string, pkt []byte)) (*Agent, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 || cfg.ID < 0 || cfg.ID >= cfg.Nodes {
+		return nil, fmt.Errorf("gossip: node %d of %d out of range", cfg.ID, cfg.Nodes)
+	}
+	a := &Agent{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		send:  send,
+		peers: make(map[int]*peerState),
+	}
+	a.peers[cfg.ID] = &peerState{NodeState: NodeState{
+		Node:       cfg.ID,
+		Gen:        cfg.Generation,
+		Ver:        1,
+		GossipAddr: cfg.GossipAddr,
+		DataAddr:   cfg.DataAddr,
+		Status:     Alive,
+	}}
+	return a, nil
+}
+
+// ID returns this agent's node id.
+func (a *Agent) ID() int { return a.cfg.ID }
+
+// Tick advances one gossip round: the local heartbeat increments, the
+// failure detector re-judges every known peer, and a SYN goes out to
+// Fanout targets chosen from the known gossip addresses (falling back
+// to the configured Seeds while strangers remain).
+func (a *Agent) Tick(now time.Time) {
+	a.mu.Lock()
+	self := a.peers[a.cfg.ID]
+	self.Ver++
+	self.heard = now
+
+	a.judgeLocked(now)
+
+	targets := a.targetsLocked()
+	// The SYN carries the sender's own full state besides the digests:
+	// a receiver that has never heard of the sender (first contact
+	// through a seed) needs its gossip address to reply at all.
+	syn, _ := json.Marshal(packet{
+		Kind:    kindSyn,
+		From:    a.cfg.ID,
+		Digests: a.digestsLocked(),
+		States:  []NodeState{self.NodeState},
+	})
+	a.mu.Unlock()
+
+	for _, addr := range targets {
+		a.send(addr, syn)
+	}
+}
+
+// judgeLocked runs the failure detector over every known peer.
+func (a *Agent) judgeLocked(now time.Time) {
+	for id, ps := range a.peers {
+		if id == a.cfg.ID || ps.Status == Unknown {
+			continue
+		}
+		silent := now.Sub(ps.heard)
+		switch {
+		case silent >= a.cfg.DeadAfter:
+			if ps.Status != Dead {
+				ps.Status = Dead
+				if a.cfg.OnDead != nil {
+					a.cfg.OnDead(id)
+				}
+			}
+		case silent >= a.cfg.SuspectAfter:
+			if ps.Status == Alive {
+				ps.Status = Suspect
+				if a.cfg.OnSuspect != nil {
+					a.cfg.OnSuspect(id)
+				}
+			}
+		}
+	}
+}
+
+// targetsLocked picks Fanout distinct gossip targets: known live peers
+// first, and while any expected node is still unknown, the seed
+// addresses too (so a cold cluster can bootstrap from one seed).
+func (a *Agent) targetsLocked() []string {
+	var pool []string
+	seen := map[string]bool{a.cfg.GossipAddr: true}
+	for id, ps := range a.peers {
+		if id == a.cfg.ID || ps.GossipAddr == "" || seen[ps.GossipAddr] {
+			continue
+		}
+		if ps.Status == Dead {
+			continue
+		}
+		pool = append(pool, ps.GossipAddr)
+		seen[ps.GossipAddr] = true
+	}
+	if len(a.peers) < a.cfg.Nodes {
+		for _, s := range a.cfg.Seeds {
+			if !seen[s] {
+				pool = append(pool, s)
+				seen[s] = true
+			}
+		}
+	}
+	sort.Strings(pool) // determinism: map order must not leak into choices
+	a.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > a.cfg.Fanout {
+		pool = pool[:a.cfg.Fanout]
+	}
+	return pool
+}
+
+func (a *Agent) digestsLocked() []digest {
+	ds := make([]digest, 0, len(a.peers))
+	for id, ps := range a.peers {
+		ds = append(ds, digest{Node: id, Gen: ps.Gen, Ver: ps.Ver})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Node < ds[j].Node })
+	return ds
+}
+
+// statesLocked returns full states for the given ids (unknown ids are
+// skipped).
+func (a *Agent) statesLocked(ids []int) []NodeState {
+	var out []NodeState
+	for _, id := range ids {
+		if ps, ok := a.peers[id]; ok {
+			out = append(out, ps.NodeState)
+		}
+	}
+	return out
+}
+
+// mergeLocked folds a received state in, returning whether it was news.
+func (a *Agent) mergeLocked(st NodeState, now time.Time) bool {
+	if st.Node < 0 || st.Node >= a.cfg.Nodes || st.Node == a.cfg.ID {
+		return false
+	}
+	ps, ok := a.peers[st.Node]
+	if !ok {
+		ps = &peerState{NodeState: st, heard: now}
+		ps.Status = Alive
+		a.peers[st.Node] = ps
+		if a.cfg.OnAlive != nil {
+			a.cfg.OnAlive(st.Node)
+		}
+		return true
+	}
+	if !st.newer(ps.NodeState) {
+		return false
+	}
+	resurrected := ps.Status == Dead && st.Gen > ps.Gen
+	wasDown := ps.Status == Suspect || resurrected
+	status := ps.Status
+	if status != Dead || resurrected {
+		status = Alive
+	}
+	ps.NodeState = st
+	ps.Status = status
+	if status == Alive {
+		ps.heard = now
+	}
+	if wasDown && status == Alive && a.cfg.OnAlive != nil {
+		a.cfg.OnAlive(st.Node)
+	}
+	return true
+}
+
+// Handle processes one received packet, replying through send as the
+// exchange's phase demands. Malformed packets are dropped.
+func (a *Agent) Handle(data []byte, now time.Time) {
+	var p packet
+	if err := json.Unmarshal(data, &p); err != nil {
+		return
+	}
+	a.mu.Lock()
+	var reply *packet
+	switch p.Kind {
+	case kindSyn:
+		// First fold in the sender's piggybacked self-state (first
+		// contact: learn who is talking), then compare its digests with
+		// local knowledge: send back what we know better, ask for what
+		// they know better.
+		for _, st := range p.States {
+			a.mergeLocked(st, now)
+		}
+		ack := packet{Kind: kindAck, From: a.cfg.ID}
+		mentioned := make(map[int]bool, len(p.Digests))
+		for _, d := range p.Digests {
+			if d.Node < 0 || d.Node >= a.cfg.Nodes {
+				continue
+			}
+			mentioned[d.Node] = true
+			ps, ok := a.peers[d.Node]
+			remote := NodeState{Node: d.Node, Gen: d.Gen, Ver: d.Ver}
+			switch {
+			case !ok:
+				ack.Want = append(ack.Want, d.Node)
+			case remote.newer(ps.NodeState):
+				ack.Want = append(ack.Want, d.Node)
+			case ps.NodeState.newer(remote):
+				ack.States = append(ack.States, ps.NodeState)
+			}
+		}
+		for id, ps := range a.peers {
+			if !mentioned[id] {
+				ack.States = append(ack.States, ps.NodeState)
+			}
+		}
+		sort.Slice(ack.States, func(i, j int) bool { return ack.States[i].Node < ack.States[j].Node })
+		sort.Ints(ack.Want)
+		reply = &ack
+	case kindAck:
+		for _, st := range p.States {
+			a.mergeLocked(st, now)
+		}
+		if len(p.Want) > 0 {
+			reply = &packet{Kind: kindAck2, From: a.cfg.ID, States: a.statesLocked(p.Want)}
+		}
+	case kindAck2:
+		for _, st := range p.States {
+			a.mergeLocked(st, now)
+		}
+	}
+	var addr string
+	if reply != nil {
+		if ps, ok := a.peers[p.From]; ok && ps.GossipAddr != "" {
+			addr = ps.GossipAddr
+		} else {
+			reply = nil // stranger with no return address yet
+		}
+	}
+	a.mu.Unlock()
+	if reply != nil {
+		buf, _ := json.Marshal(reply)
+		a.send(addr, buf)
+	}
+}
+
+// View returns a snapshot of every known node's state, ordered by id.
+func (a *Agent) View() []NodeState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]NodeState, 0, len(a.peers))
+	for _, ps := range a.peers {
+		out = append(out, ps.NodeState)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Converged reports whether every expected node's data address is
+// known — the condition the bootstrap path waits for before completing
+// the tcpnet mesh.
+func (a *Agent) Converged() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.peers) < a.cfg.Nodes {
+		return false
+	}
+	for _, ps := range a.peers {
+		if ps.DataAddr == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// DataAddrs returns every node's data address indexed by id; ok is
+// false until Converged.
+func (a *Agent) DataAddrs() (addrs []string, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.peers) < a.cfg.Nodes {
+		return nil, false
+	}
+	addrs = make([]string, a.cfg.Nodes)
+	for id, ps := range a.peers {
+		if ps.DataAddr == "" {
+			return nil, false
+		}
+		addrs[id] = ps.DataAddr
+	}
+	return addrs, true
+}

@@ -1,0 +1,87 @@
+package gossip
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// maxPacket bounds a gossip datagram. Digests and states for a few
+// dozen nodes fit comfortably; the protocol degrades gracefully if a
+// packet is dropped, so an oversized one is simply not sent.
+const maxPacket = 60 * 1024
+
+// UDPTransport carries gossip packets over UDP datagrams: the natural
+// fit for an unreliable, connectionless, idempotent protocol (a lost
+// SYN costs one round of convergence, nothing more).
+type UDPTransport struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenUDP binds the gossip socket. addr is "host:port"; port 0 binds
+// ephemerally (Addr reveals the choice).
+func ListenUDP(addr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPTransport{conn: conn}, nil
+}
+
+// Addr returns the bound gossip address.
+func (t *UDPTransport) Addr() string { return t.conn.LocalAddr().String() }
+
+// Send transmits one packet; errors (unresolvable peer, full socket
+// buffer) are dropped on the floor — gossip's redundancy is the
+// retry.
+func (t *UDPTransport) Send(addr string, pkt []byte) {
+	if len(pkt) > maxPacket {
+		return
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return
+	}
+	t.conn.WriteToUDP(pkt, ua)
+}
+
+// Serve reads datagrams and hands each to fn with the receive time,
+// until Close. It blocks; run it on its own goroutine.
+func (t *UDPTransport) Serve(fn func(pkt []byte, now time.Time)) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	defer t.wg.Done()
+	buf := make([]byte, maxPacket)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		fn(pkt, time.Now())
+	}
+}
+
+// Close shuts the socket down and waits for Serve to return.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

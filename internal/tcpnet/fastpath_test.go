@@ -49,7 +49,7 @@ func TestQueueCloseWhileNonEmptyDrains(t *testing.T) {
 }
 
 func TestRegisterOutOfRange(t *testing.T) {
-	nw, err := NewLoopbackNetwork(1)
+	nw, err := New(Loopback(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestRegisterOutOfRange(t *testing.T) {
 func TestConcurrentSendersFIFO(t *testing.T) {
 	const nodes = 4
 	const perSender = 3000
-	nw, err := NewLoopbackNetwork(nodes)
+	nw, err := New(Loopback(nodes))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestConcurrentSendersFIFO(t *testing.T) {
 // when the receiving handler retains it while later traffic reuses pooled
 // buffers, and that recycling inside the handler is safe.
 func TestPayloadOwnershipAcrossPool(t *testing.T) {
-	nw, err := NewLoopbackNetwork(2)
+	nw, err := New(Loopback(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestPayloadOwnershipAcrossPool(t *testing.T) {
 // on this), and that mutating the caller's buffer right after Send does
 // not corrupt the wire data.
 func TestCopiesPayloadOnSend(t *testing.T) {
-	nw, err := NewLoopbackNetwork(2)
+	nw, err := New(Loopback(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,7 @@ import (
 // every frame delivered exactly once, in order, with reconnect,
 // backoff and retransmit events visible in the counters.
 func TestKillLinkReconnectsWithoutLossOrDup(t *testing.T) {
-	nwi, err := NewLoopbackNetworkConfig(2, Config{
+	nwi, err := New(Config{Nodes: 2,
 		BackoffBase: time.Millisecond,
 		AckEvery:    256, // widen the received-but-unacked window the replay dedups
 	})
@@ -76,7 +76,7 @@ func TestKillLinkReconnectsWithoutLossOrDup(t *testing.T) {
 // before continuing with 4. The receiver must deliver each sequence
 // exactly once and count the dropped duplicates.
 func TestReplayedFramesDeduped(t *testing.T) {
-	nwi, err := NewLoopbackNetwork(2)
+	nwi, err := New(Loopback(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,6 +90,7 @@ func TestReplayedFramesDeduped(t *testing.T) {
 		got = append(got, m.A)
 		mu.Unlock()
 	})
+	nw.Start() // registration done; open the dispatch gate
 
 	conn, err := net.Dial("tcp", nw.addrs[1])
 	if err != nil {
@@ -146,13 +147,13 @@ func TestReplayedFramesDeduped(t *testing.T) {
 // dies mid-run: the runtime on top must not notice (no lost or
 // duplicated coherence messages).
 func TestKillLinkUnderCluster(t *testing.T) {
-	nwi, err := NewLoopbackNetworkConfig(2, Config{BackoffBase: time.Millisecond})
+	nwi, err := New(Config{Nodes: 2, BackoffBase: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer nwi.Close()
 	nw := nwi.(*network)
-	cl, err := core.NewCluster(core.Options{Procs: 2, Registry: proto.NewRegistry(), Network: nwi})
+	cl, err := core.NewCluster(core.Options{Procs: 2, Registry: proto.NewRegistry(), Transport: amnet.Fixed(nwi)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ var errRounds = errors.New("counter diverged across reconnect")
 // reconnect budget to expire into a peer-down notification instead of
 // an unbounded retry loop.
 func TestUnreachablePeerDeclaredDown(t *testing.T) {
-	nwi, err := NewLoopbackNetworkConfig(2, Config{
+	nwi, err := New(Config{Nodes: 2,
 		DialTimeout: 100 * time.Millisecond,
 		BackoffBase: time.Millisecond,
 		BackoffMax:  4 * time.Millisecond,
@@ -251,7 +252,7 @@ func TestUnreachablePeerDeclaredDown(t *testing.T) {
 // reconnect→peerLost path runs and its notFull broadcast frees the
 // producer.
 func TestBlockedEnqueueUnblocksOnPeerDown(t *testing.T) {
-	nwi, err := NewLoopbackNetworkConfig(2, Config{
+	nwi, err := New(Config{Nodes: 2,
 		DialTimeout: 100 * time.Millisecond,
 		BackoffBase: time.Millisecond,
 		BackoffMax:  4 * time.Millisecond,

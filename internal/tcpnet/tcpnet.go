@@ -39,10 +39,30 @@ import (
 	"time"
 
 	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/trace"
 )
 
-// Config tunes connection supervision. The zero value means defaults.
+// Config describes the transport: the cluster topology (total node
+// count, addresses, which nodes this process hosts) plus connection
+// supervision tuning. It satisfies amnet.Transport, so a Config is
+// assigned directly to Options.Transport; Loopback is the in-process
+// preset. The zero value of every supervision field means its default.
 type Config struct {
+	// Nodes is the total number of logical nodes in the cluster. Zero is
+	// filled in by Connect with the cluster's processor count.
+	Nodes int
+
+	// Addrs, when set, is every node's data address indexed by node id
+	// (len must equal Nodes). Empty means loopback: every node is hosted
+	// in this process on an ephemeral 127.0.0.1 port.
+	Addrs []string
+
+	// Local lists the node ids hosted by this process; each gets a
+	// listener (at Addrs[id] when Addrs is set, else an ephemeral
+	// loopback port), a mailbox and a dispatch pump. Empty means all
+	// Nodes are local — the single-process mesh.
+	Local []int
+
 	// DialTimeout bounds each dial (initial and reconnect) and the
 	// accept side's wait for the hello frame. Default 2s.
 	DialTimeout time.Duration
@@ -101,75 +121,205 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// NewLoopbackNetwork builds an n-node network over TCP connections on
-// 127.0.0.1 with a full mesh of connections and default supervision.
-func NewLoopbackNetwork(n int) (amnet.Network, error) {
-	return NewLoopbackNetworkConfig(n, Config{})
+// Loopback is the in-process preset: an n-node full TCP mesh on
+// ephemeral 127.0.0.1 ports with default supervision — what test and
+// benchmark clusters run on. Tune supervision by setting fields on the
+// returned Config.
+func Loopback(n int) Config { return Config{Nodes: n} }
+
+// Connect implements amnet.Transport: a Config is assigned directly to
+// Options.Transport and NewCluster asks it for the fabric. A Nodes
+// count already set must agree with the cluster's processor count.
+func (c Config) Connect(n int) (amnet.Network, error) {
+	if c.Nodes == 0 {
+		c.Nodes = n
+	}
+	if c.Nodes != n {
+		return nil, fmt.Errorf("tcpnet: transport configured for %d nodes, cluster wants %d", c.Nodes, n)
+	}
+	return New(c)
 }
 
-// NewLoopbackNetworkConfig is NewLoopbackNetwork with explicit
-// supervision tuning.
-func NewLoopbackNetworkConfig(n int, cfg Config) (amnet.Network, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("tcpnet: invalid node count %d", n)
+// New builds the transport for cfg: a listener, mailbox and dispatch
+// pump per local node, and supervised senders from every local node to
+// every node in the cluster. With the loopback preset (no Addrs) that
+// is the full in-process mesh; with Addrs and Local set it is one
+// process's share of a multi-process cluster.
+func New(cfg Config) (amnet.Network, error) {
+	nd, err := Listen(cfg)
+	if err != nil {
+		return nil, err
+	}
+	addrs := cfg.Addrs
+	if addrs == nil {
+		addrs = nd.Addrs() // loopback: every node local, addresses just bound
+	}
+	return nd.Connect(addrs)
+}
+
+// Listen binds the local nodes' listeners without dialing anyone: the
+// first half of New, split out for bootstrap flows (the gossip
+// rendezvous) that must learn their own ephemeral addresses — and
+// advertise them — before the full address list is known. Complete the
+// mesh with Node.Connect, or abandon it with Node.Close.
+func Listen(cfg Config) (*Node, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("tcpnet: invalid node count %d", cfg.Nodes)
+	}
+	if cfg.Addrs != nil && len(cfg.Addrs) != cfg.Nodes {
+		return nil, fmt.Errorf("tcpnet: %d addresses for %d nodes", len(cfg.Addrs), cfg.Nodes)
+	}
+	local := cfg.Local
+	if local == nil {
+		local = make([]int, cfg.Nodes)
+		for i := range local {
+			local[i] = i
+		}
+	}
+	if len(local) == 0 {
+		return nil, fmt.Errorf("tcpnet: no local nodes")
 	}
 	nw := &network{
 		cfg:       cfg.withDefaults(),
-		eps:       make([]*endpoint, n),
-		listeners: make([]net.Listener, n),
-		addrs:     make([]string, n),
+		nodes:     cfg.Nodes,
+		local:     local,
+		eps:       make([]*endpoint, len(local)),
+		byID:      make([]*endpoint, cfg.Nodes),
+		listeners: make([]net.Listener, len(local)),
+		started:   make(chan struct{}),
+		wired:     make(chan struct{}),
 	}
-	for i := 0; i < n; i++ {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
+	for i, id := range local {
+		if id < 0 || id >= cfg.Nodes || nw.byID[id] != nil {
+			nw.Close()
+			return nil, fmt.Errorf("tcpnet: bad local node id %d", id)
+		}
+		bind := "127.0.0.1:0"
+		if cfg.Addrs != nil {
+			bind = cfg.Addrs[id]
+		}
+		l, err := net.Listen("tcp", bind)
 		if err != nil {
 			nw.Close()
 			return nil, err
 		}
 		nw.listeners[i] = l
-		nw.addrs[i] = l.Addr().String()
 		nw.eps[i] = &endpoint{
-			id:       amnet.NodeID(i),
+			id:       amnet.NodeID(id),
 			nw:       nw,
 			box:      newQueue(),
-			links:    make([]recvLink, n),
+			links:    make([]recvLink, cfg.Nodes),
 			downSent: make(map[amnet.NodeID]bool),
+			inbound:  make(map[net.Conn]struct{}),
 		}
+		nw.byID[id] = nw.eps[i]
 	}
-	// Accept side: each node runs a persistent accept loop for the
+	// Accept side: each local node runs a persistent accept loop for the
 	// network's lifetime; the first frame on each connection identifies
 	// the sender, so initial mesh connections and reconnects look the
-	// same. Dial side: node i dials everyone (including itself, keeping
-	// the path uniform).
-	for j := 0; j < n; j++ {
+	// same.
+	for i := range local {
 		nw.acceptWG.Add(1)
-		go nw.acceptLoop(j)
+		go nw.acceptLoop(i)
 	}
-	for i := 0; i < n; i++ {
-		nw.eps[i].out = make([]*sender, n)
-		for j := 0; j < n; j++ {
-			conn, err := net.DialTimeout("tcp", nw.addrs[j], nw.cfg.DialTimeout)
+	return &Node{nw: nw}, nil
+}
+
+// Node is a bound-but-unconnected transport share: Listen's result,
+// holding the local listeners while bootstrap learns the peer
+// addresses.
+type Node struct {
+	nw        *network
+	connected bool
+}
+
+// Addrs returns the bound listen addresses of the local nodes, in
+// Config.Local order — what a bootstrap layer advertises to peers.
+func (nd *Node) Addrs() []string {
+	out := make([]string, len(nd.nw.listeners))
+	for i, l := range nd.nw.listeners {
+		out[i] = l.Addr().String()
+	}
+	return out
+}
+
+// Connect completes the mesh: addrs is every node's data address,
+// indexed by node id, and each local node dials a supervised sender to
+// every one of them (including itself, keeping the path uniform). The
+// returned network's endpoints are the local nodes in Config.Local
+// order; dispatch is held back until amnet.Starter's Start (or the
+// first local Send) so the runtime can finish registering handlers
+// before a fast peer's frames are delivered.
+func (nd *Node) Connect(addrs []string) (amnet.Network, error) {
+	nw := nd.nw
+	if nd.connected {
+		return nil, fmt.Errorf("tcpnet: Connect called twice")
+	}
+	if len(addrs) != nw.nodes {
+		return nil, fmt.Errorf("tcpnet: %d addresses for %d nodes", len(addrs), nw.nodes)
+	}
+	nd.connected = true
+	nw.addrs = append([]string(nil), addrs...)
+	for _, ep := range nw.eps {
+		ep.out = make([]*sender, nw.nodes)
+		for j := 0; j < nw.nodes; j++ {
+			conn, err := nw.dialInitial(addrs[j])
 			if err != nil {
 				nw.Close()
 				return nil, err
 			}
 			tuneConn(conn)
-			s := newSender(nw.eps[i], amnet.NodeID(j), nw.addrs[j], conn)
+			s := newSender(ep, amnet.NodeID(j), addrs[j], conn)
 			if _, err := conn.Write(s.hello[:]); err != nil {
 				conn.Close()
 				nw.Close()
 				return nil, err
 			}
-			nw.eps[i].out[j] = s
+			ep.out[j] = s
 			nw.sendWG.Add(2)
-			go s.run(&nw.sendWG, &nw.eps[i].stats)
+			go s.run(&nw.sendWG, &ep.stats)
 			go s.probeLoop(&nw.sendWG)
 		}
 	}
+	// Sender tables exist for every local endpoint; inbound readers
+	// parked on the wire gate (a peer that connected faster than our
+	// bootstrap) may begin decoding and acking.
+	nw.wire()
 	for _, ep := range nw.eps {
 		nw.pumpWG.Add(1)
 		go ep.pump(&nw.pumpWG)
 	}
 	return nw, nil
+}
+
+// Close abandons an unconnected Node (bootstrap failure), releasing its
+// listeners. After a successful Connect the returned network owns them.
+func (nd *Node) Close() error {
+	if nd.connected {
+		return nil
+	}
+	return nd.nw.Close()
+}
+
+// dialInitial dials a peer with retry: in a multi-process bootstrap the
+// peers bind before they advertise, but a dial can still race a loaded
+// accept queue, and one transient refusal must not fail the whole
+// mesh. The budget mirrors reconnect's.
+func (n *network) dialInitial(addr string) (net.Conn, error) {
+	backoff := n.cfg.BackoffBase
+	for attempt := 1; ; attempt++ {
+		conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		if attempt >= n.cfg.MaxAttempts {
+			return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
+		}
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
+		if backoff *= 2; backoff > n.cfg.BackoffMax {
+			backoff = n.cfg.BackoffMax
+		}
+	}
 }
 
 // tuneConn shapes a mesh connection for the coalescing writer: Nagle is
@@ -188,9 +338,16 @@ func tuneConn(conn net.Conn) {
 
 type network struct {
 	cfg       Config
-	eps       []*endpoint
+	nodes     int         // total cluster size
+	local     []int       // node ids hosted here, in Config.Local order
+	eps       []*endpoint // parallel to local
+	byID      []*endpoint // indexed by node id; nil for remote nodes
 	listeners []net.Listener
 	addrs     []string
+	started   chan struct{} // closed by Start: dispatch may begin
+	startOnce sync.Once
+	wired     chan struct{} // closed by Connect: sender tables exist
+	wireOnce  sync.Once
 	acceptWG  sync.WaitGroup
 	sendWG    sync.WaitGroup
 	pumpWG    sync.WaitGroup
@@ -203,6 +360,38 @@ func (n *network) Endpoints() []amnet.Endpoint {
 		out[i] = ep
 	}
 	return out
+}
+
+// Start implements amnet.Starter: it releases the dispatch pumps, held
+// back so a fast peer's frames cannot reach an empty handler table.
+// Incoming frames queue (and are acked) meanwhile, so nothing is lost.
+func (n *network) Start() { n.startOnce.Do(func() { close(n.started) }) }
+
+// wire releases inbound readers: before Connect builds the sender
+// tables, a reader delivering frames would have no reverse link to ack
+// on. Closed by Connect, and by Close so an abandoned bootstrap's
+// parked readers exit.
+func (n *network) wire() { n.wireOnce.Do(func() { close(n.wired) }) }
+
+// DeclarePeerDown forces the supervised senders to peer as lost, as if
+// their reconnect budgets were exhausted: the gossip layer's suspicion
+// verdict feeding the same amnet.PeerAware path the transport uses for
+// its own failures. Idempotent; a no-op for a local or already-lost
+// peer's healthy links is avoided by the per-endpoint downSent guard.
+func (n *network) DeclarePeerDown(peer amnet.NodeID) {
+	if int(peer) < 0 || int(peer) >= n.nodes {
+		return
+	}
+	for _, ep := range n.eps {
+		if ep == nil || ep.id == peer {
+			continue
+		}
+		if ep.out != nil && ep.out[peer] != nil {
+			ep.out[peer].peerLost()
+		} else {
+			ep.firePeerDown(peer)
+		}
+	}
 }
 
 // acceptLoop accepts connections for node j until the listener closes.
@@ -225,7 +414,7 @@ func (n *network) acceptLoop(j int) {
 		}
 		conn.SetReadDeadline(time.Time{})
 		src := int32(binary.LittleEndian.Uint32(hello[:]))
-		if src < 0 || int(src) >= len(n.eps) {
+		if src < 0 || int(src) >= n.nodes {
 			conn.Close()
 			continue
 		}
@@ -236,9 +425,9 @@ func (n *network) acceptLoop(j int) {
 // KillLink forcibly closes the current src→dst connection, as if the
 // network dropped it. The supervised sender redials, retransmits its
 // journal, and the receiver dedups — a test hook for the reconnect
-// machinery.
+// machinery. src must be a local node.
 func (n *network) KillLink(src, dst int) {
-	n.eps[src].out[dst].killConn()
+	n.byID[src].out[dst].killConn()
 }
 
 // Close tears the mesh down in dependency order: stop accepting, drain
@@ -247,6 +436,8 @@ func (n *network) KillLink(src, dst int) {
 // exit.
 func (n *network) Close() error {
 	n.closed.Store(true)
+	n.Start() // release gated pumps so they can drain and exit
+	n.wire()  // release parked readers so they can exit
 	for _, l := range n.listeners {
 		if l != nil {
 			l.Close()
@@ -264,6 +455,19 @@ func (n *network) Close() error {
 		}
 	}
 	n.sendWG.Wait()
+	// Sever inbound connections locally: a peer that outlives this mesh
+	// (multi-process shutdown is not synchronized) would otherwise hold
+	// our readers open indefinitely.
+	for _, ep := range n.eps {
+		if ep == nil {
+			continue
+		}
+		ep.inboundMu.Lock()
+		for conn := range ep.inbound {
+			conn.Close()
+		}
+		ep.inboundMu.Unlock()
+	}
 	for _, ep := range n.eps {
 		if ep != nil {
 			ep.readers.Wait()
@@ -466,7 +670,7 @@ func (s *sender) shuttingDown() bool {
 // once the queue is empty — so bursts coalesce into single syscalls
 // while a lone frame still goes out immediately. A write failure
 // outside shutdown enters the reconnect loop instead of crashing.
-func (s *sender) run(wg *sync.WaitGroup, stats *amnet.Stats) {
+func (s *sender) run(wg *sync.WaitGroup, stats *trace.NetStats) {
 	defer wg.Done()
 	conn := s.conn
 	bw := bufio.NewWriterSize(conn, 64<<10)
@@ -539,7 +743,7 @@ func (s *sender) writeBatch(bw *bufio.Writer, batch [][]byte) error {
 // (the receiver drops what it already delivered). After MaxAttempts
 // consecutive failures the peer is declared down and the sender shuts
 // itself off.
-func (s *sender) reconnect(stats *amnet.Stats) (net.Conn, *bufio.Writer, bool) {
+func (s *sender) reconnect(stats *trace.NetStats) (net.Conn, *bufio.Writer, bool) {
 	s.killConn()
 	cfg := s.ep.nw.cfg
 	backoff := cfg.BackoffBase
@@ -670,6 +874,11 @@ func (s *sender) peerLost() {
 	s.journal = nil
 	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
+	// Wake or interrupt the writer: when the declaration is external
+	// (DeclarePeerDown) the writer may be parked on the queue or blocked
+	// mid-write; on the writer's own path both are no-ops.
+	s.notEmpty.Signal()
+	s.killConn()
 	s.notFull.Broadcast()
 	s.ep.firePeerDown(s.peer)
 }
@@ -689,9 +898,15 @@ type endpoint struct {
 	out      []*sender
 	box      *queue
 	handlers [amnet.MaxHandlers]amnet.Handler
-	stats    amnet.Stats
+	stats    trace.NetStats
 	readers  sync.WaitGroup
 	links    []recvLink
+
+	// inbound tracks the accepted connections feeding the readers, so
+	// Close can sever them locally instead of waiting for the remote
+	// sender to hang up (peers may well outlive this process's mesh).
+	inboundMu sync.Mutex
+	inbound   map[net.Conn]struct{}
 
 	downMu   sync.Mutex
 	downFn   func(amnet.NodeID)
@@ -699,7 +914,7 @@ type endpoint struct {
 }
 
 func (e *endpoint) ID() amnet.NodeID { return e.id }
-func (e *endpoint) Nodes() int       { return len(e.nw.eps) }
+func (e *endpoint) Nodes() int       { return e.nw.nodes }
 
 func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) {
 	if int(id) >= amnet.MaxHandlers {
@@ -764,6 +979,7 @@ func (e *endpoint) Send(m amnet.Msg) {
 		panic(fmt.Sprintf("tcpnet: payload %d exceeds frame limit %d", len(m.Payload), maxFramePayload))
 	}
 	m.Src = e.id
+	e.nw.Start() // a local send implies local handlers are registered
 	e.countSend(m)
 	buf := amnet.Alloc(frameHeader + len(m.Payload))
 	binary.LittleEndian.PutUint32(buf[0:], uint32(len(buf)-4))
@@ -797,7 +1013,7 @@ func (e *endpoint) sendAck(src amnet.NodeID, n uint64) {
 	e.out[src].enqueueControl(buf)
 }
 
-func (e *endpoint) Stats() *amnet.Stats { return &e.stats }
+func (e *endpoint) Stats() *trace.NetStats { return &e.stats }
 
 // addReader starts a goroutine decoding frames from one incoming
 // connection into the node's queue. Reads are buffered, and each
@@ -807,10 +1023,26 @@ func (e *endpoint) Stats() *amnet.Stats { return &e.stats }
 // already delivered, and pushes under the link lock so the mailbox
 // keeps per-link sequence order even if old and new briefly overlap.
 func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
+	e.inboundMu.Lock()
+	e.inbound[conn] = struct{}{}
+	e.inboundMu.Unlock()
 	e.readers.Add(1)
 	go func() {
 		defer e.readers.Done()
-		defer conn.Close()
+		defer func() {
+			conn.Close()
+			e.inboundMu.Lock()
+			delete(e.inbound, conn)
+			e.inboundMu.Unlock()
+		}()
+		// A peer whose bootstrap outpaced ours can connect — and send —
+		// before Connect has built our sender tables. Park until wired;
+		// frames wait in the socket buffer, bounded by the peer's
+		// journal backpressure.
+		<-e.nw.wired
+		if e.out == nil {
+			return // closed without ever connecting
+		}
 		br := bufio.NewReaderSize(conn, 64<<10)
 		link := &e.links[src]
 		ackEvery := e.nw.cfg.AckEvery
@@ -917,6 +1149,7 @@ func decodeHeader(hdr *[frameHeader]byte) (frame, int, error) {
 // time: one lock/wake per burst instead of per message.
 func (e *endpoint) pump(wg *sync.WaitGroup) {
 	defer wg.Done()
+	<-e.nw.started // hold dispatch until handler registration finishes
 	var scratch []frame
 	for {
 		batch, ok := e.box.popAll(scratch)

@@ -12,7 +12,7 @@ import (
 )
 
 func TestBasicDelivery(t *testing.T) {
-	nw, err := NewLoopbackNetwork(2)
+	nw, err := New(Loopback(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestBasicDelivery(t *testing.T) {
 }
 
 func TestOrderingPerPair(t *testing.T) {
-	nw, err := NewLoopbackNetwork(2)
+	nw, err := New(Loopback(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +63,11 @@ func TestOrderingPerPair(t *testing.T) {
 // TestAceClusterOverTCP runs the full runtime — coherence, barriers,
 // protocol library — over real sockets.
 func TestAceClusterOverTCP(t *testing.T) {
-	nw, err := NewLoopbackNetwork(3)
+	nw, err := New(Loopback(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := core.NewCluster(core.Options{Procs: 3, Registry: proto.NewRegistry(), Network: nw})
+	cl, err := core.NewCluster(core.Options{Procs: 3, Registry: proto.NewRegistry(), Transport: amnet.Fixed(nw)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestAceClusterOverTCP(t *testing.T) {
 }
 
 func TestInvalidCount(t *testing.T) {
-	if _, err := NewLoopbackNetwork(0); err == nil {
+	if _, err := New(Loopback(0)); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -133,7 +133,7 @@ func TestInvalidCount(t *testing.T) {
 // TestStatsMatchTraffic asserts the endpoint counters agree exactly with
 // the frames a loopback exchange actually put on the wire.
 func TestStatsMatchTraffic(t *testing.T) {
-	nw, err := NewLoopbackNetwork(2)
+	nw, err := New(Loopback(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestStatsExactUnderConcurrentBurst(t *testing.T) {
 	const nodes = 4
 	const perSender = 2000
 	const payload = 24
-	nw, err := NewLoopbackNetwork(nodes)
+	nw, err := New(Loopback(nodes))
 	if err != nil {
 		t.Fatal(err)
 	}

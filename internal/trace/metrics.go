@@ -113,8 +113,12 @@ type AdaptStats struct {
 	Pattern string
 	// Epochs counts adaptation evaluations (controller barriers).
 	Epochs uint64
-	// Switches counts controller-initiated ChangeProtocol calls.
+	// Switches counts controller-initiated ChangeProtocol calls,
+	// rollbacks included.
 	Switches uint64
+	// Rollbacks counts the subset of Switches that reversed a switch
+	// whose probation epoch cost more than the pre-switch baseline.
+	Rollbacks uint64
 	// LastSwitchEpoch is the epoch of the most recent switch (0 = none).
 	LastSwitchEpoch uint64
 }

@@ -1,0 +1,163 @@
+package ace_test
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/acedsm/ace"
+)
+
+// reserveUDPAddr finds a loopback UDP address that is currently free,
+// for the seed member's gossip socket. The tiny close-to-rebind window
+// is acceptable in tests.
+func reserveUDPAddr(t *testing.T) string {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := pc.LocalAddr().String()
+	pc.Close()
+	return addr
+}
+
+// TestJoinAssemblesCluster bootstraps a 4-node cluster from three Join
+// calls in one test process — distinct Local sets, one of them hosting
+// two nodes — and runs an SPMD program that crosses every process
+// boundary: a broadcast region id, remote writes under locks, a
+// collective sum and global barriers.
+func TestJoinAssemblesCluster(t *testing.T) {
+	seed := reserveUDPAddr(t)
+	locals := [][]int{{0}, {1, 2}, {3}}
+	const nodes = 4
+
+	clusters := make([]*ace.Cluster, len(locals))
+	errs := make([]error, len(locals))
+	var wg sync.WaitGroup
+	for i, local := range locals {
+		wg.Add(1)
+		go func(i int, local []int) {
+			defer wg.Done()
+			cfg := ace.NodeConfig{
+				Nodes:       nodes,
+				Local:       local,
+				Seed:        int64(i),
+				Interval:    20 * time.Millisecond,
+				JoinTimeout: 15 * time.Second,
+			}
+			if i == 0 {
+				cfg.Gossip = seed
+			} else {
+				cfg.Seeds = []string{seed}
+			}
+			clusters[i], errs[i] = ace.Join(cfg)
+		}(i, local)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("join %v: %v", locals[i], err)
+		}
+	}
+	defer func() {
+		for _, cl := range clusters {
+			cl.Close()
+		}
+	}()
+
+	for i, cl := range clusters {
+		if got := cl.Procs(); got != nodes {
+			t.Fatalf("cluster %d: Procs() = %d, want %d", i, got, nodes)
+		}
+		if got := len(cl.Local()); got != len(locals[i]) {
+			t.Fatalf("cluster %d: %d local procs, want %d", i, got, len(locals[i]))
+		}
+	}
+
+	sums := make([]int64, nodes)
+	run := func(i int, cl *ace.Cluster) error {
+		return cl.Run(func(p *ace.Proc) error {
+			// Node 0 allocates a shared counter; everyone learns its id.
+			id := p.BroadcastID(0, func() ace.RegionID {
+				if p.ID() != 0 {
+					return 0
+				}
+				return p.GMalloc(p.DefaultSpace(), 8)
+			}())
+			r := p.Map(id)
+			p.GlobalBarrier()
+
+			// Every node increments the counter under the region lock —
+			// cross-process mutual exclusion and coherence in one step.
+			p.Lock(r)
+			p.StartWrite(r)
+			r.Data.SetInt64(0, r.Data.Int64(0)+1)
+			p.EndWrite(r)
+			p.Unlock(r)
+			p.GlobalBarrier()
+
+			p.StartRead(r)
+			count := r.Data.Int64(0)
+			p.EndRead(r)
+			if count != nodes {
+				t.Errorf("node %d: counter = %d, want %d", p.ID(), count, nodes)
+			}
+
+			// A collective across the processes: sum of node ids + 1.
+			sums[p.ID()] = p.AllReduceInt64(ace.OpSum, int64(p.ID())+1)
+			p.Unmap(r)
+			p.GlobalBarrier()
+			return nil
+		})
+	}
+	runErrs := make([]error, len(clusters))
+	for i, cl := range clusters {
+		wg.Add(1)
+		go func(i int, cl *ace.Cluster) {
+			defer wg.Done()
+			runErrs[i] = run(i, cl)
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range runErrs {
+		if err != nil {
+			t.Fatalf("run %v: %v", locals[i], err)
+		}
+	}
+	const want = int64(nodes * (nodes + 1) / 2)
+	for id, got := range sums {
+		if got != want {
+			t.Errorf("node %d: allreduce sum = %d, want %d", id, got, want)
+		}
+	}
+}
+
+// TestJoinTimeoutNamesMissingNodes: a member whose peers never show up
+// fails within JoinTimeout and says which node ids went unclaimed.
+func TestJoinTimeoutNamesMissingNodes(t *testing.T) {
+	_, err := ace.Join(ace.NodeConfig{
+		Nodes:       3,
+		Local:       []int{0},
+		Interval:    10 * time.Millisecond,
+		JoinTimeout: 300 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("join succeeded with absent peers")
+	}
+	if !strings.Contains(err.Error(), "1,2") {
+		t.Fatalf("error %q does not name missing nodes 1,2", err)
+	}
+}
+
+// TestJoinValidates rejects impossible configurations up front.
+func TestJoinValidates(t *testing.T) {
+	if _, err := ace.Join(ace.NodeConfig{Nodes: 0, Local: []int{0}}); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := ace.Join(ace.NodeConfig{Nodes: 2}); err == nil {
+		t.Error("accepted empty Local")
+	}
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# cluster-smoke: end-to-end gate for the multi-process deployment path.
+#
+# Phase 1 — correctness: a 4-process acenode cluster on loopback runs
+# em3d and its checksum must equal the in-process (-standalone) run of
+# the same workload, bit for bit.
+#
+# Phase 2 — failure detection: 3 processes park in a barrier while a
+# 4th joins and hangs; the 4th is SIGKILLed and every survivor must
+# exit with code 3 (ErrPeerLost) within the detector bound.
+set -u
+
+GO=${GO:-go}
+WORK=$(mktemp -d /tmp/cluster-smoke.XXXXXX)
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
+PORT=$((18000 + RANDOM % 2000))
+SEED="127.0.0.1:$PORT"
+
+fail() { echo "cluster-smoke: FAIL: $*" >&2; exit 1; }
+
+$GO build -o "$WORK/acenode" ./cmd/acenode || fail "build"
+
+echo "cluster-smoke: reference (in-process) em3d run"
+REF=$("$WORK/acenode" -standalone -nodes 4 | awk '/checksum/ {print $4}')
+[ -n "$REF" ] || fail "no reference checksum"
+
+echo "cluster-smoke: 4-process em3d run (gossip seed $SEED)"
+"$WORK/acenode" -nodes 4 -local 1 -seeds "$SEED" >"$WORK/n1.log" 2>&1 &
+"$WORK/acenode" -nodes 4 -local 2 -seeds "$SEED" >"$WORK/n2.log" 2>&1 &
+"$WORK/acenode" -nodes 4 -local 3 -seeds "$SEED" >"$WORK/n3.log" 2>&1 &
+"$WORK/acenode" -nodes 4 -local 0 -gossip "$SEED" >"$WORK/n0.log" 2>&1 &
+for job in $(jobs -p); do
+    wait "$job" || { cat "$WORK"/n*.log >&2; fail "an acenode process failed"; }
+done
+GOT=$(awk '/checksum/ {print $4}' "$WORK/n0.log")
+[ "$GOT" = "$REF" ] || fail "checksum mismatch: cluster $GOT vs in-process $REF"
+echo "cluster-smoke: checksums match ($GOT)"
+
+echo "cluster-smoke: failure-detection drill (SIGKILL one member)"
+FD="-interval 30ms -suspect 300ms -dead 900ms"
+PORT2=$((PORT + 1))
+SEED2="127.0.0.1:$PORT2"
+"$WORK/acenode" -nodes 4 -local 1 -seeds "$SEED2" $FD -run wait >"$WORK/k1.log" 2>&1 &
+S1=$!
+"$WORK/acenode" -nodes 4 -local 2 -seeds "$SEED2" $FD -run wait >"$WORK/k2.log" 2>&1 &
+S2=$!
+"$WORK/acenode" -nodes 4 -local 3 -seeds "$SEED2" $FD -run hang >"$WORK/k3.log" 2>&1 &
+VICTIM=$!
+"$WORK/acenode" -nodes 4 -local 0 -gossip "$SEED2" $FD -run wait >"$WORK/k0.log" 2>&1 &
+S0=$!
+
+# Wait for the victim to be a full member, then kill it without ceremony.
+for _ in $(seq 1 100); do
+    grep -q joined "$WORK/k3.log" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q joined "$WORK/k3.log" || { cat "$WORK"/k*.log >&2; fail "victim never joined"; }
+sleep 0.5
+kill -9 "$VICTIM" 2>/dev/null
+START=$(date +%s)
+
+for pid in $S0 $S1 $S2; do
+    wait "$pid"
+    CODE=$?
+    [ "$CODE" = 3 ] || { cat "$WORK"/k*.log >&2; fail "survivor $pid exited $CODE, want 3 (ErrPeerLost)"; }
+done
+wait "$VICTIM" 2>/dev/null
+ELAPSED=$(( $(date +%s) - START ))
+# The detector bound: dead after 900ms of silence plus gossip spread;
+# 10s of slack keeps the gate robust on loaded CI machines.
+[ "$ELAPSED" -le 10 ] || fail "detection took ${ELAPSED}s, bound 10s"
+echo "cluster-smoke: all survivors reported ErrPeerLost in ${ELAPSED}s"
+echo "cluster-smoke: PASS"
