@@ -19,8 +19,11 @@ build:
 test:
 	$(GO) test ./...
 
+# -cpu 1,4 runs each race test single-context and multicore: the
+# sharded-dispatch paths only interleave for real when the pumps have
+# more than one hardware context to run on.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -cpu 1,4 $(RACE_PKGS)
 
 # bench regenerates the committed benchmark artifacts: the bracket
 # overhead numbers and the fabric/bracket reports (each keeps its
@@ -29,6 +32,7 @@ bench:
 	$(GO) test -bench BenchmarkBracket -benchmem -run '^$$' .
 	$(GO) run ./cmd/acebench -exp fabric -baseline BENCH_fabric.json -out BENCH_fabric.json
 	$(GO) run ./cmd/acebench -exp bracket -baseline BENCH_bracket.json -out BENCH_bracket.json
+	$(GO) run ./cmd/acebench -exp scale
 
 # bench-smoke runs the fabric benchmarks briefly so CI catches a stalled
 # or asserting fast path without paying for full measurements, plus one
@@ -38,6 +42,7 @@ bench:
 bench-smoke:
 	$(GO) test -bench 'BenchmarkFabric' -benchtime=100ms -run '^$$' ./internal/bench
 	$(GO) run ./cmd/acebench -exp adapt -scale small -out /tmp/acebench_adapt_smoke.json
+	$(GO) run ./cmd/acebench -exp scale -procs 4 -scale small -out /tmp/acebench_scale_smoke.json
 
 # chaos-smoke is the protocol-conformance stress gate: the fixed-seed
 # protocol × fault-policy matrix (seeds 1..3) via the package tests,

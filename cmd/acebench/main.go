@@ -4,6 +4,7 @@
 //	acebench -exp fig7b   # single protocol vs application-specific protocols
 //	acebench -exp table4  # compiler optimization levels vs hand-written code
 //	acebench -exp fabric  # message-fabric latency/throughput (BENCH_fabric.json)
+//	acebench -exp scale   # GOMAXPROCS scaling sweep, sharded dispatch (BENCH_scale.json)
 //	acebench -exp chaos   # protocol-conformance stress matrix under fault injection
 //	acebench -exp adapt   # adaptive controller vs sc and hand-picked protocols (BENCH_adapt.json)
 //	acebench -exp all
@@ -35,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/acedsm/ace/internal/bench"
@@ -83,6 +85,8 @@ func main() {
 		ok = runFabric(*procs, reportPath(*out, "BENCH_fabric.json"), *baseline)
 	case "bracket":
 		ok = runBracket(*procs, reportPath(*out, "BENCH_bracket.json"), *baseline)
+	case "scale":
+		ok = runScale(w, reportPath(*out, "BENCH_scale.json"))
 	case "adapt":
 		ok = runAdapt(w, *runs, reportPath(*out, "BENCH_adapt.json"))
 	case "chaos":
@@ -92,7 +96,7 @@ func main() {
 		ok = runFig7b(w, *runs) && ok
 		ok = runTable4(*procs) && ok
 	default:
-		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, adapt, chaos, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, scale, adapt, chaos, all)\n", *exp)
 		os.Exit(2)
 	}
 	if !ok {
@@ -255,6 +259,37 @@ func runBracket(procs int, out, baselinePath string) bool {
 		return false
 	}
 	fmt.Println(bench.FormatBracket(rep.Results, rep.Baseline))
+	fmt.Printf("wrote %s\n", out)
+	return true
+}
+
+// runScale sweeps GOMAXPROCS ∈ {1,2,4,8} over the throughput-shaped
+// measurements (fabric throughput on both transports, bracket
+// hit/churn, em3d) with the dispatch-lane count matched to the core
+// count, and writes the BENCH_scale.json artifact. The GOMAXPROCS=1
+// rows are the baseline — the speedup column of every other row is
+// relative to them.
+func runScale(w bench.Workloads, out string) bool {
+	const (
+		perSender = 40000
+		payload   = 16
+	)
+	fmt.Printf("=== Scale: GOMAXPROCS sweep %v, lanes matched to cores (%d procs, host has %d CPUs) ===\n",
+		bench.ScalePoints, w.Procs, runtime.NumCPU())
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		return false
+	}
+	rep, err := bench.WriteScaleReport(f, w, nil, perSender, payload)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		return false
+	}
+	fmt.Println(bench.FormatScale(rep.Results))
 	fmt.Printf("wrote %s\n", out)
 	return true
 }

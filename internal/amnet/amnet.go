@@ -5,9 +5,15 @@
 // handler on the destination node; the handler runs asynchronously to the
 // destination's compute thread, may examine the message and send further
 // messages (for example a reply), but must never block waiting for network
-// events. Each node owns a dispatch pump goroutine that drains its mailbox
-// and runs handlers one at a time, so handlers on a given node are
-// serialized with respect to each other.
+// events. By default each node owns a single dispatch pump goroutine that
+// drains its mailbox and runs handlers one at a time, so handlers on a
+// given node are serialized with respect to each other. Transports may
+// shard dispatch into multiple lanes keyed by source node (see
+// ChanConfig.Lanes): all traffic from one sender still lands in one lane
+// and is dispatched in order by one goroutine, preserving the
+// per-(sender, handler) FIFO contract, but handlers for messages from
+// different senders may then run concurrently — handler code relying on
+// whole-node serialization must take lane count 1 or lock its state.
 //
 // Mailboxes are unbounded, which preserves the classic Active Messages
 // liveness argument: a send never blocks, so a handler can always complete,
@@ -128,6 +134,29 @@ type ChanConfig struct {
 	// sent ε apart arrive ε apart, and latency-free traffic (self-sends)
 	// is not queued behind delayed messages.
 	Latency time.Duration
+	// Lanes shards each endpoint's dispatch into this many pump
+	// goroutines, keyed by source node (lane = src mod Lanes), so
+	// handlers for messages from different senders can run on different
+	// cores. All messages from one sender map to one lane, preserving
+	// the per-(sender, handler) FIFO contract; what is given up is
+	// whole-node handler serialization, so receivers must be safe for
+	// concurrent handlers from distinct senders. Zero or one means the
+	// classic single pump per node (bit-identical to the pre-sharding
+	// fabric); values above Nodes are clamped (extra lanes could never
+	// receive traffic).
+	Lanes int
+}
+
+// laneCount normalizes a configured lane count: 0 (unset) and 1 both
+// mean a single pump; more lanes than sources is pointless.
+func laneCount(lanes, nodes int) int {
+	if lanes < 1 {
+		return 1
+	}
+	if lanes > nodes {
+		return nodes
+	}
+	return lanes
 }
 
 // NewChanNetwork builds an in-process network of n endpoints connected by
@@ -136,18 +165,25 @@ func NewChanNetwork(cfg ChanConfig) (Network, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("amnet: invalid node count %d", cfg.Nodes)
 	}
+	lanes := laneCount(cfg.Lanes, cfg.Nodes)
 	nw := &chanNetwork{cfg: cfg}
 	nw.eps = make([]*chanEndpoint, cfg.Nodes)
 	for i := range nw.eps {
-		nw.eps[i] = &chanEndpoint{
-			id:  NodeID(i),
-			nw:  nw,
-			box: newMailbox(),
+		ep := &chanEndpoint{
+			id:    NodeID(i),
+			nw:    nw,
+			boxes: make([]*mailbox, lanes),
 		}
+		for l := range ep.boxes {
+			ep.boxes[l] = newMailbox()
+		}
+		nw.eps[i] = ep
 	}
 	for _, ep := range nw.eps {
-		nw.wg.Add(1)
-		go ep.pump(&nw.wg)
+		for l := range ep.boxes {
+			nw.wg.Add(1)
+			go ep.pump(&nw.wg, l)
+		}
 	}
 	return nw, nil
 }
@@ -168,18 +204,31 @@ func (n *chanNetwork) Endpoints() []Endpoint {
 
 func (n *chanNetwork) Close() error {
 	for _, ep := range n.eps {
-		ep.box.close()
+		for _, box := range ep.boxes {
+			box.close()
+		}
 	}
 	n.wg.Wait()
 	return nil
 }
 
+// chanEndpoint is one node's attachment: boxes holds one mailbox per
+// dispatch lane (a single element unless ChanConfig.Lanes sharded it),
+// each drained by its own pump goroutine. The handler table and stats
+// are shared across lanes — registration happens before traffic, and
+// trace.NetStats is atomic throughout.
 type chanEndpoint struct {
 	id       NodeID
 	nw       *chanNetwork
-	box      *mailbox
+	boxes    []*mailbox
 	handlers [MaxHandlers]Handler
 	stats    trace.NetStats
+}
+
+// laneFor maps a source node to the mailbox its traffic lands in. Keying
+// by source keeps everything one sender emits in one FIFO lane.
+func (e *chanEndpoint) laneFor(src NodeID) *mailbox {
+	return e.boxes[int(src)%len(e.boxes)]
 }
 
 func (e *chanEndpoint) ID() NodeID { return e.id }
@@ -204,15 +253,16 @@ func (e *chanEndpoint) Send(m Msg) {
 	if e.nw.cfg.Latency > 0 && m.Dst != m.Src {
 		due = time.Now().Add(e.nw.cfg.Latency)
 	}
-	dst.box.push(item{msg: m, due: due, sent: e.stats.SendStamp()})
+	dst.laneFor(m.Src).push(item{msg: m, due: due, sent: e.stats.SendStamp()})
 }
 
 func (e *chanEndpoint) Stats() *trace.NetStats { return &e.stats }
 
-func (e *chanEndpoint) pump(wg *sync.WaitGroup) {
+func (e *chanEndpoint) pump(wg *sync.WaitGroup, lane int) {
 	defer wg.Done()
+	box := e.boxes[lane]
 	if e.nw.cfg.Latency > 0 {
-		e.pumpDelayed()
+		e.pumpDelayed(box)
 		return
 	}
 	// Fast path: no modelled latency, so every item is deliverable the
@@ -220,7 +270,7 @@ func (e *chanEndpoint) pump(wg *sync.WaitGroup) {
 	// over bursts.
 	var scratch []item
 	for {
-		batch, ok := e.box.popAll(scratch)
+		batch, ok := box.popAll(scratch)
 		if !ok {
 			return
 		}
@@ -239,12 +289,12 @@ func (e *chanEndpoint) pump(wg *sync.WaitGroup) {
 // breaks due-time ties by arrival sequence, and latency-free pairs
 // (self-sends, whose due time is zero) can have no earlier message
 // waiting in the heap.
-func (e *chanEndpoint) pumpDelayed() {
+func (e *chanEndpoint) pumpDelayed(box *mailbox) {
 	var scratch []item
 	var dq delayQueue
 	var seq uint64
 	for {
-		batch, ok, closed := e.box.tryPopAll(scratch)
+		batch, ok, closed := box.tryPopAll(scratch)
 		if !ok {
 			if closed {
 				// Close-then-drain: deliver what remains without
@@ -255,11 +305,11 @@ func (e *chanEndpoint) pumpDelayed() {
 				return
 			}
 			if dq.Len() == 0 {
-				e.box.await(0)
+				box.await(0)
 				continue
 			}
 			if d := time.Until(dq[0].due); d > 0 {
-				e.box.await(d)
+				box.await(d)
 				continue
 			}
 		}

@@ -123,10 +123,18 @@ const (
 // elapsed wall and application-thread CPU time, and the number of
 // updates shipped.
 func bracketHitChurn(procs int, window time.Duration) (int, time.Duration, time.Duration, int64, error) {
+	return bracketHitChurnOpts(core.Options{Procs: procs, Registry: proto.NewRegistry()}, window)
+}
+
+// bracketHitChurnOpts is the churn measurement body, parameterized on
+// the full cluster options so the scaling sweep can run it with sharded
+// dispatch (scale.go).
+func bracketHitChurnOpts(opts core.Options, window time.Duration) (int, time.Duration, time.Duration, int64, error) {
+	procs := opts.Procs
 	if procs < 3 {
 		return 0, 0, 0, 0, fmt.Errorf("bench: bracket churn needs >=3 procs, got %d", procs)
 	}
-	cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry()})
+	cl, err := core.NewCluster(opts)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}

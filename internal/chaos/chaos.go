@@ -37,6 +37,10 @@ type Config struct {
 	Turns    int
 	Protocol string // required: a library protocol, or "broken"
 	Policy   string // named fault policy; see Policies
+	// Lanes shards each processor's dispatch across the given number of
+	// pump lanes (core.Options.DispatchLanes). Zero keeps the classic
+	// single pump; the conformance invariants must hold either way.
+	Lanes int
 }
 
 // Report is the outcome of one run. Err is nil on success; on failure
@@ -169,6 +173,7 @@ func Run(cfg Config) Report {
 		Procs:           cfg.Procs,
 		Registry:        reg,
 		DefaultProtocol: defaultProto,
+		DispatchLanes:   cfg.Lanes,
 		Faults:          pol,
 		Adapt:           adapt,
 		// A harness bug (or a protocol hang under faults) must fail

@@ -25,10 +25,18 @@ import (
 //   - regMu protects the region table and the allocation sequence.
 //   - wMu protects the waiter table.
 //   - collMu protects the collective rendezvous maps (collGot,
-//     collWait), the only collective state shared between the
-//     application thread and the pump. barGen and collSeq are
-//     application-thread-private; barArr and collAcc are pump-private
-//     (handlers all run on the one pump goroutine).
+//     collWait), the collective state shared between the application
+//     thread and the pump. barGen and collSeq are
+//     application-thread-private.
+//   - barMu protects node 0's barrier arrival table (barArr) and accMu
+//     node 0's reduction accumulators (collAcc). Both used to be
+//     pump-private; with sharded dispatch (Options.DispatchLanes,
+//     transport Lanes) handlers from different senders run concurrently,
+//     so the per-sender FIFO that lane keying preserves no longer
+//     implies whole-node handler serialization. The same goes for the
+//     region lock queue, guarded by Directory.lockMu. Completions are
+//     sent after the lock is released — a Send can block on transport
+//     backpressure, and arrival processing must not stall behind it.
 //   - spaceMu serializes space creation; lookup reads the atomic
 //     spaces snapshot and never locks.
 //   - Region.hot is the lock-free fast path: brackets on a region whose
@@ -37,7 +45,8 @@ import (
 //
 // Lock ordering: eng → {regMu, wMu, collMu}; collMu → wMu. A handler
 // must never lock eng while holding regMu, and engine locks of two
-// spaces never nest.
+// spaces never nest. barMu, accMu and Directory.lockMu are leaves:
+// nothing is acquired under them.
 type Proc struct {
 	id  amnet.NodeID
 	cl  *Cluster
@@ -62,20 +71,23 @@ type Proc struct {
 	nextWaiter uint64
 
 	// Barrier state. barGen counts this processor's barrier arrivals
-	// (application thread only); barArr (node 0, pump only) maps
-	// generation to arrivals so far.
+	// (application thread only); barArr (node 0, under barMu) maps
+	// generation to arrivals so far — arrival handlers from different
+	// senders run concurrently under sharded dispatch.
 	barGen uint64
+	barMu  sync.Mutex
 	barArr map[uint64][]PendingReq
 
 	// Collective state. collSeq tags collectives in program order
 	// (application thread only); collGot buffers payloads that arrive
 	// before the local thread asks and collWait maps tag to a waiter
-	// (both under collMu); collAcc (node 0, pump only) accumulates
+	// (both under collMu); collAcc (node 0, under accMu) accumulates
 	// reduction contributions.
 	collMu   sync.Mutex
 	collSeq  uint64
 	collGot  map[uint64][]byte
 	collWait map[uint64]uint64
+	accMu    sync.Mutex
 	collAcc  map[uint64]*collAcc
 
 	// fabricCopies is true when the endpoint's Send copies the payload
@@ -599,9 +611,10 @@ func (p *Proc) verifyCollective(tag string) error {
 }
 
 // registerHandlers installs the runtime's message handlers. Handlers run
-// on the pump goroutine; each takes only the lock guarding the state it
-// touches, so a directory transaction on one space no longer serializes
-// against brackets, collectives, or other spaces.
+// on a pump goroutine — under sharded dispatch, handlers for different
+// senders run on different pumps concurrently; each takes only the lock
+// guarding the state it touches, so a directory transaction on one space
+// never serializes against brackets, collectives, or other spaces.
 func (p *Proc) registerHandlers() {
 	p.ep.Register(hComplete, func(m amnet.Msg) {
 		p.ctx.Complete(m.B, m)
@@ -617,13 +630,13 @@ func (p *Proc) registerHandlers() {
 		p.ep.Send(amnet.Msg{Dst: m.Src, Handler: hComplete, A: uint64(r.Size), B: m.B, C: uint64(r.Space.ID)})
 	})
 	p.ep.Register(hBarArrive, func(m amnet.Msg) {
-		p.barrierArrive(m) // node-0 pump-private state
+		p.barrierArrive(m) // node-0 state under barMu
 	})
 	p.ep.Register(hLockReq, func(m amnet.Msg) {
-		p.lockRequest(m) // home-pump-private state
+		p.lockRequest(m) // home directory state under Dir.lockMu
 	})
 	p.ep.Register(hUnlockMsg, func(m amnet.Msg) {
-		p.unlockRequest(m) // home-pump-private state
+		p.unlockRequest(m) // home directory state under Dir.lockMu
 	})
 	p.ep.Register(hColl, func(m amnet.Msg) {
 		p.collDeliver(m)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"github.com/acedsm/ace/internal/amnet"
@@ -218,7 +219,11 @@ type Directory struct {
 	// PData is arbitrary per-region protocol directory data.
 	PData any
 
-	// Lock state, managed by the runtime's default region lock.
+	// Lock state, managed by the runtime's default region lock. Under
+	// lockMu, a leaf lock: with sharded dispatch, lock and unlock
+	// requests from different senders are handled concurrently, and
+	// nothing else is acquired while it is held.
+	lockMu     sync.Mutex
 	LockHolder amnet.NodeID // -1 when free
 	LockQueue  []lockWaiter
 }

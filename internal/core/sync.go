@@ -14,25 +14,33 @@ import (
 // region ids and combine scalars.
 
 // barrierArrive handles a barrier arrival at processor 0. barArr is
-// touched only by the pump goroutine, so no lock is taken.
+// under barMu: with sharded dispatch, arrivals from different
+// processors are handled concurrently. The completions go out after
+// barMu is released — Send can block on transport backpressure, and a
+// late arrival for the next generation must not queue behind it.
 func (p *Proc) barrierArrive(m amnet.Msg) {
 	if p.id != 0 {
 		panic(fmt.Sprintf("core: proc %d received barrier arrival", p.id))
 	}
 	gen := m.A
+	var release []PendingReq
+	p.barMu.Lock()
 	p.barArr[gen] = append(p.barArr[gen], PendingReq{Src: m.Src, Seq: m.B})
 	if len(p.barArr[gen]) == p.cl.Procs() {
-		for _, a := range p.barArr[gen] {
-			p.ep.Send(amnet.Msg{Dst: a.Src, Handler: hComplete, B: a.Seq})
-		}
+		release = p.barArr[gen]
 		delete(p.barArr, gen)
+	}
+	p.barMu.Unlock()
+	for _, a := range release {
+		p.ep.Send(amnet.Msg{Dst: a.Src, Handler: hComplete, B: a.Seq})
 	}
 }
 
 // lockRequest handles a region lock request at the region's home. The
-// directory's lock fields (LockHolder, LockQueue) are touched only by
-// the home's pump goroutine — DefaultLock/DefaultUnlock just send — so
-// only the region lookup needs a lock.
+// directory's lock fields (LockHolder, LockQueue) are under the
+// directory's lockMu: with sharded dispatch, requests from different
+// processors are handled concurrently. The grant is sent after lockMu
+// is released.
 func (p *Proc) lockRequest(m amnet.Msg) {
 	p.regMu.RLock()
 	r := p.regions.Get(RegionID(m.A))
@@ -41,16 +49,19 @@ func (p *Proc) lockRequest(m amnet.Msg) {
 		panic(fmt.Sprintf("core: proc %d: lock request for non-home region %v", p.id, RegionID(m.A)))
 	}
 	d := r.Dir
+	d.lockMu.Lock()
 	if d.LockHolder < 0 {
 		d.LockHolder = m.Src
+		d.lockMu.Unlock()
 		p.ep.Send(amnet.Msg{Dst: m.Src, Handler: hComplete, B: m.B})
 		return
 	}
 	d.LockQueue = append(d.LockQueue, lockWaiter{src: m.Src, seq: m.B})
+	d.lockMu.Unlock()
 }
 
 // unlockRequest handles a region unlock at the region's home. Same
-// pump-only discipline as lockRequest.
+// lockMu discipline as lockRequest.
 func (p *Proc) unlockRequest(m amnet.Msg) {
 	p.regMu.RLock()
 	r := p.regions.Get(RegionID(m.A))
@@ -59,16 +70,21 @@ func (p *Proc) unlockRequest(m amnet.Msg) {
 		panic(fmt.Sprintf("core: proc %d: unlock for non-home region %v", p.id, RegionID(m.A)))
 	}
 	d := r.Dir
+	d.lockMu.Lock()
 	if d.LockHolder != m.Src {
-		panic(fmt.Sprintf("core: proc %d: unlock of %v by %d, holder %d", p.id, r.ID, m.Src, d.LockHolder))
+		holder := d.LockHolder
+		d.lockMu.Unlock()
+		panic(fmt.Sprintf("core: proc %d: unlock of %v by %d, holder %d", p.id, r.ID, m.Src, holder))
 	}
 	if len(d.LockQueue) == 0 {
 		d.LockHolder = -1
+		d.lockMu.Unlock()
 		return
 	}
 	next := d.LockQueue[0]
 	d.LockQueue = d.LockQueue[1:]
 	d.LockHolder = next.src
+	d.lockMu.Unlock()
 	p.ep.Send(amnet.Msg{Dst: next.src, Handler: hComplete, B: next.seq})
 }
 
@@ -84,8 +100,13 @@ const (
 	collOpResult
 )
 
-// collDeliver handles a collective message on the pump goroutine. The
-// accumulator is pump-private; collArrived takes collMu itself.
+// collDeliver handles a collective message on a pump goroutine. The
+// reduction accumulator is under accMu — with sharded dispatch,
+// contributions from different processors are handled concurrently —
+// and the combine plus result fan-out happen after accMu is released:
+// the final contributor owns the accumulator once it is deleted from
+// the table, and Send can block on transport backpressure.
+// collArrived takes collMu itself.
 func (p *Proc) collDeliver(m amnet.Msg) {
 	switch m.C {
 	case collOpBcast, collOpResult:
@@ -95,6 +116,7 @@ func (p *Proc) collDeliver(m amnet.Msg) {
 		if p.id != 0 {
 			panic(fmt.Sprintf("core: proc %d received reduction contribution", p.id))
 		}
+		p.accMu.Lock()
 		acc := p.collAcc[m.A]
 		if acc == nil {
 			acc = &collAcc{vals: make([][]byte, p.cl.Procs())}
@@ -102,8 +124,12 @@ func (p *Proc) collDeliver(m amnet.Msg) {
 		}
 		acc.vals[m.Src] = clone(m.Payload)
 		acc.count++
-		if acc.count == p.cl.Procs() {
+		done := acc.count == p.cl.Procs()
+		if done {
 			delete(p.collAcc, m.A)
+		}
+		p.accMu.Unlock()
+		if done {
 			result := reduce(m.C, acc.vals)
 			for n := 0; n < p.cl.Procs(); n++ {
 				p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: m.A, C: collOpResult, Payload: p.cloneForSend(result)})

@@ -1,18 +1,28 @@
 // Package tcpnet implements the amnet.Network interface over real TCP
 // sockets (loopback by default): the same Active Messages contract —
 // per-pair FIFO ordering, non-blocking sends, serialized handler delivery
-// per node — carried by length-prefixed frames. It demonstrates the
+// per sender — carried by length-prefixed frames. It demonstrates the
 // paper's portability claim: Ace runs on any system with an Active
 // Messages mechanism (Section 1).
 //
 // The send path is coalescing: Send encodes the frame into a pooled
 // buffer and hands it to a per-connection writer goroutine, which drains
-// its queue into one large buffered write and flushes only when the
-// queue goes empty — a burst of n messages costs one flush syscall, a
-// lone message still flushes immediately, so throughput is gained
-// without a latency tax. Frame and payload buffers come from the
-// amnet buffer pool (amnet.Alloc/Recycle); a delivered Msg.Payload is
-// owned by the handler per the fabric's ownership contract.
+// its queue in batches and flushes only when the queue goes empty — a
+// burst of n messages costs one flush syscall, a lone message still
+// flushes immediately, so throughput is gained without a latency tax.
+// Small batches are copied through a buffered writer; batches past a
+// byte threshold go to the kernel as one vectored write (net.Buffers /
+// writev) straight from the pooled frames, skipping the copy entirely.
+// Frame and payload buffers come from the amnet buffer pool
+// (amnet.Alloc/Recycle); a delivered Msg.Payload is owned by the
+// handler per the fabric's ownership contract.
+//
+// Dispatch can be sharded across cores: Config.Lanes splits each local
+// node's inbound queue into N lanes keyed by source node, each drained
+// by its own pump goroutine. Per-(sender, handler) FIFO is preserved —
+// one sender's frames always land in one lane — but handlers for
+// different senders may run concurrently (see the amnet package comment
+// for the contract this demands from handler code).
 //
 // Connections are supervised. Every data frame carries a per-link
 // sequence number and stays journaled on the sender until the receiver
@@ -94,6 +104,16 @@ type Config struct {
 	// connection and a dead one enters the normal reconnect→peer-down
 	// path. Default 1s.
 	ProbeInterval time.Duration
+
+	// Lanes shards each local node's dispatch into this many pump
+	// goroutines keyed by source node (lane = src mod Lanes), so
+	// handlers for frames from different senders can run on different
+	// cores. One sender's frames always land in one lane, preserving
+	// per-(sender, handler) FIFO; whole-node handler serialization is
+	// given up, so handler state must tolerate concurrent invocations
+	// from distinct senders. Zero or one means the classic single pump
+	// per node; values above Nodes are clamped.
+	Lanes int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +137,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = time.Second
+	}
+	if c.Lanes < 1 {
+		c.Lanes = 1
+	}
+	if c.Nodes > 0 && c.Lanes > c.Nodes {
+		c.Lanes = c.Nodes
 	}
 	return c
 }
@@ -204,15 +230,19 @@ func Listen(cfg Config) (*Node, error) {
 			return nil, err
 		}
 		nw.listeners[i] = l
-		nw.eps[i] = &endpoint{
+		ep := &endpoint{
 			id:       amnet.NodeID(id),
 			nw:       nw,
-			box:      newQueue(),
+			boxes:    make([]*queue, nw.cfg.Lanes),
 			links:    make([]recvLink, cfg.Nodes),
 			downSent: make(map[amnet.NodeID]bool),
 			inbound:  make(map[net.Conn]struct{}),
 		}
-		nw.byID[id] = nw.eps[i]
+		for k := range ep.boxes {
+			ep.boxes[k] = newQueue()
+		}
+		nw.eps[i] = ep
+		nw.byID[id] = ep
 	}
 	// Accept side: each local node runs a persistent accept loop for the
 	// network's lifetime; the first frame on each connection identifies
@@ -286,8 +316,10 @@ func (nd *Node) Connect(addrs []string) (amnet.Network, error) {
 	// bootstrap) may begin decoding and acking.
 	nw.wire()
 	for _, ep := range nw.eps {
-		nw.pumpWG.Add(1)
-		go ep.pump(&nw.pumpWG)
+		for lane := range ep.boxes {
+			nw.pumpWG.Add(1)
+			go ep.pump(&nw.pumpWG, lane)
+		}
 	}
 	return nw, nil
 }
@@ -474,8 +506,11 @@ func (n *network) Close() error {
 		}
 	}
 	for _, ep := range n.eps {
-		if ep != nil {
-			ep.box.close()
+		if ep == nil {
+			continue
+		}
+		for _, box := range ep.boxes {
+			box.close()
 		}
 	}
 	n.pumpWG.Wait()
@@ -516,6 +551,13 @@ type sender struct {
 	peer  amnet.NodeID
 	addr  string
 	hello [4]byte
+
+	// iov is the writer's reusable iovec for the vectored write path:
+	// net.Buffers.WriteTo consumes its slice (re-slicing entries as the
+	// kernel accepts bytes), so writeBatch hands it a scratch copy of
+	// the batch rather than the batch itself — the journal keeps its own
+	// references, and batch entries stay intact for the recycle sweep.
+	iov net.Buffers
 
 	// stop ends the ack-stall probe goroutine; closed once the sender
 	// shuts down (close or peerLost).
@@ -666,10 +708,11 @@ func (s *sender) shuttingDown() bool {
 }
 
 // run is the writer goroutine: it swaps the whole queue out under one
-// lock, streams the batch into the buffered writer, and flushes only
-// once the queue is empty — so bursts coalesce into single syscalls
-// while a lone frame still goes out immediately. A write failure
-// outside shutdown enters the reconnect loop instead of crashing.
+// lock, writes the batch (copied through the buffered writer when
+// small, handed to writev when large), and flushes only once the queue
+// is empty — so bursts coalesce into single syscalls while a lone frame
+// still goes out immediately. A write failure outside shutdown enters
+// the reconnect loop instead of crashing.
 func (s *sender) run(wg *sync.WaitGroup, stats *trace.NetStats) {
 	defer wg.Done()
 	conn := s.conn
@@ -692,15 +735,17 @@ func (s *sender) run(wg *sync.WaitGroup, stats *trace.NetStats) {
 		if d := s.ep.nw.cfg.WriteTimeout; d > 0 {
 			conn.SetWriteDeadline(time.Now().Add(d))
 		}
-		err := s.writeBatch(bw, batch)
+		err := s.writeBatch(conn, bw, batch, stats)
 		batch = batch[:0]
 		if err == nil {
 			// Flush only when no more frames are waiting; otherwise loop
-			// around and extend the batch.
+			// around and extend the batch. After a vectored batch the
+			// buffered writer is empty and there is nothing to flush (the
+			// writev already counted itself).
 			s.mu.Lock()
 			empty := len(s.queue) == 0
 			s.mu.Unlock()
-			if empty {
+			if empty && bw.Buffered() > 0 {
 				if err = bw.Flush(); err == nil {
 					stats.CountFlush()
 				}
@@ -720,12 +765,65 @@ func (s *sender) run(wg *sync.WaitGroup, stats *trace.NetStats) {
 	}
 }
 
-// writeBatch streams one batch into the buffered writer. Control frames
-// are recycled here (written or not — a lost ack regenerates); data
-// frames stay journaled until acked. On error the remaining frames are
-// skipped: the journal replay during reconnect covers them.
-func (s *sender) writeBatch(bw *bufio.Writer, batch [][]byte) error {
+// The writer switches from copying frames through the buffered writer
+// to handing them to the kernel as one vectored write when a batch
+// clears both thresholds: enough total bytes that a dedicated syscall
+// pays (writevMinBytes — below it the buffered writer also keeps
+// coalescing consecutive tiny batches into one flush syscall, which
+// writev, a syscall per batch, gives up), and enough bytes per frame
+// that the copy it saves outweighs the kernel's per-iovec processing
+// (writevMinFrame). The second gate is what keeps small-message bursts
+// on bufio: a coalesced batch of hundreds of ~100 B frames easily
+// tops 16 KB, but memcpying 100 B costs far less than an iovec entry,
+// and routing such batches through writev measured ~10-15% slower.
+// Large update payloads are the writev case: a burst of 16 KB frames
+// moves megabytes through memory twice on the bufio path and once on
+// the writev path. See DESIGN.md §11 for the measured crossover.
+const (
+	writevMinBytes = 16 << 10
+	writevMinFrame = 2 << 10 // mean frame size, total/len(batch)
+)
+
+// writeBatch writes one batch: small batches stream into the buffered
+// writer (flushed later, when the queue goes empty), large ones bypass
+// it as a single net.Buffers vectored write straight from the pooled
+// frames — zero copies, one (counted) kernel handoff. Any bytes still
+// sitting in the buffered writer are flushed first so frame order on
+// the wire is preserved. Control frames are recycled here (written or
+// not — a lost ack regenerates); data frames stay journaled until
+// acked. On error the remaining frames are skipped: the journal replay
+// during reconnect covers them.
+func (s *sender) writeBatch(conn net.Conn, bw *bufio.Writer, batch [][]byte, stats *trace.NetStats) error {
 	var err error
+	total := 0
+	for _, f := range batch {
+		total += len(f)
+	}
+	if total >= writevMinBytes && total >= len(batch)*writevMinFrame {
+		if bw.Buffered() > 0 {
+			if err = bw.Flush(); err == nil {
+				stats.CountFlush()
+			}
+		}
+		if err == nil {
+			s.iov = append(s.iov[:0], batch...)
+			_, err = s.iov.WriteTo(conn)
+			for i := range s.iov {
+				s.iov[i] = nil // drop frame references; WriteTo may have kept tails
+			}
+			s.iov = s.iov[:0]
+			if err == nil {
+				stats.CountFlush()
+			}
+		}
+		for i, f := range batch {
+			if seqOf(f) == 0 {
+				amnet.Recycle(f)
+			}
+			batch[i] = nil
+		}
+		return err
+	}
 	for i, f := range batch {
 		if err == nil {
 			_, err = bw.Write(f)
@@ -893,10 +991,13 @@ type recvLink struct {
 }
 
 type endpoint struct {
-	id       amnet.NodeID
-	nw       *network
-	out      []*sender
-	box      *queue
+	id  amnet.NodeID
+	nw  *network
+	out []*sender
+	// boxes holds one inbound frame queue per dispatch lane (a single
+	// element unless Config.Lanes sharded it), each drained by its own
+	// pump. Readers push into the lane of the frame's source node.
+	boxes    []*queue
 	handlers [amnet.MaxHandlers]amnet.Handler
 	stats    trace.NetStats
 	readers  sync.WaitGroup
@@ -1045,6 +1146,7 @@ func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
 		}
 		br := bufio.NewReaderSize(conn, 64<<10)
 		link := &e.links[src]
+		box := e.boxes[int(src)%len(e.boxes)]
 		ackEvery := e.nw.cfg.AckEvery
 		for {
 			f, err := readFrame(br)
@@ -1080,7 +1182,7 @@ func (e *endpoint) addReader(conn net.Conn, src amnet.NodeID) {
 				continue
 			}
 			link.seen = f.seq
-			e.box.push(f)
+			box.push(f)
 			link.sinceAck++
 			ackNow := link.sinceAck >= ackEvery || br.Buffered() == 0
 			var ackSeq uint64
@@ -1145,14 +1247,18 @@ func decodeHeader(hdr *[frameHeader]byte) (frame, int, error) {
 	return f, int(total) - (frameHeader - 4), nil
 }
 
-// pump drains the queue in batches and dispatches handlers, one at a
-// time: one lock/wake per burst instead of per message.
-func (e *endpoint) pump(wg *sync.WaitGroup) {
+// pump drains one lane's queue in batches and dispatches its handlers,
+// one at a time: one lock/wake per burst instead of per message. With a
+// single lane this serializes all handlers on the node; with sharding it
+// serializes each sender's handlers while different lanes run in
+// parallel.
+func (e *endpoint) pump(wg *sync.WaitGroup, lane int) {
 	defer wg.Done()
 	<-e.nw.started // hold dispatch until handler registration finishes
+	box := e.boxes[lane]
 	var scratch []frame
 	for {
-		batch, ok := e.box.popAll(scratch)
+		batch, ok := box.popAll(scratch)
 		if !ok {
 			return
 		}
@@ -1225,7 +1331,14 @@ func (q *queue) push(f frame) {
 	deep := len(q.items) >= deepWater
 	q.mu.Unlock()
 	q.cond.Signal()
-	if deep {
+	// The deep-water yield only helps when reader and pump compete for
+	// one hardware context (where the scheduler can starve the pump for
+	// whole timeslices); with real cores available the pump runs in
+	// parallel and yielding just throttles the reader. The GOMAXPROCS
+	// read is two atomic loads — cheap enough to pay per deep event, and
+	// it tracks runtime.GOMAXPROCS changes (the scaling harness sweeps
+	// it) instead of freezing the startup value.
+	if deep && runtime.GOMAXPROCS(0) == 1 {
 		runtime.Gosched()
 	}
 }
