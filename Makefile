@@ -3,7 +3,9 @@ GO ?= go
 # Packages whose lock-free instrumentation paths must stay race-clean.
 # proto rides along for the adaptive-controller convergence tests: the
 # controller's counter snapshots and collective decisions run
-# concurrently with the bracket fast path.
+# concurrently with the bracket fast path. core and amnet also carry the
+# tree-collective and shared-payload fan-out paths (coll_test.go,
+# multisend_test.go); proto the aggregated push frames.
 RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet ./internal/gossip ./proto
 
 .PHONY: ci vet build test race bench bench-smoke bench-allocs chaos-smoke cluster-smoke
@@ -33,6 +35,7 @@ bench:
 	$(GO) run ./cmd/acebench -exp fabric -baseline BENCH_fabric.json -out BENCH_fabric.json
 	$(GO) run ./cmd/acebench -exp bracket -baseline BENCH_bracket.json -out BENCH_bracket.json
 	$(GO) run ./cmd/acebench -exp scale
+	$(GO) run ./cmd/acebench -exp coll
 
 # bench-smoke runs the fabric benchmarks briefly so CI catches a stalled
 # or asserting fast path without paying for full measurements, plus one
@@ -43,14 +46,19 @@ bench-smoke:
 	$(GO) test -bench 'BenchmarkFabric' -benchtime=100ms -run '^$$' ./internal/bench
 	$(GO) run ./cmd/acebench -exp adapt -scale small -out /tmp/acebench_adapt_smoke.json
 	$(GO) run ./cmd/acebench -exp scale -procs 4 -scale small -out /tmp/acebench_scale_smoke.json
+	$(GO) run ./cmd/acebench -exp coll -procs 4 -scale small -out /tmp/acebench_coll_smoke.json
 
 # chaos-smoke is the protocol-conformance stress gate: the fixed-seed
 # protocol × fault-policy matrix (seeds 1..3) via the package tests,
-# plus one race-enabled cell on the nastiest policy. Fixed seeds keep it
+# the collective topology × aggregation cells (tree/star, agg on/off,
+# lane-overlap stress, star-vs-tree bit-identical reductions), plus one
+# race-enabled cell on the nastiest policy. Fixed seeds keep it
 # deterministic and under a minute.
 chaos-smoke:
 	$(GO) test -run 'TestMatrixFixedSeeds|TestBrokenDoubleCaught' ./internal/chaos
+	$(GO) test -run 'TestColl|TestStarTreeReductionBitIdentical' ./internal/chaos
 	$(GO) test -race -run 'TestMatrixFixedSeeds/^(update|adaptive)$$/lossy' ./internal/chaos
+	$(GO) test -race -run 'TestCollTopologyCells/update/tree\+agg/lossy' ./internal/chaos
 
 # cluster-smoke is the multi-process deployment gate: 4 real acenode
 # processes assemble over gossip + TCP on loopback, run em3d (checksum

@@ -7,12 +7,14 @@
 //	acebench -exp scale   # GOMAXPROCS scaling sweep, sharded dispatch (BENCH_scale.json)
 //	acebench -exp chaos   # protocol-conformance stress matrix under fault injection
 //	acebench -exp adapt   # adaptive controller vs sc and hand-picked protocols (BENCH_adapt.json)
+//	acebench -exp coll    # collective topologies + push aggregation traffic (BENCH_coll.json)
 //	acebench -exp all
 //
 // The chaos experiment runs every library protocol through a seeded
 // region workload under each named fault policy and checks the
 // coherence invariants; a failure prints a replay command. Replaying a
-// single cell of the matrix:
+// single cell of the matrix (with -chaos-coll / -chaos-noagg forcing
+// the collective topology and aggregation setting of the failing run):
 //
 //	acebench -exp chaos -chaos-proto update -chaos-policy lossy -chaos-seed 7
 //
@@ -61,6 +63,8 @@ func main() {
 		chaosProto  = flag.String("chaos-proto", "", "chaos experiment: replay a single protocol instead of the matrix")
 		chaosPolicy = flag.String("chaos-policy", "clean", "chaos experiment: fault policy for -chaos-proto ("+strings.Join(chaos.Policies(), ", ")+")")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "chaos experiment: base seed (single run: the seed; matrix: seed, seed+1, seed+2)")
+		chaosColl   = flag.String("chaos-coll", "", "chaos experiment: force the collective topology for -chaos-proto (star, tree; empty = auto)")
+		chaosNoAgg  = flag.Bool("chaos-noagg", false, "chaos experiment: disable push aggregation for -chaos-proto")
 	)
 	flag.Parse()
 
@@ -90,13 +94,15 @@ func main() {
 	case "adapt":
 		ok = runAdapt(w, *runs, reportPath(*out, "BENCH_adapt.json"))
 	case "chaos":
-		ok = runChaos(*chaosProto, *chaosPolicy, *chaosSeed, *procs)
+		ok = runChaos(*chaosProto, *chaosPolicy, *chaosSeed, *procs, *chaosColl, *chaosNoAgg)
+	case "coll":
+		ok = runColl(w, bench.Scale(*scale), reportPath(*out, "BENCH_coll.json"))
 	case "all":
 		ok = runFig7a(w, *runs)
 		ok = runFig7b(w, *runs) && ok
 		ok = runTable4(*procs) && ok
 	default:
-		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, scale, adapt, chaos, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, scale, adapt, chaos, coll, all)\n", *exp)
 		os.Exit(2)
 	}
 	if !ok {
@@ -137,11 +143,12 @@ func runAdapt(w bench.Workloads, runs int, out string) bool {
 
 // runChaos runs the protocol-conformance stress harness: a single
 // (protocol, policy, seed) cell when -chaos-proto is given (the replay
-// path printed by failing reports), the full matrix over three seeds
+// path printed by failing reports, including any forced collective
+// topology and aggregation setting), the full matrix over three seeds
 // otherwise.
-func runChaos(protoName, policy string, seed int64, procs int) bool {
+func runChaos(protoName, policy string, seed int64, procs int, coll string, noAgg bool) bool {
 	if protoName != "" {
-		rep := chaos.Run(chaos.Config{Seed: seed, Procs: procs, Protocol: protoName, Policy: policy})
+		rep := chaos.Run(chaos.Config{Seed: seed, Procs: procs, Protocol: protoName, Policy: policy, Coll: coll, NoAgg: noAgg})
 		fmt.Println(chaos.FormatReport(rep))
 		return rep.Err == nil
 	}
@@ -160,6 +167,37 @@ func runChaos(protoName, policy string, seed int64, procs int) bool {
 	fmt.Fprintf(os.Stderr, "chaos: %d of %d runs failed\n",
 		len(failed), len(chaos.Protocols())*len(chaos.Policies())*len(seeds))
 	return false
+}
+
+// runColl measures the collective micro-ops on both topologies across
+// cluster sizes and EM3D's per-step coherence traffic with aggregation
+// on and off, writes the BENCH_coll.json artifact, and enforces the
+// structural acceptance gates: aggregation must cut EM3D's msgs/step at
+// least 2x, and the tree must hold allreduce root fan-out to the log
+// bound (flat-to-improving against the embedded star baseline).
+func runColl(w bench.Workloads, scale bench.Scale, out string) bool {
+	fmt.Printf("=== Collectives: star vs binomial tree, push aggregation on vs off (%d em3d procs) ===\n", w.Procs)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coll: %v\n", err)
+		return false
+	}
+	rep, err := bench.WriteCollReport(f, w, scale)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coll: %v\n", err)
+		return false
+	}
+	fmt.Println(bench.FormatColl(rep))
+	fmt.Printf("wrote %s\n", out)
+	if err := bench.CheckCollGates(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "coll: acceptance gates failed:\n%v\n", err)
+		return false
+	}
+	fmt.Println("acceptance gates held: >=2x msgs/step from aggregation, tree root fan-out within log bound")
+	return true
 }
 
 // runObserved runs one benchmark on the Ace runtime with the

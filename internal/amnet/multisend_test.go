@@ -1,0 +1,138 @@
+package amnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSharedAllocPoolExempt(t *testing.T) {
+	for _, n := range []int{1, 64, 100, 4096} {
+		b := SharedAlloc(n)
+		if len(b) != n {
+			t.Fatalf("SharedAlloc(%d) len = %d", n, len(b))
+		}
+		if cap(b)%2 == 0 {
+			t.Fatalf("SharedAlloc(%d) cap %d is even — collides with a pool class", n, cap(b))
+		}
+		// Recycling a shared buffer must be a no-op: a later Alloc must
+		// not hand the same backing array back out.
+		b[0] = 0xAB
+		Recycle(b)
+		c := Alloc(n)
+		if len(c) > 0 && &c[0] == &b[0] {
+			t.Fatalf("SharedAlloc(%d) buffer re-issued by the pool after Recycle", n)
+		}
+	}
+	if SharedAlloc(0) != nil {
+		t.Error("SharedAlloc(0) should be nil")
+	}
+}
+
+// TestSendMultiSharesOneBuffer: every destination of a SendMulti on the
+// in-process fabric receives the same backing array (the payload is
+// materialized once), the contents are right, and the caller's buffer
+// is untouched and still owned by the caller.
+func TestSendMultiSharesOneBuffer(t *testing.T) {
+	const nodes = 5
+	nw := newTestNet(t, nodes)
+	eps := nw.Endpoints()
+	ms, ok := eps[0].(MultiSender)
+	if !ok {
+		t.Fatal("chan endpoint does not implement MultiSender")
+	}
+
+	var mu sync.Mutex
+	var got []Msg
+	done := make(chan struct{})
+	for i := 1; i < nodes; i++ {
+		eps[i].Register(9, func(m Msg) {
+			mu.Lock()
+			got = append(got, m)
+			if len(got) == nodes-1 {
+				close(done)
+			}
+			mu.Unlock()
+		})
+	}
+
+	orig := []byte("shared-payload")
+	ms.SendMulti([]NodeID{1, 2, 3, 4}, Msg{Handler: 9, A: 77, Payload: orig})
+	// The caller keeps ownership: scribbling on its buffer after
+	// SendMulti returns must not affect what receivers see.
+	for i := range orig {
+		orig[i] = '!'
+	}
+
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fan-out not delivered")
+	}
+	var first *byte
+	for _, m := range got {
+		if string(m.Payload) != "shared-payload" {
+			t.Fatalf("receiver saw %q", m.Payload)
+		}
+		if m.A != 77 {
+			t.Fatalf("scalar not forwarded: %+v", m)
+		}
+		p := &m.Payload[0]
+		if first == nil {
+			first = p
+		} else if p != first {
+			t.Fatal("destinations received distinct payload buffers; want one shared encode")
+		}
+		if &m.Payload[0] == &orig[0] {
+			t.Fatal("receiver aliases the caller's buffer")
+		}
+		if cap(m.Payload)%2 == 0 {
+			t.Fatalf("shared payload cap %d is pool-class-shaped; Recycle by one receiver could free it for the rest", cap(m.Payload))
+		}
+	}
+}
+
+// TestSendMultiAllocs: the point of the shared encode is one payload
+// materialization per fan-out, not one per destination — so the
+// allocations per SendMulti must stay (amortized) below one per
+// destination for a payload of pool-class size.
+func TestSendMultiAllocs(t *testing.T) {
+	const nodes = 9
+	nw := newTestNet(t, nodes)
+	eps := nw.Endpoints()
+	ms := eps[0].(MultiSender)
+	var sink [64]byte
+	dsts := make([]NodeID, nodes-1)
+	for i := range dsts {
+		dsts[i] = NodeID(i + 1)
+		eps[i+1].Register(3, func(m Msg) {})
+	}
+	payload := sink[:]
+	allocs := testing.AllocsPerRun(200, func() {
+		ms.SendMulti(dsts, Msg{Handler: 3, Payload: payload})
+	})
+	// One SharedAlloc per call plus mailbox noise; 8 per-destination
+	// clones would push this to >= len(dsts).
+	if allocs >= float64(len(dsts)) {
+		t.Errorf("SendMulti allocates %.1f per call for %d destinations; payload should be materialized once", allocs, len(dsts))
+	}
+}
+
+func TestSendMultiEmptyAndNoPayload(t *testing.T) {
+	nw := newTestNet(t, 2)
+	eps := nw.Endpoints()
+	ms := eps[0].(MultiSender)
+	ms.SendMulti(nil, Msg{Handler: 4}) // no destinations: no-op
+
+	got := make(chan Msg, 1)
+	eps[1].Register(4, func(m Msg) { got <- m })
+	ms.SendMulti([]NodeID{1}, Msg{Handler: 4, B: 5})
+	select {
+	case m := <-got:
+		if m.B != 5 || m.Payload != nil {
+			t.Fatalf("bad payloadless multi-send: %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("payloadless multi-send not delivered")
+	}
+}

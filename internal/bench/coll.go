@@ -1,0 +1,376 @@
+package bench
+
+// Collective-communication and coherence-traffic measurements backing
+// BENCH_coll.json (`acebench -exp coll` or `make bench`). Two suites:
+//
+//   - Collective micro-ops (barrier, allreduce, 64-byte broadcast) swept
+//     over cluster sizes on both topologies. The star rows are the
+//     embedded baseline: the root_msgs_per_op column is the structural
+//     root-serialization figure (O(P) on the star, O(log P) on the
+//     binomial tree) and is what the acceptance gate checks — wall-clock
+//     columns are informative only, message counts are deterministic.
+//
+//   - EM3D coherence traffic per time step for the update-family
+//     protocols, with per-destination push aggregation on vs off. The
+//     per-step figure is a two-point delta (runs at S and 3S steps,
+//     divided by 2S) so graph construction and cold-read traffic cancel
+//     out exactly; the unaggregated rows are the embedded baseline for
+//     the >= 2x reduction gate.
+//
+// See DESIGN.md §12 for the topology and aggregation design.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/apps/em3d"
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/rtiface"
+	"github.com/acedsm/ace/proto"
+)
+
+// CollPoint is one collective micro-measurement at one cluster size on
+// one topology, JSON-shaped for BENCH_coll.json.
+type CollPoint struct {
+	Op    string `json:"op"` // "barrier", "allreduce", "bcast64"
+	Procs int    `json:"procs"`
+	Topo  string `json:"topology"` // "star" or "tree"
+	Ops   int    `json:"ops"`      // timed operations (metrics also cover warmup)
+	// NsPerOp is wall-clock; MsgsPerOp/BytesPerOp are cluster-wide wire
+	// messages and payload bytes per operation; RootMsgsPerOp is
+	// processor 0's sends per operation — the serialization point the
+	// tree exists to remove.
+	NsPerOp       float64 `json:"ns_per_op"`
+	MsgsPerOp     float64 `json:"msgs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	RootMsgsPerOp float64 `json:"root_msgs_per_op"`
+}
+
+// EM3DAggRow is EM3D's coherence traffic per time step under one
+// topology/aggregation configuration.
+type EM3DAggRow struct {
+	Proto      string `json:"protocol"` // "staticupdate" or "update"
+	Topo       string `json:"topology"`
+	Aggregated bool   `json:"aggregated"`
+	Procs      int    `json:"procs"`
+	// MsgsPerStep and BytesPerStep are the two-point deltas (see the
+	// package comment); setup traffic cancels out of both.
+	MsgsPerStep  float64 `json:"msgs_per_step"`
+	BytesPerStep float64 `json:"bytes_per_step"`
+	// AggFrames/RegionsPerFrame describe the aggregated frames of the
+	// longer run (zero when aggregation is off).
+	AggFrames       uint64  `json:"agg_frames"`
+	RegionsPerFrame float64 `json:"regions_per_frame"`
+}
+
+// CollReport is the BENCH_coll.json document.
+type CollReport struct {
+	Generated   string       `json:"generated_by"`
+	Scale       string       `json:"scale"`
+	ProcsSwept  []int        `json:"collective_procs"`
+	EM3DProcs   int          `json:"em3d_procs"`
+	Collectives []CollPoint  `json:"collectives"`
+	EM3D        []EM3DAggRow `json:"em3d"`
+}
+
+// collProcsFor returns the swept cluster sizes. Every schedule crosses
+// the auto-selection cutoff so both topologies are exercised at sizes
+// where they are the default choice.
+func collProcsFor(scale Scale) []int {
+	switch scale {
+	case ScaleSmall:
+		return []int{4, 8}
+	case ScalePaper:
+		return []int{2, 4, 8, 16, 32}
+	default:
+		return []int{2, 4, 8, 16}
+	}
+}
+
+// collItersFor returns the timed operation count per micro-measurement.
+func collItersFor(scale Scale) int {
+	switch scale {
+	case ScaleSmall:
+		return 60
+	case ScalePaper:
+		return 300
+	default:
+		return 200
+	}
+}
+
+func topoName(t core.CollTopology) string {
+	if t == core.CollTree {
+		return "tree"
+	}
+	return "star"
+}
+
+// collWarmup is the untimed lead-in per micro-measurement: same
+// operation type as the timed loop, so the per-op message averages
+// (computed over warmup+timed) stay exact.
+const collWarmup = 2
+
+// measureCollective runs one micro-op at one size on one forced
+// topology and returns its row. Message counts come from the post-Run
+// counters, so they are deterministic; the timed section is bracketed
+// by same-type warmup ops that also align the processors.
+func measureCollective(op string, procs int, topo core.CollTopology, iters int) (CollPoint, error) {
+	cl, err := core.NewCluster(core.Options{Procs: procs, Coll: core.CollConfig{Topology: topo}})
+	if err != nil {
+		return CollPoint{}, err
+	}
+	defer cl.Close()
+
+	// The broadcast root returns without blocking, so a non-root
+	// processor holds the stopwatch for bcast rows.
+	timer := 0
+	if op == "bcast64" && procs > 1 {
+		timer = 1
+	}
+	var elapsed time.Duration
+	payload := make([]byte, 64)
+	err = cl.Run(func(p *core.Proc) error {
+		one := func() {
+			switch op {
+			case "barrier":
+				p.GlobalBarrier()
+			case "allreduce":
+				p.AllReduceInt64(core.OpSum, int64(p.ID()))
+			case "bcast64":
+				var data []byte
+				if p.ID() == 0 {
+					data = payload
+				}
+				p.Broadcast(0, data)
+			}
+		}
+		for i := 0; i < collWarmup; i++ {
+			one()
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			one()
+		}
+		if p.ID() == timer {
+			elapsed = time.Since(start)
+		}
+		return nil
+	})
+	if err != nil {
+		return CollPoint{}, err
+	}
+
+	total := cl.Metrics().Coll
+	root := cl.Local()[0].Snapshot().Coll
+	ops := float64(iters + collWarmup)
+	return CollPoint{
+		Op:            op,
+		Procs:         procs,
+		Topo:          topoName(topo),
+		Ops:           iters,
+		NsPerOp:       float64(elapsed.Nanoseconds()) / float64(iters),
+		MsgsPerOp:     float64(total.Hops) / ops,
+		BytesPerOp:    float64(total.Bytes) / ops,
+		RootMsgsPerOp: float64(root.Hops) / ops,
+	}, nil
+}
+
+// runEM3D runs the EM3D benchmark once under a forced collective
+// configuration and returns the observed metrics.
+func runEM3D(procs int, cfg em3d.Config, coll core.CollConfig) (Observed, error) {
+	app := func(rt rtiface.RT) (apputil.Result, error) { return em3d.Run(rt, cfg) }
+	return runAceCluster(core.Options{Procs: procs, Registry: proto.NewRegistry(), Coll: coll}, app)
+}
+
+// measureEM3DAgg produces one EM3D traffic row: two runs at S and 3S
+// steps, per-step traffic from the delta.
+func measureEM3DAgg(w Workloads, protoName string, topo core.CollTopology, aggregated bool) (EM3DAggRow, error) {
+	coll := core.CollConfig{Topology: topo, NoAggregation: !aggregated}
+	short := w.EM3D
+	short.Proto = protoName
+	long := short
+	long.Steps = short.Steps * 3
+
+	so, err := runEM3D(w.Procs, short, coll)
+	if err != nil {
+		return EM3DAggRow{}, fmt.Errorf("em3d %s/%s steps=%d: %w", protoName, topoName(topo), short.Steps, err)
+	}
+	lo, err := runEM3D(w.Procs, long, coll)
+	if err != nil {
+		return EM3DAggRow{}, fmt.Errorf("em3d %s/%s steps=%d: %w", protoName, topoName(topo), long.Steps, err)
+	}
+
+	steps := float64(long.Steps - short.Steps)
+	row := EM3DAggRow{
+		Proto:        protoName,
+		Topo:         topoName(topo),
+		Aggregated:   aggregated,
+		Procs:        w.Procs,
+		MsgsPerStep:  float64(lo.Metrics.Net.MsgsSent-so.Metrics.Net.MsgsSent) / steps,
+		BytesPerStep: float64(lo.Metrics.Net.BytesSent-so.Metrics.Net.BytesSent) / steps,
+		AggFrames:    lo.Metrics.Coll.AggFrames,
+	}
+	if row.AggFrames > 0 {
+		row.RegionsPerFrame = float64(lo.Metrics.Coll.AggRegions) / float64(row.AggFrames)
+	}
+	return row, nil
+}
+
+// MeasureColl runs both suites and returns the report body.
+func MeasureColl(w Workloads, scale Scale) (CollReport, error) {
+	rep := CollReport{
+		Generated:  "acebench -exp coll",
+		Scale:      string(scale),
+		ProcsSwept: collProcsFor(scale),
+		EM3DProcs:  w.Procs,
+	}
+	iters := collItersFor(scale)
+	for _, op := range []string{"barrier", "allreduce", "bcast64"} {
+		for _, procs := range rep.ProcsSwept {
+			for _, topo := range []core.CollTopology{core.CollStar, core.CollTree} {
+				pt, err := measureCollective(op, procs, topo, iters)
+				if err != nil {
+					return rep, fmt.Errorf("%s procs=%d topo=%s: %w", op, procs, topoName(topo), err)
+				}
+				rep.Collectives = append(rep.Collectives, pt)
+			}
+		}
+	}
+	for _, protoName := range []string{"staticupdate", "update"} {
+		for _, cell := range []struct {
+			topo core.CollTopology
+			agg  bool
+		}{
+			{core.CollStar, false}, // the baseline: star fan-out, R×S per-region pushes
+			{core.CollStar, true},
+			{core.CollTree, false},
+			{core.CollTree, true}, // the default configuration above the star cutoff
+		} {
+			row, err := measureEM3DAgg(w, protoName, cell.topo, cell.agg)
+			if err != nil {
+				return rep, err
+			}
+			rep.EM3D = append(rep.EM3D, row)
+		}
+	}
+	return rep, nil
+}
+
+// CheckCollGates validates the report's structural acceptance criteria
+// and returns a joined error describing every violated gate:
+//
+//  1. Aggregation must cut EM3D's per-step message traffic at least in
+//     half versus the unaggregated run on the same topology (R sharers
+//     × S regions collapsing toward S frames).
+//  2. The tree must eliminate allreduce root serialization: at every
+//     swept size the root's sends per operation must not exceed the
+//     star's, and must stay within the binomial-tree bound
+//     ceil(log2 P) + 1 rather than growing linearly.
+//
+// Wall-clock columns are never gated — message counts are deterministic,
+// latency on a loaded host is not.
+func CheckCollGates(rep CollReport) error {
+	var errs []error
+	type cellKey struct {
+		proto string
+		topo  string
+		agg   bool
+	}
+	cells := map[cellKey]EM3DAggRow{}
+	for _, r := range rep.EM3D {
+		cells[cellKey{r.Proto, r.Topo, r.Aggregated}] = r
+	}
+	for k, agg := range cells {
+		if !k.agg {
+			continue
+		}
+		base, ok := cells[cellKey{k.proto, k.topo, false}]
+		if !ok {
+			errs = append(errs, fmt.Errorf("em3d %s/%s: aggregated row has no unaggregated baseline", k.proto, k.topo))
+			continue
+		}
+		if agg.MsgsPerStep*2 > base.MsgsPerStep {
+			errs = append(errs, fmt.Errorf("em3d %s/%s: aggregation reduced msgs/step only %.2fx (%.1f -> %.1f), want >= 2x",
+				k.proto, k.topo, base.MsgsPerStep/agg.MsgsPerStep, base.MsgsPerStep, agg.MsgsPerStep))
+		}
+	}
+	type arKey struct {
+		procs int
+		topo  string
+	}
+	ar := map[arKey]CollPoint{}
+	for _, pt := range rep.Collectives {
+		if pt.Op == "allreduce" {
+			ar[arKey{pt.Procs, pt.Topo}] = pt
+		}
+	}
+	for _, procs := range rep.ProcsSwept {
+		star, okS := ar[arKey{procs, "star"}]
+		tree, okT := ar[arKey{procs, "tree"}]
+		if !okS || !okT {
+			errs = append(errs, fmt.Errorf("allreduce procs=%d: missing star or tree row", procs))
+			continue
+		}
+		if tree.RootMsgsPerOp > star.RootMsgsPerOp {
+			errs = append(errs, fmt.Errorf("allreduce procs=%d: tree root sends %.2f msgs/op, star baseline %.2f — root serialization not eliminated",
+				procs, tree.RootMsgsPerOp, star.RootMsgsPerOp))
+		}
+		if bound := math.Ceil(math.Log2(float64(procs))) + 1; tree.RootMsgsPerOp > bound {
+			errs = append(errs, fmt.Errorf("allreduce procs=%d: tree root sends %.2f msgs/op, above the log bound %.0f",
+				procs, tree.RootMsgsPerOp, bound))
+		}
+	}
+	return joinErrs(errs)
+}
+
+func joinErrs(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	}
+	s := errs[0].Error()
+	for _, e := range errs[1:] {
+		s += "\n" + e.Error()
+	}
+	return fmt.Errorf("%s", s)
+}
+
+// WriteCollReport runs MeasureColl and writes the JSON document.
+func WriteCollReport(out io.Writer, w Workloads, scale Scale) (CollReport, error) {
+	rep, err := MeasureColl(w, scale)
+	if err != nil {
+		return rep, err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return rep, enc.Encode(rep)
+}
+
+// FormatColl renders the report as two tables: the micro-op sweep with
+// star and tree rows interleaved per size, then the EM3D traffic cells.
+func FormatColl(rep CollReport) string {
+	out := fmt.Sprintf("%-10s %6s %-5s %12s %12s %12s %14s\n",
+		"op", "procs", "topo", "ns_per_op", "msgs_per_op", "bytes_per_op", "root_msgs_op")
+	for _, r := range rep.Collectives {
+		out += fmt.Sprintf("%-10s %6d %-5s %12.0f %12.2f %12.1f %14.2f\n",
+			r.Op, r.Procs, r.Topo, r.NsPerOp, r.MsgsPerOp, r.BytesPerOp, r.RootMsgsPerOp)
+	}
+	out += fmt.Sprintf("\n%-14s %-5s %-6s %6s %14s %14s %10s %10s\n",
+		"em3d proto", "topo", "agg", "procs", "msgs_per_step", "bytes_per_step", "frames", "regs/frame")
+	for _, r := range rep.EM3D {
+		agg := "off"
+		if r.Aggregated {
+			agg = "on"
+		}
+		out += fmt.Sprintf("%-14s %-5s %-6s %6d %14.1f %14.1f %10d %10.1f\n",
+			r.Proto, r.Topo, agg, r.Procs, r.MsgsPerStep, r.BytesPerStep, r.AggFrames, r.RegionsPerFrame)
+	}
+	return out
+}

@@ -48,6 +48,18 @@ func FormatMetrics(m trace.Metrics) string {
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "network: %d msgs / %d bytes sent, %d msgs / %d bytes received\n",
 		m.Net.MsgsSent, m.Net.BytesSent, m.Net.MsgsRecv, m.Net.BytesRecv)
+	if c := m.Coll; c.Barriers+c.Reduces+c.Bcasts+c.AggFrames > 0 {
+		fmt.Fprintf(&b, "collectives: %d barriers, %d reduces, %d bcasts (thread entries); %d msgs / %d bytes on the wire\n",
+			c.Barriers, c.Reduces, c.Bcasts, c.Hops, c.Bytes)
+		if c.AggFrames > 0 {
+			fmt.Fprintf(&b, "aggregation: %d frames carried %d region updates (%.1f/frame, %d bytes); regions-per-frame",
+				c.AggFrames, c.AggRegions, float64(c.AggRegions)/float64(c.AggFrames), c.AggBytes)
+			for i := 0; i < trace.FrameBuckets; i++ {
+				fmt.Fprintf(&b, " %s:%d", trace.FrameBucketLabel(i), c.FrameHist[i])
+			}
+			b.WriteString("\n")
+		}
+	}
 	if d := m.Net.Deliver; d.Count > 0 {
 		fmt.Fprintf(&b, "send→deliver latency: %d samples, mean %v, p50 %v, p99 %v\n",
 			d.Count, round(d.Mean()), round(d.Quantile(0.5)), round(d.Quantile(0.99)))

@@ -41,6 +41,14 @@ type Config struct {
 	// pump lanes (core.Options.DispatchLanes). Zero keeps the classic
 	// single pump; the conformance invariants must hold either way.
 	Lanes int
+	// Coll forces the collective topology: "star", "tree", or ""/"auto"
+	// for the size-based default (core.Options.Coll.Topology). The
+	// conformance invariants must hold on every topology.
+	Coll string
+	// NoAgg disables per-destination protocol push aggregation, pinning
+	// the update-family protocols to their per-region reference wire
+	// path (core.CollConfig.NoAggregation).
+	NoAgg bool
 }
 
 // Report is the outcome of one run. Err is nil on success; on failure
@@ -141,16 +149,35 @@ func Run(cfg Config) Report {
 	if cfg.Policy == "" {
 		cfg.Policy = "clean"
 	}
+	replay := fmt.Sprintf("go run ./cmd/acebench -exp chaos -procs %d -chaos-proto %s -chaos-policy %s -chaos-seed %d",
+		cfg.Procs, cfg.Protocol, cfg.Policy, cfg.Seed)
+	if cfg.Coll != "" {
+		replay += " -chaos-coll " + cfg.Coll
+	}
+	if cfg.NoAgg {
+		replay += " -chaos-noagg"
+	}
 	rep := Report{
 		Protocol: cfg.Protocol,
 		Policy:   cfg.Policy,
 		Seed:     cfg.Seed,
-		Replay: fmt.Sprintf("go run ./cmd/acebench -exp chaos -procs %d -chaos-proto %s -chaos-policy %s -chaos-seed %d",
-			cfg.Procs, cfg.Protocol, cfg.Policy, cfg.Seed),
+		Replay:   replay,
 	}
 	pol, err := PolicyByName(cfg.Policy, cfg.Seed)
 	if err != nil {
 		rep.Err = err
+		return rep
+	}
+	coll := core.CollConfig{NoAggregation: cfg.NoAgg}
+	switch cfg.Coll {
+	case "", "auto":
+		coll.Topology = core.CollAuto
+	case "star":
+		coll.Topology = core.CollStar
+	case "tree":
+		coll.Topology = core.CollTree
+	default:
+		rep.Err = fmt.Errorf("chaos: unknown collective topology %q (have auto, star, tree)", cfg.Coll)
 		return rep
 	}
 	reg := proto.NewRegistry()
@@ -174,6 +201,7 @@ func Run(cfg Config) Report {
 		Registry:        reg,
 		DefaultProtocol: defaultProto,
 		DispatchLanes:   cfg.Lanes,
+		Coll:            coll,
 		Faults:          pol,
 		Adapt:           adapt,
 		// A harness bug (or a protocol hang under faults) must fail

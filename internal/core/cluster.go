@@ -86,7 +86,49 @@ type Options struct {
 	// that exceeds it fails the processor's Run with an error matching
 	// ErrSyncStall instead of hanging. Zero means wait forever.
 	SyncTimeout time.Duration
+
+	// Coll tunes the collective substrate: the topology of the built-in
+	// collectives (barrier, all-reduce, broadcast) and the
+	// per-destination aggregation of protocol push traffic. The zero
+	// value selects automatically: star topology up to collStarMax
+	// processors, binomial tree above, aggregation on.
+	Coll CollConfig
 }
+
+// CollConfig configures the collective substrate (Options.Coll).
+type CollConfig struct {
+	// Topology selects the collective communication shape. CollAuto
+	// (the zero value) picks by cluster size.
+	Topology CollTopology
+	// NoAggregation disables per-destination coalescing of barrier-time
+	// protocol pushes (see ProtoBatcher): every push then travels as its
+	// own message, as the update-family protocols did before aggregation
+	// existed. It is the baseline switch for BENCH_coll's unaggregated
+	// rows and for conformance diffing.
+	NoAggregation bool
+}
+
+// CollTopology selects how the built-in collectives route.
+type CollTopology int
+
+const (
+	// CollAuto picks by cluster size: star for Procs <= collStarMax,
+	// binomial tree above.
+	CollAuto CollTopology = iota
+	// CollStar is the original node-0 star: every arrival, contribution
+	// and result serializes at processor 0. Kept for small clusters
+	// (fewer hops when P is tiny) and as the reference implementation
+	// for conformance diffing against the tree.
+	CollStar
+	// CollTree routes collectives through a binomial tree rooted at
+	// processor 0: O(log P) latency and no root serialization.
+	CollTree
+)
+
+// collStarMax is the largest cluster the automatic topology keeps on
+// the star: below this size the tree saves no hops on the critical
+// path, and the star's one-hop arrival is simpler to reason about.
+const collStarMax = 4
 
 // Cluster is a set of logical processors sharing regions through the Ace
 // runtime. Create one with NewCluster, execute an SPMD program with Run,
@@ -99,6 +141,12 @@ type Cluster struct {
 	nodes  int     // total logical processors in the cluster
 	procs  []*Proc // the processors hosted by this OS process
 	ran    bool
+
+	// collTree and agg are the resolved collective configuration:
+	// whether the built-in collectives route through the binomial tree,
+	// and whether protocol push aggregation is on.
+	collTree bool
+	agg      bool
 
 	// adapt is the normalized controller configuration (nil when
 	// adaptation is off); adaptTargets maps each advertised access
@@ -180,6 +228,20 @@ func NewCluster(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("core: network is %d nodes (%d local), cluster wants %d", total, len(eps), opts.Procs)
 	}
 	c := &Cluster{opts: opts, reg: reg, net: nw, ownNet: own, nodes: opts.Procs}
+	switch opts.Coll.Topology {
+	case CollAuto:
+		c.collTree = opts.Procs > collStarMax
+	case CollStar:
+		c.collTree = false
+	case CollTree:
+		c.collTree = true
+	default:
+		if own {
+			nw.Close()
+		}
+		return nil, fmt.Errorf("core: unknown collective topology %d", opts.Coll.Topology)
+	}
+	c.agg = !opts.Coll.NoAggregation
 	if opts.Adapt != nil {
 		c.adapt = opts.Adapt
 		c.adaptTargets = adaptTargetTable(reg)
@@ -298,4 +360,5 @@ const (
 	hUnlockMsg amnet.HandlerID = 5 // region unlock: A=id
 	hColl      amnet.HandlerID = 6 // collective: A=tag, C=op, payload=value
 	hProto     amnet.HandlerID = 7 // protocol message: A=region, B=seq, C=verb, D=space
+	hProtoBatch amnet.HandlerID = 8 // aggregated protocol frame: A=records, B=tag, C=verb, D=space
 )

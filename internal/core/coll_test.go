@@ -1,0 +1,456 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/faultnet"
+)
+
+// runColl spins up a cluster with the given collective topology and
+// runs fn SPMD.
+func runColl(t *testing.T, n int, topo CollTopology, fn func(p *Proc) error) {
+	t.Helper()
+	cl, err := NewCluster(Options{Procs: n, Coll: CollConfig{Topology: topo}})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Run(fn); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	// parent(v) clears the lowest set bit.
+	for _, tc := range []struct{ v, parent int }{
+		{1, 0}, {2, 0}, {3, 2}, {4, 0}, {5, 4}, {6, 4}, {7, 6}, {8, 0}, {12, 8}, {13, 12},
+	} {
+		if got := treeParentOf(tc.v); got != tc.parent {
+			t.Errorf("treeParentOf(%d) = %d, want %d", tc.v, got, tc.parent)
+		}
+	}
+	// Children invert the parent relation exactly, for assorted sizes.
+	for _, n := range []int{1, 2, 3, 5, 8, 9, 16, 17, 31} {
+		seen := make(map[int]bool)
+		for v := 0; v < n; v++ {
+			for _, k := range treeKidsOf(v, n) {
+				if k <= v || k >= n {
+					t.Fatalf("n=%d: child %d of %d out of range", n, k, v)
+				}
+				if seen[k] {
+					t.Fatalf("n=%d: rank %d has two parents", n, k)
+				}
+				seen[k] = true
+				if got := treeParentOf(k); got != v {
+					t.Fatalf("n=%d: treeParentOf(%d) = %d, want %d", n, k, got, v)
+				}
+			}
+		}
+		if len(seen) != n-1 {
+			t.Fatalf("n=%d: %d ranks have parents, want %d", n, len(seen), n-1)
+		}
+	}
+}
+
+func TestTopologySelection(t *testing.T) {
+	for _, tc := range []struct {
+		procs int
+		topo  CollTopology
+		tree  bool
+	}{
+		{2, CollAuto, false},
+		{collStarMax, CollAuto, false},
+		{collStarMax + 1, CollAuto, true},
+		{8, CollStar, false},
+		{2, CollTree, true},
+	} {
+		cl, err := NewCluster(Options{Procs: tc.procs, Coll: CollConfig{Topology: tc.topo}})
+		if err != nil {
+			t.Fatalf("NewCluster(%d, %v): %v", tc.procs, tc.topo, err)
+		}
+		if cl.collTree != tc.tree {
+			t.Errorf("procs=%d topo=%v: collTree = %v, want %v", tc.procs, tc.topo, cl.collTree, tc.tree)
+		}
+		cl.Close()
+	}
+	if _, err := NewCluster(Options{Procs: 2, Coll: CollConfig{Topology: CollTopology(99)}}); err == nil {
+		t.Error("expected error for unknown collective topology")
+	}
+}
+
+// TestTreeCollectivesCorrect runs the full collective API on the tree
+// topology across sizes that exercise every tree shape: powers of two,
+// one-past, odd, and the trivial pair.
+func TestTreeCollectivesCorrect(t *testing.T) {
+	for _, procs := range []int{2, 3, 5, 8, 9, 16} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			t.Parallel()
+			runColl(t, procs, CollTree, func(p *Proc) error {
+				for round := 0; round < 3; round++ {
+					p.GlobalBarrier()
+					if got, want := p.AllReduceInt64(OpSum, int64(p.ID()+1)), int64(procs*(procs+1)/2); got != want {
+						return fmt.Errorf("sum = %d, want %d", got, want)
+					}
+					if got := p.AllReduceInt64(OpMin, int64(p.ID())-3); got != -3 {
+						return fmt.Errorf("min = %d, want -3", got)
+					}
+					if got, want := p.AllReduceInt64(OpMax, int64(p.ID())), int64(procs-1); got != want {
+						return fmt.Errorf("max = %d, want %d", got, want)
+					}
+					if got, want := p.AllReduceFloat64(OpSum, 0.5), float64(procs)*0.5; got != want {
+						return fmt.Errorf("fsum = %v, want %v", got, want)
+					}
+					if got := p.AllReduceFloat64(OpMin, float64(p.ID())+0.25); got != 0.25 {
+						return fmt.Errorf("fmin = %v, want 0.25", got)
+					}
+					vec := p.AllReduceInt64s(OpSum, []int64{1, int64(p.ID()), -2})
+					if vec[0] != int64(procs) || vec[1] != int64(procs*(procs-1)/2) || vec[2] != int64(-2*procs) {
+						return fmt.Errorf("vector sum = %v", vec)
+					}
+					for root := 0; root < procs; root++ {
+						var data []byte
+						if p.ID() == root {
+							data = []byte(fmt.Sprintf("r%d-%d", root, round))
+						}
+						got := p.Broadcast(root, data)
+						if want := fmt.Sprintf("r%d-%d", root, round); string(got) != want {
+							return fmt.Errorf("proc %d: broadcast from %d gave %q, want %q", p.ID(), root, got, want)
+						}
+					}
+				}
+				p.GlobalBarrier()
+				return nil
+			})
+		})
+	}
+}
+
+// TestStarTreeBitIdentical: the two topologies must produce the same
+// bits for the non-associative float sum, because both fold
+// contributions in the canonical binomial order.
+func TestStarTreeBitIdentical(t *testing.T) {
+	const procs = 8
+	contrib := func(id int) float64 {
+		// Values chosen so different association orders give different
+		// bits (verified: naive left-to-right vs pairwise differ).
+		return math.Sqrt(float64(id)+1) * math.Pow(10, float64(id%5-2))
+	}
+	results := make(map[CollTopology][]uint64)
+	for _, topo := range []CollTopology{CollStar, CollTree} {
+		var got []uint64
+		cl, err := NewCluster(Options{Procs: procs, Coll: CollConfig{Topology: topo}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = cl.Run(func(p *Proc) error {
+			for round := 0; round < 4; round++ {
+				v := p.AllReduceFloat64(OpSum, contrib(p.ID()+round))
+				if p.ID() == 0 {
+					got = append(got, math.Float64bits(v))
+				}
+				p.GlobalBarrier()
+			}
+			return nil
+		})
+		cl.Close()
+		if err != nil {
+			t.Fatalf("topo %v: %v", topo, err)
+		}
+		results[topo] = got
+	}
+	for i := range results[CollStar] {
+		if results[CollStar][i] != results[CollTree][i] {
+			t.Errorf("round %d: star bits %x != tree bits %x", i, results[CollStar][i], results[CollTree][i])
+		}
+	}
+}
+
+// TestTreeRootNotSerialized: on the tree, the root handles O(log P)
+// messages per reduction instead of O(P) — the tentpole's structural
+// claim, asserted via the hop counters (each node counts the messages
+// it sends, so node 0's recv load is the sum of everyone's sends to
+// it; instead we check no node *sends* more than its tree degree).
+func TestTreeRootNotSerialized(t *testing.T) {
+	const procs = 16
+	cl, err := NewCluster(Options{Procs: procs, Coll: CollConfig{Topology: CollTree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const rounds = 10
+	if err := cl.Run(func(p *Proc) error {
+		for i := 0; i < rounds; i++ {
+			p.AllReduceInt64(OpSum, 1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Root of a 16-node binomial tree has 4 children: one partial recv
+	// per child and a 4-message result fan per round, so its own sends
+	// are 4 per round — star would send 16 per round from node 0.
+	root := cl.procs[0].coll.Snapshot()
+	if perRound := float64(root.Hops) / rounds; perRound > float64(len(cl.procs[0].treeKids))+0.01 {
+		t.Errorf("root sends %.1f msgs/round, want <= %d (tree degree)", perRound, len(cl.procs[0].treeKids))
+	}
+}
+
+// TestTreeBarrierLaneOverlapStress: with sharded dispatch, arrivals for
+// generation g+1 race the release wave of generation g on different
+// lanes; the per-generation keying must keep them straight, and the
+// state tables must drain to empty when the run ends.
+func TestTreeBarrierLaneOverlapStress(t *testing.T) {
+	const procs, rounds = 8, 200
+	cl, err := NewCluster(Options{Procs: procs, DispatchLanes: 4, Coll: CollConfig{Topology: CollTree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Run(func(p *Proc) error {
+		for i := 0; i < rounds; i++ {
+			p.GlobalBarrier()
+			if i%10 == 0 {
+				// Mix in reductions so hColl and hBarArrive interleave.
+				if got := p.AllReduceInt64(OpSum, 1); got != procs {
+					return fmt.Errorf("sum = %d", got)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cl.procs {
+		p.barMu.Lock()
+		nbar := len(p.barTree)
+		p.barMu.Unlock()
+		p.accMu.Lock()
+		nacc := len(p.collAcc)
+		p.accMu.Unlock()
+		if nbar != 0 || nacc != 0 {
+			t.Errorf("proc %d: %d barrier generations, %d reduce partials leaked", p.id, nbar, nacc)
+		}
+	}
+}
+
+// TestBatcherRoundTrip: the aggregation wire format survives
+// encode/decode, preserving record order, sizes and contents.
+func TestBatcherRoundTrip(t *testing.T) {
+	run(t, 1, func(p *Proc) error {
+		sp := p.DefaultSpace()
+		ctx := sp.ctx
+		var regions []*Region
+		for i, size := range []int{8, 24, 8, 64} {
+			r := p.Map(p.GMalloc(sp, size))
+			p.StartWrite(r)
+			for j := range r.Data {
+				r.Data[j] = byte(i*16 + j)
+			}
+			p.EndWrite(r)
+			regions = append(regions, r)
+		}
+		b := ctx.NewBatcher(sp, 42)
+		if b.Pending() {
+			return fmt.Errorf("fresh batcher pending")
+		}
+		for _, r := range regions {
+			b.Add(0, r)
+		}
+		if !b.Pending() {
+			return fmt.Errorf("batcher not pending after Add")
+		}
+		bb := b.bufs[0]
+		recs := p.decodeBatch(sp, amnet.Msg{A: uint64(bb.n), Payload: bb.data})
+		if len(recs) != len(regions) {
+			return fmt.Errorf("decoded %d records, want %d", len(recs), len(regions))
+		}
+		for i, rec := range recs {
+			if rec.R != regions[i] {
+				return fmt.Errorf("record %d: wrong region %v", i, rec.R.ID)
+			}
+			if len(rec.Data) != len(regions[i].Data) {
+				return fmt.Errorf("record %d: %d bytes, want %d", i, len(rec.Data), len(regions[i].Data))
+			}
+			for j := range rec.Data {
+				if rec.Data[j] != byte(i*16+j) {
+					return fmt.Errorf("record %d byte %d: %d", i, j, rec.Data[j])
+				}
+			}
+		}
+		// Flushing to self delivers through the real handler path; the
+		// default protocol is not a BatchDeliverer, so just reset here
+		// and verify buffer reuse re-registers the destination.
+		bb.data, bb.n = bb.data[:0], 0
+		b.order = b.order[:0]
+		if b.Pending() {
+			return fmt.Errorf("batcher pending after reset")
+		}
+		b.Add(0, regions[0])
+		if !b.Pending() || b.bufs[0].n != 1 {
+			return fmt.Errorf("batcher did not re-register destination after reset")
+		}
+		return nil
+	})
+}
+
+// TestBatchFrameTruncationPanics: a malformed frame must fail loudly,
+// not decode garbage.
+func TestBatchFrameTruncationPanics(t *testing.T) {
+	run(t, 1, func(p *Proc) error {
+		sp := p.DefaultSpace()
+		r := p.Map(p.GMalloc(sp, 16))
+		var buf []byte
+		var hdr [12]byte
+		binary.LittleEndian.PutUint64(hdr[:8], uint64(r.ID))
+		binary.LittleEndian.PutUint32(hdr[8:], 999) // size beyond payload
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, make([]byte, 16)...)
+		defer func() {
+			if recover() == nil {
+				t.Error("truncated frame did not panic")
+			}
+		}()
+		p.decodeBatch(sp, amnet.Msg{A: 1, Payload: buf})
+		return nil
+	})
+}
+
+// waitPurged polls until cond holds or the deadline passes — the purge
+// runs on its own goroutine after peer loss, so tests must wait for it.
+func waitPurged(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("%s not purged after peer loss", what)
+}
+
+// collStateEmpty reports whether p holds no pending collective state.
+func collStateEmpty(p *Proc) bool {
+	p.barMu.Lock()
+	nbar := len(p.barArr) + len(p.barTree)
+	p.barMu.Unlock()
+	p.accMu.Lock()
+	nacc := len(p.collAcc)
+	p.accMu.Unlock()
+	return nbar == 0 && nacc == 0
+}
+
+// TestPeerLossPurgesCollectiveState: killing a peer between arrival and
+// release must (a) fail the survivors' blocked collectives with
+// ErrPeerLost and (b) purge every pending barrier generation and
+// reduction partial, on both topologies.
+func TestPeerLossPurgesCollectiveState(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		topo  CollTopology
+		procs int
+	}{
+		{"star", CollStar, 3},
+		{"tree", CollTree, 5},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			inner, err := amnet.NewChanNetwork(amnet.ChanConfig{Nodes: tc.procs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw := faultnet.Wrap(inner, faultnet.Policy{})
+			cl, err := NewCluster(Options{
+				Procs:     tc.procs,
+				Transport: amnet.Fixed(nw),
+				Coll:      CollConfig{Topology: tc.topo},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			victim := tc.procs - 1
+			err = cl.Run(func(p *Proc) error {
+				// A completed round first, so state tables have been
+				// exercised and drained once.
+				p.AllReduceInt64(OpSum, 1)
+				if p.ID() == victim {
+					// Die between the survivors' arrival and the release:
+					// never contribute to the next round.
+					nw.Kill(amnet.NodeID(victim))
+					return nil
+				}
+				p.AllReduceInt64(OpSum, 1) // partials strand at interior nodes
+				p.GlobalBarrier()          // arrivals strand in barArr/barTree
+				return nil
+			})
+			if !errors.Is(err, ErrPeerLost) {
+				t.Fatalf("Run error = %v, want ErrPeerLost", err)
+			}
+			for _, p := range cl.procs {
+				p := p
+				waitPurged(t, fmt.Sprintf("proc %d collective state", p.id), func() bool { return collStateEmpty(p) })
+			}
+		})
+	}
+}
+
+// TestPeerLossPurgesLockQueue: a queued lock waiter purges with the
+// rest of the synchronization state when a peer dies.
+func TestPeerLossPurgesLockQueue(t *testing.T) {
+	const procs = 3
+	inner, err := amnet.NewChanNetwork(amnet.ChanConfig{Nodes: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := faultnet.Wrap(inner, faultnet.Policy{})
+	cl, err := NewCluster(Options{Procs: procs, Transport: amnet.Fixed(nw)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(p *Proc) error {
+		var id RegionID
+		if p.ID() == 0 {
+			id = p.GMalloc(p.DefaultSpace(), 8)
+		}
+		id = p.BroadcastID(0, id)
+		r := p.Map(id)
+		switch p.ID() {
+		case 0:
+			p.Lock(r) // holder; never unlocks
+			p.GlobalBarrier()
+		case 1:
+			p.Lock(r) // queues behind proc 0, then fails on peer loss
+		case 2:
+			time.Sleep(50 * time.Millisecond) // let proc 1 queue
+			nw.Kill(2)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("Run error = %v, want ErrPeerLost", err)
+	}
+	home := cl.procs[0]
+	waitPurged(t, "lock queue", func() bool {
+		empty := true
+		for _, r := range home.regionList() {
+			if r.Dir == nil {
+				continue
+			}
+			r.Dir.lockMu.Lock()
+			if len(r.Dir.LockQueue) != 0 {
+				empty = false
+			}
+			r.Dir.lockMu.Unlock()
+		}
+		return empty
+	})
+}

@@ -71,18 +71,28 @@ type Proc struct {
 	nextWaiter uint64
 
 	// Barrier state. barGen counts this processor's barrier arrivals
-	// (application thread only); barArr (node 0, under barMu) maps
-	// generation to arrivals so far — arrival handlers from different
-	// senders run concurrently under sharded dispatch.
-	barGen uint64
-	barMu  sync.Mutex
-	barArr map[uint64][]PendingReq
+	// (application thread only); barArr (node 0 on the star topology,
+	// under barMu) maps generation to arrivals so far — arrival handlers
+	// from different senders run concurrently under sharded dispatch.
+	// On the tree topology barTree (every node, under barMu) holds each
+	// generation's subtree arrival state instead.
+	barGen  uint64
+	barMu   sync.Mutex
+	barArr  map[uint64][]PendingReq
+	barTree map[uint64]*treeBar
+
+	// Binomial-tree neighbors (tree topology only): treeParent is -1 at
+	// the root, and treeKids lists this rank's children in increasing
+	// rank order. Fixed at creation.
+	treeParent amnet.NodeID
+	treeKids   []amnet.NodeID
 
 	// Collective state. collSeq tags collectives in program order
 	// (application thread only); collGot buffers payloads that arrive
 	// before the local thread asks and collWait maps tag to a waiter
-	// (both under collMu); collAcc (node 0, under accMu) accumulates
-	// reduction contributions.
+	// (both under collMu); collAcc (under accMu) accumulates reduction
+	// contributions — at node 0 on the star, at every interior node on
+	// the tree.
 	collMu   sync.Mutex
 	collSeq  uint64
 	collGot  map[uint64][]byte
@@ -111,17 +121,23 @@ type Proc struct {
 	ops     [trace.NumOps]atomic.Uint64
 	fastOps [trace.NumOps]atomic.Uint64
 
+	// coll counts collective rounds, hops and bytes plus aggregated
+	// protocol frames (always on, lock-free; see trace.CollStats).
+	coll trace.CollStats
+
 	rec *trace.Recorder
 }
 
 type waiter struct{ ch chan amnet.Msg }
 
-// collAcc accumulates reduction contributions, indexed by source
-// processor so the combining order is deterministic (floating-point sums
-// must not depend on message arrival order).
+// collAcc accumulates reduction contributions, slotted so the combining
+// order is deterministic (floating-point sums must not depend on
+// message arrival order): by source rank at the star root, by canonical
+// position (own value, then children in rank order) at a tree node.
 type collAcc struct {
-	vals  [][]byte
-	count int
+	vals   [][]byte
+	count  int
+	expect int
 }
 
 func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
@@ -143,7 +159,17 @@ func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
 	if pa, ok := ep.(amnet.PeerAware); ok {
 		pa.SetPeerDownHandler(p.peerDown)
 	}
-	if p.id == 0 {
+	p.treeParent = -1
+	if c.collTree {
+		if p.id != 0 {
+			p.treeParent = amnet.NodeID(treeParentOf(int(p.id)))
+		}
+		for _, k := range treeKidsOf(int(p.id), c.nodes) {
+			p.treeKids = append(p.treeKids, amnet.NodeID(k))
+		}
+		p.barTree = make(map[uint64]*treeBar)
+		p.collAcc = make(map[uint64]*collAcc)
+	} else if p.id == 0 {
 		p.barArr = make(map[uint64][]PendingReq)
 		p.collAcc = make(map[uint64]*collAcc)
 	}
@@ -161,6 +187,13 @@ func (p *Proc) peerDown(peer amnet.NodeID) {
 	p.downOnce.Do(func() {
 		p.downPeer.Store(int32(peer))
 		close(p.downCh)
+		// Purge pending collective and lock state on a fresh goroutine:
+		// this callback runs on a transport goroutine that must not
+		// block, and the purge takes runtime locks a handler may hold.
+		// downPeer is visibly set before the purge starts, and arrival
+		// handlers drop messages once it is (checked under the same
+		// locks), so the purged tables cannot repopulate.
+		go p.purgeSyncState()
 	})
 }
 
@@ -217,6 +250,7 @@ func (p *Proc) Snapshot() trace.Metrics {
 		}
 	}
 	m.Net = p.ep.Stats().Snapshot()
+	m.Coll = p.coll.Snapshot()
 	return m
 }
 
@@ -669,6 +703,23 @@ func (p *Proc) registerHandlers() {
 		// Deliver implementations consume the payload synchronously
 		// (copy into region data, clone into deferred queues, or forward
 		// through Send, which also copies); the wire buffer is free.
+		amnet.Recycle(m.Payload)
+	})
+	p.ep.Register(hProtoBatch, func(m amnet.Msg) {
+		sp := p.space(int(m.D))
+		bd, ok := sp.Proto.(BatchDeliverer)
+		sp.eng.Lock()
+		if !ok {
+			panic(fmt.Sprintf("core: proc %d: aggregate frame for space %d, but protocol %q takes no batches",
+				p.id, sp.ID, sp.ProtoName))
+		}
+		recs := p.decodeBatch(sp, m)
+		bd.DeliverBatch(sp.ctx, sp, m.Src, m.C, m.B, recs)
+		for _, rec := range recs {
+			sp.refreshFast(rec.R)
+		}
+		sp.eng.Unlock()
+		// DeliverBatch consumes record data synchronously, like Deliver.
 		amnet.Recycle(m.Payload)
 	})
 }

@@ -9,31 +9,187 @@ import (
 )
 
 // This file implements the runtime's synchronization substrate: the
-// centralized barrier, home-based region locks, and the bootstrap
-// collectives (broadcast and all-reduce) applications use to distribute
-// region ids and combine scalars.
+// barrier, home-based region locks, and the bootstrap collectives
+// (broadcast and all-reduce) applications use to distribute region ids
+// and combine scalars.
+//
+// Collectives route through one of two topologies (Options.Coll). The
+// star is the original reference implementation: every arrival,
+// contribution and result serializes at processor 0, which is simple
+// and fine for small P. The binomial tree removes the root bottleneck:
+// rank v's parent is v with its lowest set bit cleared, its children
+// are v+1, v+2, v+4, ... within its subtree, so every collective is one
+// reduce-up/fan-down round of O(log P) depth with no node touching more
+// than log P messages. Both topologies combine reduction contributions
+// in the same canonical order (see reduce), so their results are
+// bit-identical even for the non-associative float sum — the chaos
+// harness cross-checks this.
 
-// barrierArrive handles a barrier arrival at processor 0. barArr is
-// under barMu: with sharded dispatch, arrivals from different
-// processors are handled concurrently. The completions go out after
-// barMu is released — Send can block on transport backpressure, and a
-// late arrival for the next generation must not queue behind it.
+// treeParentOf returns the binomial-tree parent of rank v (root 0): v
+// with its lowest set bit cleared.
+func treeParentOf(v int) int { return v & (v - 1) }
+
+// treeKidsOf appends the binomial-tree children of rank v in a cluster
+// of n ranks, in increasing order. Rank v's subtree spans [v, v+lsb(v))
+// (the whole cluster for the root), so its children are v+1, v+2, v+4,
+// ... below that bound, clipped to n.
+func treeKidsOf(v, n int) []int {
+	limit := v & -v
+	if v == 0 {
+		limit = n
+	}
+	var kids []int
+	for step := 1; step < limit && v+step < n; step <<= 1 {
+		kids = append(kids, v+step)
+	}
+	return kids
+}
+
+// Barrier-arrival subtypes (field C of hBarArrive messages on the tree
+// topology; the star only ever sends arrivals).
+const (
+	barArriveUp   uint64 = 0 // a subtree completed; sent child -> parent
+	barArriveDown uint64 = 1 // release wave; sent parent -> child
+)
+
+// barrierArrive handles a barrier message. On the star topology it runs
+// only at processor 0 and collects arrivals; on the tree every node
+// folds subtree arrivals into its own generation state and propagates.
+// State is under barMu: with sharded dispatch, arrivals from different
+// processors are handled concurrently. Sends go out after barMu is
+// released — Send can block on transport backpressure, and a late
+// arrival for the next generation must not queue behind it.
 func (p *Proc) barrierArrive(m amnet.Msg) {
+	if p.cl.collTree {
+		if m.C == barArriveDown {
+			p.barMu.Lock()
+			tb := p.barTree[m.A]
+			delete(p.barTree, m.A)
+			p.barMu.Unlock()
+			if tb == nil {
+				// Only possible after a peer-down purge dropped the
+				// generation; the release wave dies here (the local
+				// waiter already failed with ErrPeerLost).
+				return
+			}
+			p.treeBarRelease(m.A, tb.seq)
+			return
+		}
+		p.treeBarEvent(m.A, false, 0)
+		return
+	}
 	if p.id != 0 {
 		panic(fmt.Sprintf("core: proc %d received barrier arrival", p.id))
 	}
 	gen := m.A
 	var release []PendingReq
 	p.barMu.Lock()
+	if p.downPeer.Load() >= 0 {
+		// A peer is lost and the pending-barrier purge ran or is about
+		// to: drop the arrival rather than repopulate the table (the
+		// sender's Wait fails with ErrPeerLost).
+		p.barMu.Unlock()
+		return
+	}
 	p.barArr[gen] = append(p.barArr[gen], PendingReq{Src: m.Src, Seq: m.B})
 	if len(p.barArr[gen]) == p.cl.Procs() {
 		release = p.barArr[gen]
 		delete(p.barArr, gen)
 	}
 	p.barMu.Unlock()
+	if release != nil {
+		p.coll.CountHops(len(release), 0)
+	}
 	for _, a := range release {
 		p.ep.Send(amnet.Msg{Dst: a.Src, Handler: hComplete, B: a.Seq})
 	}
+}
+
+// treeBar is one generation's arrival state at one node of the
+// collective tree (under barMu).
+type treeBar struct {
+	kids int    // child subtrees that completed
+	own  bool   // the local application thread arrived
+	seq  uint64 // local waiter, completed by the release wave
+}
+
+// purgeSyncState drops every pending synchronization record after a
+// peer loss: barrier generations (star table and tree state), in-flight
+// reduction partials, and home-region lock queues. The blocked local
+// waits have already failed (or will fail) with ErrPeerLost via downCh;
+// without the purge their arrival records would strand in the tables,
+// and a late arrival from a surviving peer would repopulate them — the
+// arrival handlers drop messages once downPeer is set, checked under
+// the same locks, so the tables stay empty. LockHolder is left as is:
+// the holder may be alive, and the cluster is unusable regardless.
+func (p *Proc) purgeSyncState() {
+	p.barMu.Lock()
+	clear(p.barArr)
+	clear(p.barTree)
+	p.barMu.Unlock()
+	p.accMu.Lock()
+	clear(p.collAcc)
+	p.accMu.Unlock()
+	for _, r := range p.regionList() {
+		if r.Dir == nil {
+			continue
+		}
+		r.Dir.lockMu.Lock()
+		r.Dir.LockQueue = nil
+		r.Dir.lockMu.Unlock()
+	}
+}
+
+// treeBarEvent folds one arrival event — the local application thread's
+// (own=true, carrying its waiter seq) or a child subtree's — into the
+// generation's state and, when the subtree is complete, propagates: up
+// to the parent, or into the release wave at the root. Generations are
+// keyed independently because they overlap under sharded dispatch: a
+// child's arrival for generation g+1 can be handled while generation
+// g's release is still fanning out. Propagation happens outside barMu.
+func (p *Proc) treeBarEvent(gen uint64, own bool, seq uint64) {
+	root := p.treeParent < 0
+	p.barMu.Lock()
+	if p.downPeer.Load() >= 0 {
+		p.barMu.Unlock()
+		return // purged; drop (see barrierArrive)
+	}
+	tb := p.barTree[gen]
+	if tb == nil {
+		tb = &treeBar{}
+		p.barTree[gen] = tb
+	}
+	if own {
+		tb.own, tb.seq = true, seq
+	} else {
+		tb.kids++
+	}
+	ready := tb.own && tb.kids == len(p.treeKids)
+	if ready && root {
+		// The root releases immediately; interior nodes keep the entry
+		// until the release wave returns (it carries their waiter seq).
+		delete(p.barTree, gen)
+	}
+	p.barMu.Unlock()
+	if !ready {
+		return
+	}
+	if !root {
+		p.coll.CountHops(1, 0)
+		p.ep.Send(amnet.Msg{Dst: p.treeParent, Handler: hBarArrive, A: gen, C: barArriveUp})
+		return
+	}
+	p.treeBarRelease(gen, tb.seq)
+}
+
+// treeBarRelease fans the release wave to this node's subtrees and
+// completes the local waiter.
+func (p *Proc) treeBarRelease(gen, seq uint64) {
+	p.coll.CountHops(len(p.treeKids), 0)
+	for _, k := range p.treeKids {
+		p.ep.Send(amnet.Msg{Dst: k, Handler: hBarArrive, A: gen, C: barArriveDown})
+	}
+	p.ctx.Complete(seq, amnet.Msg{})
 }
 
 // lockRequest handles a region lock request at the region's home. The
@@ -50,6 +206,12 @@ func (p *Proc) lockRequest(m amnet.Msg) {
 	}
 	d := r.Dir
 	d.lockMu.Lock()
+	if p.downPeer.Load() >= 0 {
+		// Purged (see purgeSyncState): don't queue new waiters — the
+		// requester's Wait fails with ErrPeerLost.
+		d.lockMu.Unlock()
+		return
+	}
 	if d.LockHolder < 0 {
 		d.LockHolder = m.Src
 		d.lockMu.Unlock()
@@ -109,32 +271,148 @@ const (
 // collArrived takes collMu itself.
 func (p *Proc) collDeliver(m amnet.Msg) {
 	switch m.C {
-	case collOpBcast, collOpResult:
+	case collOpBcast:
+		if p.cl.collTree {
+			p.bcastFan(int(m.D), m.A, m.Payload)
+		}
+		p.collArrived(m.A, m.Payload)
+	case collOpResult:
+		if p.cl.collTree {
+			// Forward the result wave down before waking the local
+			// waiter, so the subtree's latency is not behind it.
+			p.sendFan(p.treeKids, amnet.Msg{Handler: hColl, A: m.A, C: collOpResult, Payload: m.Payload})
+		}
 		p.collArrived(m.A, m.Payload)
 	default:
-		// A reduction contribution; only processor 0 accumulates.
+		// A reduction contribution: a child subtree's partial on the
+		// tree, any processor's value at the star root.
+		if p.cl.collTree {
+			p.treeContribute(m.A, m.C, m.Src, m.Payload)
+			return
+		}
 		if p.id != 0 {
 			panic(fmt.Sprintf("core: proc %d received reduction contribution", p.id))
 		}
 		p.accMu.Lock()
+		if p.downPeer.Load() >= 0 {
+			p.accMu.Unlock()
+			return // purged; drop (see barrierArrive)
+		}
 		acc := p.collAcc[m.A]
 		if acc == nil {
-			acc = &collAcc{vals: make([][]byte, p.cl.Procs())}
+			acc = &collAcc{vals: make([][]byte, p.cl.Procs()), expect: p.cl.Procs()}
 			p.collAcc[m.A] = acc
 		}
 		acc.vals[m.Src] = clone(m.Payload)
 		acc.count++
-		done := acc.count == p.cl.Procs()
+		done := acc.count == acc.expect
 		if done {
 			delete(p.collAcc, m.A)
 		}
 		p.accMu.Unlock()
 		if done {
 			result := reduce(m.C, acc.vals)
-			for n := 0; n < p.cl.Procs(); n++ {
-				p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: m.A, C: collOpResult, Payload: p.cloneForSend(result)})
+			p.sendFan(p.allNodes(), amnet.Msg{Handler: hColl, A: m.A, C: collOpResult, Payload: result})
+			for _, v := range acc.vals {
+				amnet.Recycle(v) // result aliases vals[0]; sendFan copied
 			}
 		}
+	}
+}
+
+// treeContribute folds one reduction contribution — the local value or
+// a child subtree's partial — into the tag's accumulator. Slots follow
+// the canonical combine order (own value, then children in increasing
+// rank; see reduce), so combining a full accumulator left-to-right at
+// every level yields the same bits the star's canonical reduce does.
+// The finishing contributor owns the accumulator once it is deleted
+// from the table and combines outside accMu.
+func (p *Proc) treeContribute(tag, code uint64, src amnet.NodeID, val []byte) {
+	p.accMu.Lock()
+	if p.downPeer.Load() >= 0 {
+		p.accMu.Unlock()
+		return // purged; drop (see barrierArrive)
+	}
+	acc := p.collAcc[tag]
+	if acc == nil {
+		acc = &collAcc{vals: make([][]byte, len(p.treeKids)+1), expect: len(p.treeKids) + 1}
+		p.collAcc[tag] = acc
+	}
+	slot := 0
+	if src != p.id {
+		slot = 1 + p.kidSlot(src)
+	}
+	acc.vals[slot] = clone(val)
+	acc.count++
+	done := acc.count == acc.expect
+	if done {
+		delete(p.collAcc, tag)
+	}
+	p.accMu.Unlock()
+	if !done {
+		return
+	}
+	part := acc.vals[0]
+	for _, v := range acc.vals[1:] {
+		combineInto(code, part, v)
+		amnet.Recycle(v)
+	}
+	if p.treeParent >= 0 {
+		p.coll.CountHops(1, len(part))
+		// part is a pooled clone this node owns; on a by-reference
+		// fabric ownership passes to the parent's handler, on a copying
+		// fabric Send is done with it when it returns.
+		p.ep.Send(amnet.Msg{Dst: p.treeParent, Handler: hColl, A: tag, C: code, Payload: part})
+		if p.fabricCopies {
+			amnet.Recycle(part)
+		}
+		return
+	}
+	p.sendFan(p.treeKids, amnet.Msg{Handler: hColl, A: tag, C: collOpResult, Payload: part})
+	p.collArrived(tag, part)
+	amnet.Recycle(part)
+}
+
+// kidSlot returns src's index among this node's tree children.
+func (p *Proc) kidSlot(src amnet.NodeID) int {
+	for i, k := range p.treeKids {
+		if k == src {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: proc %d: contribution from %d, not a tree child", p.id, src))
+}
+
+// allNodes returns every node id, for the star root's result fan-out
+// (the root contributes and awaits like everyone else, so it addresses
+// itself too; the fabric handles self-sends).
+func (p *Proc) allNodes() []amnet.NodeID {
+	out := make([]amnet.NodeID, p.cl.Procs())
+	for i := range out {
+		out[i] = amnet.NodeID(i)
+	}
+	return out
+}
+
+// sendFan delivers one collective message to each destination,
+// materializing the payload once when the fabric can share it
+// (amnet.MultiSender) and falling back to per-destination sends with
+// the usual clone discipline otherwise. The caller keeps ownership of
+// m.Payload either way. Fan-out hops and bytes are counted here.
+func (p *Proc) sendFan(dsts []amnet.NodeID, m amnet.Msg) {
+	if len(dsts) == 0 {
+		return
+	}
+	p.coll.CountHops(len(dsts), len(dsts)*len(m.Payload))
+	if ms, ok := p.ep.(amnet.MultiSender); ok {
+		ms.SendMulti(dsts, m)
+		return
+	}
+	for _, d := range dsts {
+		mm := m
+		mm.Dst = d
+		mm.Payload = p.cloneForSend(m.Payload)
+		p.ep.Send(mm)
 	}
 }
 
@@ -172,21 +450,47 @@ func (p *Proc) collAwait(tag uint64) []byte {
 // Broadcast distributes data from the root processor to all processors and
 // returns it. It is collective: every processor must call it in the same
 // program order. The root's data argument is the value broadcast; other
-// processors may pass nil.
+// processors may pass nil. The payload is encoded once and shared across
+// the fan-out sends (amnet.MultiSender); on the tree topology each level
+// forwards to its own subtrees, so no node sends more than log P copies.
 func (p *Proc) Broadcast(root int, data []byte) []byte {
 	// collSeq is application-thread-private; no lock needed for the tag.
 	p.collSeq++
 	tag := p.collSeq
-	if int(p.id) == root {
-		for n := 0; n < p.cl.Procs(); n++ {
-			if n == root {
-				continue
-			}
-			p.ep.Send(amnet.Msg{Dst: amnet.NodeID(n), Handler: hColl, A: tag, C: collOpBcast, Payload: p.cloneForSend(data)})
-		}
+	p.coll.CountBcast()
+	if int(p.id) != root {
+		return p.collAwait(tag)
+	}
+	if p.cl.collTree {
+		p.bcastFan(root, tag, data)
 		return data
 	}
-	return p.collAwait(tag)
+	dsts := make([]amnet.NodeID, 0, p.cl.Procs()-1)
+	for n := 0; n < p.cl.Procs(); n++ {
+		if n != root {
+			dsts = append(dsts, amnet.NodeID(n))
+		}
+	}
+	p.sendFan(dsts, amnet.Msg{Handler: hColl, A: tag, C: collOpBcast, Payload: data})
+	return data
+}
+
+// bcastFan forwards a broadcast payload to this node's children in the
+// binomial tree rooted at the broadcast's root. The tree is relabeled
+// by virtual rank (id - root) mod P so any root gets the same O(log P)
+// fan-out; D carries the root so forwarders can compute their place.
+func (p *Proc) bcastFan(root int, tag uint64, data []byte) {
+	n := p.cl.Procs()
+	vr := (int(p.id) - root + n) % n
+	kids := treeKidsOf(vr, n)
+	if len(kids) == 0 {
+		return
+	}
+	dsts := make([]amnet.NodeID, len(kids))
+	for i, k := range kids {
+		dsts[i] = amnet.NodeID((k + root) % n)
+	}
+	p.sendFan(dsts, amnet.Msg{Handler: hColl, A: tag, C: collOpBcast, D: uint64(root), Payload: data})
 }
 
 // BroadcastID broadcasts a region id from root.
@@ -240,19 +544,35 @@ func (p *Proc) AllReduceInt64(op ReduceOp, v int64) int64 {
 // seven. Collective.
 func (p *Proc) AllReduceInt64s(op ReduceOp, v []int64) []int64 {
 	code := map[ReduceOp]uint64{OpSum: collOpSumI, OpMin: collOpMinI, OpMax: collOpMaxI}[op]
-	p.collSeq++
-	tag := p.collSeq
 	buf := make([]byte, 8*len(v))
 	for i, x := range v {
 		binary.LittleEndian.PutUint64(buf[i*8:], uint64(x))
 	}
-	p.ep.Send(amnet.Msg{Dst: 0, Handler: hColl, A: tag, C: code, Payload: buf})
-	out := p.collAwait(tag)
+	out := p.reduceRound(code, buf)
 	res := make([]int64, len(out)/8)
 	for i := range res {
 		res[i] = int64(binary.LittleEndian.Uint64(out[i*8:]))
 	}
 	return res
+}
+
+// reduceRound runs one all-reduce round over a word-vector payload:
+// contribute the local value, block until the combined result arrives.
+// On the star the contribution goes to processor 0, which fans the
+// result to everyone; on the tree it folds into the local accumulator
+// and climbs (treeContribute sends the subtree partial up when the last
+// child reports, and the root starts the result wave down).
+func (p *Proc) reduceRound(code uint64, buf []byte) []byte {
+	p.collSeq++
+	tag := p.collSeq
+	p.coll.CountReduce()
+	if p.cl.collTree {
+		p.treeContribute(tag, code, p.id, buf)
+	} else {
+		p.coll.CountHops(1, len(buf))
+		p.ep.Send(amnet.Msg{Dst: 0, Handler: hColl, A: tag, C: code, Payload: p.cloneForSend(buf)})
+	}
+	return p.collAwait(tag)
 }
 
 // AllReduceFloat64 combines v across all processors with op and returns
@@ -264,68 +584,58 @@ func (p *Proc) AllReduceFloat64(op ReduceOp, v float64) float64 {
 }
 
 func (p *Proc) allReduce(code uint64, word uint64) uint64 {
-	p.collSeq++
-	tag := p.collSeq
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], word)
-	p.ep.Send(amnet.Msg{Dst: 0, Handler: hColl, A: tag, C: code, Payload: buf[:]})
-	out := p.collAwait(tag)
+	out := p.reduceRound(code, buf[:])
 	return binary.LittleEndian.Uint64(out)
 }
 
-// reduce combines contribution payloads element-wise with the operator
-// encoded in code. Payloads are vectors of 64-bit words — the scalar
-// collectives send one-word vectors — and every contribution has the
-// same length.
+// reduce combines the per-rank contribution payloads with the operator
+// encoded in code, walking them in canonical binomial-tree order: rank
+// v's subtree combines as (own value, then each child subtree in
+// increasing child order). That is exactly the order the tree topology
+// folds partials in at every level, so the star (which calls this at
+// the root with all P contributions) and the tree produce bit-identical
+// results even for the non-associative float sum. Payloads are vectors
+// of 64-bit words — the scalar collectives send one-word vectors — all
+// the same length. Contributions are consumed: the result aliases
+// vals[0].
 func reduce(code uint64, vals [][]byte) []byte {
-	out := make([]byte, len(vals[0]))
-	words := make([]uint64, len(vals))
-	for e := 0; e < len(out); e += 8 {
-		for i, v := range vals {
-			words[i] = binary.LittleEndian.Uint64(v[e:])
-		}
+	return reduceSubtree(code, vals, 0)
+}
+
+// reduceSubtree combines the contributions of the subtree rooted at
+// rank v into vals[v] and returns it.
+func reduceSubtree(code uint64, vals [][]byte, v int) []byte {
+	acc := vals[v]
+	for _, k := range treeKidsOf(v, len(vals)) {
+		combineInto(code, acc, reduceSubtree(code, vals, k))
+	}
+	return acc
+}
+
+// combineInto folds src into dst element-wise with the operator in code.
+func combineInto(code uint64, dst, src []byte) {
+	for e := 0; e+8 <= len(dst); e += 8 {
+		a := binary.LittleEndian.Uint64(dst[e:])
+		b := binary.LittleEndian.Uint64(src[e:])
 		var acc uint64
 		switch code {
 		case collOpSumI:
-			var s int64
-			for _, w := range words {
-				s += int64(w)
-			}
-			acc = uint64(s)
+			acc = uint64(int64(a) + int64(b))
 		case collOpMinI:
-			s := int64(words[0])
-			for _, w := range words[1:] {
-				s = min(s, int64(w))
-			}
-			acc = uint64(s)
+			acc = uint64(min(int64(a), int64(b)))
 		case collOpMaxI:
-			s := int64(words[0])
-			for _, w := range words[1:] {
-				s = max(s, int64(w))
-			}
-			acc = uint64(s)
+			acc = uint64(max(int64(a), int64(b)))
 		case collOpSumF:
-			var s float64
-			for _, w := range words {
-				s += math.Float64frombits(w)
-			}
-			acc = math.Float64bits(s)
+			acc = math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
 		case collOpMinF:
-			s := math.Float64frombits(words[0])
-			for _, w := range words[1:] {
-				s = math.Min(s, math.Float64frombits(w))
-			}
-			acc = math.Float64bits(s)
+			acc = math.Float64bits(math.Min(math.Float64frombits(a), math.Float64frombits(b)))
 		case collOpMaxF:
-			s := math.Float64frombits(words[0])
-			for _, w := range words[1:] {
-				s = math.Max(s, math.Float64frombits(w))
-			}
-			acc = math.Float64bits(s)
+			acc = math.Float64bits(math.Max(math.Float64frombits(a), math.Float64frombits(b)))
 		default:
 			panic(fmt.Sprintf("core: bad reduction code %d", code))
 		}
-		binary.LittleEndian.PutUint64(out[e:], acc)
+		binary.LittleEndian.PutUint64(dst[e:], acc)
 	}
-	return out
 }

@@ -1,0 +1,128 @@
+package trace
+
+import "sync/atomic"
+
+// FrameBuckets is the size of the regions-per-frame histogram kept for
+// aggregated protocol frames: buckets 1, 2, 3-4, 5-8, 9-16, 17+.
+const FrameBuckets = 6
+
+// CollStats counts collective and aggregation traffic on one processor.
+// Like NetStats it is always on and lock-free: the counting sites sit on
+// the barrier and push paths, where a mutex would serialize exactly the
+// traffic the counters exist to observe.
+type CollStats struct {
+	barriers   atomic.Uint64
+	reduces    atomic.Uint64
+	bcasts     atomic.Uint64
+	hops       atomic.Uint64
+	bytes      atomic.Uint64
+	aggFrames  atomic.Uint64
+	aggRegions atomic.Uint64
+	aggBytes   atomic.Uint64
+	frameHist  [FrameBuckets]atomic.Uint64
+}
+
+// CountBarrier records one barrier entered by the local thread.
+func (s *CollStats) CountBarrier() { s.barriers.Add(1) }
+
+// CountReduce records one all-reduce round entered by the local thread.
+func (s *CollStats) CountReduce() { s.reduces.Add(1) }
+
+// CountBcast records one broadcast participated in by the local thread.
+func (s *CollStats) CountBcast() { s.bcasts.Add(1) }
+
+// CountHops records msgs collective wire messages carrying bytes payload
+// bytes in total (arrivals sent up, results and releases fanned down).
+func (s *CollStats) CountHops(msgs, bytes int) {
+	s.hops.Add(uint64(msgs))
+	s.bytes.Add(uint64(bytes))
+}
+
+// CountFrame records one aggregated protocol frame carrying the given
+// number of region records and payload bytes.
+func (s *CollStats) CountFrame(regions, bytes int) {
+	s.aggFrames.Add(1)
+	s.aggRegions.Add(uint64(regions))
+	s.aggBytes.Add(uint64(bytes))
+	s.frameHist[frameBucket(regions)].Add(1)
+}
+
+// frameBucket maps a regions-per-frame count to its histogram bucket.
+func frameBucket(regions int) int {
+	switch {
+	case regions <= 1:
+		return 0
+	case regions == 2:
+		return 1
+	case regions <= 4:
+		return 2
+	case regions <= 8:
+		return 3
+	case regions <= 16:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// FrameBucketLabel returns the human-readable range of histogram bucket i.
+func FrameBucketLabel(i int) string {
+	return [FrameBuckets]string{"1", "2", "3-4", "5-8", "9-16", "17+"}[i]
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *CollStats) Snapshot() CollSnapshot {
+	c := CollSnapshot{
+		Barriers:   s.barriers.Load(),
+		Reduces:    s.reduces.Load(),
+		Bcasts:     s.bcasts.Load(),
+		Hops:       s.hops.Load(),
+		Bytes:      s.bytes.Load(),
+		AggFrames:  s.aggFrames.Load(),
+		AggRegions: s.aggRegions.Load(),
+		AggBytes:   s.aggBytes.Load(),
+	}
+	for i := range s.frameHist {
+		c.FrameHist[i] = s.frameHist[i].Load()
+	}
+	return c
+}
+
+// CollSnapshot is a point-in-time copy of one processor's (or, after
+// aggregation, a cluster's) collective and aggregation counters.
+type CollSnapshot struct {
+	// Barriers / Reduces / Bcasts count collective rounds entered by
+	// application threads (each processor counts its own entry, so the
+	// cluster-wide number is rounds × processors).
+	Barriers uint64
+	Reduces  uint64
+	Bcasts   uint64
+	// Hops counts collective wire messages sent by this processor:
+	// arrivals and partials up the topology, results and releases down.
+	Hops uint64
+	// Bytes is the payload bytes carried by those hops.
+	Bytes uint64
+	// AggFrames counts aggregated protocol frames sent; AggRegions the
+	// region records they carried; AggBytes their payload bytes.
+	AggFrames  uint64
+	AggRegions uint64
+	AggBytes   uint64
+	// FrameHist is the regions-per-frame histogram (see FrameBucketLabel).
+	FrameHist [FrameBuckets]uint64
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (c CollSnapshot) Add(o CollSnapshot) CollSnapshot {
+	c.Barriers += o.Barriers
+	c.Reduces += o.Reduces
+	c.Bcasts += o.Bcasts
+	c.Hops += o.Hops
+	c.Bytes += o.Bytes
+	c.AggFrames += o.AggFrames
+	c.AggRegions += o.AggRegions
+	c.AggBytes += o.AggBytes
+	for i := range c.FrameHist {
+		c.FrameHist[i] += o.FrameHist[i]
+	}
+	return c
+}

@@ -142,6 +142,9 @@ type Metrics struct {
 	Adapt []AdaptStats
 	// Net aggregates the endpoint traffic counters.
 	Net NetSnapshot
+	// Coll aggregates the collective-topology and protocol-aggregation
+	// counters.
+	Coll CollSnapshot
 }
 
 // Add merges two metrics snapshots: counts and histograms sum, and
@@ -190,5 +193,6 @@ func (m Metrics) Add(o Metrics) Metrics {
 	}
 	m.Adapt = adapt
 	m.Net = m.Net.Add(o.Net)
+	m.Coll = m.Coll.Add(o.Coll)
 	return m
 }

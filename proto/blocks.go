@@ -148,7 +148,15 @@ type writeThrough struct {
 	core.Base
 	fetch Fetcher
 	drain Drain
+	// Aggregated path (ctx.Aggregating()): EndWrite marks the region
+	// dirty and the store ships at the next synchronization point as one
+	// wtStore frame per home, each acknowledged once.
+	dirty []*core.Region
+	batch *core.ProtoBatcher
 }
+
+// wtFlagDirty marks a region on the aggregated path's dirty list.
+const wtFlagDirty = 1 << 0
 
 func newWriteThrough() *writeThrough {
 	return &writeThrough{fetch: Fetcher{ReqVerb: wtFetch}}
@@ -174,23 +182,71 @@ func (w *writeThrough) StartWrite(ctx *core.Ctx, r *core.Region) {
 	r.State = duValid
 }
 
-// EndWrite ships the contents home, split-phase.
+// EndWrite ships the contents home, split-phase — immediately on the
+// per-region wire path, or deferred to the next synchronization point
+// on the aggregated path (stores bound for the same home coalesce into
+// one frame; mid-phase readers see the pre-write value, which the
+// protocol's barrier-scoped read validity permits).
 func (w *writeThrough) EndWrite(ctx *core.Ctx, r *core.Region) {
 	if r.IsHome() {
+		return
+	}
+	if ctx.Aggregating() {
+		if r.Flags&wtFlagDirty == 0 {
+			r.Flags |= wtFlagDirty
+			w.dirty = append(w.dirty, r)
+		}
 		return
 	}
 	w.drain.Add(1)
 	ctx.SendProto(r.Home, uint64(r.ID), 0, wtStore, uint64(r.Space.ID), r.Data)
 }
 
-// Barrier drains in-flight stores, self-invalidates, and synchronizes.
+// shipDirty flushes the aggregated path's dirty regions as one wtStore
+// frame per home.
+func (w *writeThrough) shipDirty(ctx *core.Ctx, sp *core.Space) {
+	if len(w.dirty) == 0 {
+		return
+	}
+	if w.batch == nil {
+		w.batch = ctx.NewBatcher(sp, wtStore)
+	}
+	for _, r := range w.dirty {
+		r.Flags &^= wtFlagDirty
+		w.batch.Add(r.Home, r)
+	}
+	w.dirty = w.dirty[:0]
+	w.drain.Add(w.batch.Flush(ctx, nil))
+}
+
+// DeliverBatch installs one writer's aggregated stores and acks the
+// frame once. Stores apply unconditionally, exactly like the per-region
+// wtStore path (last writer wins; the protocol does not defer at the
+// home).
+func (w *writeThrough) DeliverBatch(ctx *core.Ctx, sp *core.Space, src amnet.NodeID, verb, tag uint64, recs []core.BatchRecord) {
+	if verb != wtStore {
+		panic(fmt.Sprintf("proto: writethrough: bad batch verb %d", verb))
+	}
+	for _, rec := range recs {
+		if !rec.R.IsHome() {
+			panic(fmt.Sprintf("proto: writethrough: batched store off-home for %v", rec.R.ID))
+		}
+		copy(rec.R.Data, rec.Data)
+	}
+	ctx.SendProto(src, 0, 0, wtAck, uint64(sp.ID), nil)
+}
+
+// Barrier ships dirty stores, drains them, self-invalidates, and
+// synchronizes.
 func (w *writeThrough) Barrier(ctx *core.Ctx, sp *core.Space) {
+	w.shipDirty(ctx, sp)
 	w.drain.Wait(ctx)
 	SelfInvalidate(ctx, sp)
 	ctx.DefaultBarrier()
 }
 
 func (w *writeThrough) FlushSpace(ctx *core.Ctx, sp *core.Space) {
+	w.shipDirty(ctx, sp)
 	w.drain.Wait(ctx)
 }
 

@@ -56,16 +56,42 @@ const (
 // updateProto is the per-(space, processor) instance.
 type updateProto struct {
 	core.Base
-	outstanding int    // updates this processor has shipped but not had acknowledged
+	outstanding int    // updates/frames this processor has shipped but not had acknowledged
 	drainSeq    uint64 // waiter blocked in Barrier/FlushSpace, 0 if none
 	nextTag     uint64
-	xacts       map[uint64]duXact // home side: in-flight propagations by tag
+	xacts       map[uint64]duXact // home side: in-flight per-region propagations by tag
+
+	// Aggregated path (ctx.Aggregating()): writes mark their region
+	// dirty (duFlagDirty) and ship at the next barrier as one duWrite
+	// frame per home; the home fans each inbound frame's updates out as
+	// one duPush frame per sharer. fxs maps a push frame's tag to the
+	// writer-frame transaction it belongs to.
+	dirty []*core.Region
+	batch *core.ProtoBatcher // writer -> home duWrite frames
+	push  *core.ProtoBatcher // home -> sharer duPush frames
+	fxs   map[uint64]*duFrameXact
 }
 
-// duXact tracks one update propagation at the home.
+// duFlagDirty marks a region on the aggregated path's dirty list. A
+// Flags bit, not PState: a sharer that writes can simultaneously hold a
+// deferred inbound push there.
+const duFlagDirty = 1 << 0
+
+// duXact tracks one per-region update propagation at the home
+// (unaggregated wire path).
 type duXact struct {
 	writer   amnet.NodeID
 	acksLeft int
+}
+
+// duFrameXact tracks one inbound writer frame at the home: regions not
+// yet applied (deferred under an open home section) plus propagated
+// push frames not yet acknowledged. The writer's single duAck goes out
+// when both reach zero.
+type duFrameXact struct {
+	writer  amnet.NodeID
+	regions int
+	await   int
 }
 
 // duHome is the home-side per-region state: work deferred while the home
@@ -73,6 +99,7 @@ type duXact struct {
 type duHome struct {
 	pendingApply [][]byte          // update payloads awaiting application
 	applySrc     []amnet.NodeID    // their writers
+	applyFx      []*duFrameXact    // owning frame transaction, nil for per-region updates
 	pendingReads []core.PendingReq // sharer fetches awaiting a quiet region
 }
 
@@ -80,13 +107,25 @@ type duHome struct {
 // local processor holds the region in an open section.
 type duPend struct {
 	payload []byte
-	tags    []uint64
+	tags    []uint64       // per-region pushes to ack (unaggregated wire path)
+	frames  []*duPushFrame // aggregated push frames this region holds up
+}
+
+// duPushFrame tracks one partially-deferred inbound push frame on a
+// sharer: the frame's single tagged ack goes out once every deferred
+// record applied.
+type duPushFrame struct {
+	home  amnet.NodeID
+	space uint64
+	tag   uint64
+	left  int
 }
 
 func (u *updateProto) Name() string { return "update" }
 
 func (u *updateProto) InitSpace(ctx *core.Ctx, sp *core.Space) {
 	u.xacts = make(map[uint64]duXact)
+	u.fxs = make(map[uint64]*duFrameXact)
 }
 
 func (u *updateProto) StartRead(ctx *core.Ctx, r *core.Region) {
@@ -116,6 +155,19 @@ func (u *updateProto) EndRead(ctx *core.Ctx, r *core.Region) {
 }
 
 func (u *updateProto) EndWrite(ctx *core.Ctx, r *core.Region) {
+	if ctx.Aggregating() {
+		// Mark dirty; the write ships at the next barrier, coalesced
+		// with every other write bound for the same home (shipDirty).
+		// Mid-phase remote readers see the pre-write value — the
+		// protocol's phase contract only validates reads across
+		// barriers, where the frame has drained.
+		if r.Flags&duFlagDirty == 0 {
+			r.Flags |= duFlagDirty
+			u.dirty = append(u.dirty, r)
+		}
+		u.sectionEnd(ctx, r)
+		return
+	}
 	// Ship the completed write to the home for application and
 	// propagation. The home is included via a self-send so deferral
 	// logic is uniform.
@@ -136,23 +188,42 @@ func (u *updateProto) sectionEnd(ctx *core.Ctx, r *core.Region) {
 	if pend, ok := r.PState.(*duPend); ok && pend != nil {
 		r.PState = nil
 		copy(r.Data, pend.payload)
+		r.State = duValid
 		for _, tag := range pend.tags {
 			ctx.SendProto(r.Home, uint64(r.ID), tag, duPushAck, uint64(r.Space.ID), nil)
+		}
+		for _, pf := range pend.frames {
+			pf.left--
+			if pf.left == 0 {
+				ctx.SendProto(pf.home, 0, pf.tag, duPushAck, pf.space, nil)
+			}
 		}
 	}
 }
 
 // homeDrain applies queued updates and serves queued fetches at the home
-// once the region is quiet.
+// once the region is quiet. Deferred records of an aggregated writer
+// frame (applyFx non-nil) propagate under their frame's transaction;
+// the degenerate one-region push frames this produces are still correct
+// — deferral at the home is the rare path.
 func (u *updateProto) homeDrain(ctx *core.Ctx, r *core.Region) {
 	h, _ := r.Dir.PData.(*duHome)
 	if h == nil {
 		return
 	}
+	sp := r.Space
 	for i, payload := range h.pendingApply {
+		if fx := h.applyFx[i]; fx != nil {
+			copy(r.Data, payload)
+			u.propagate(ctx, r, h.applySrc[i])
+			u.flushPush(ctx, sp, fx)
+			fx.regions--
+			u.frameDone(ctx, sp, fx)
+			continue
+		}
 		u.applyUpdate(ctx, r, h.applySrc[i], payload)
 	}
-	h.pendingApply, h.applySrc = nil, nil
+	h.pendingApply, h.applySrc, h.applyFx = nil, nil, nil
 	reads := h.pendingReads
 	h.pendingReads = nil
 	for _, req := range reads {
@@ -179,8 +250,150 @@ func (u *updateProto) applyUpdate(ctx *core.Ctx, r *core.Region, writer amnet.No
 }
 
 func (u *updateProto) Barrier(ctx *core.Ctx, sp *core.Space) {
+	u.shipDirty(ctx, sp)
 	u.drain(ctx)
 	ctx.DefaultBarrier()
+}
+
+// shipDirty ships the aggregated path's dirty regions: one duWrite
+// frame per remote home (one duAck each), plus direct application for
+// regions homed here, whose sharer fan-out rides push frames bound to a
+// local writer-frame transaction. No-op when nothing is dirty (and
+// always on the unaggregated path, whose EndWrite ships immediately).
+func (u *updateProto) shipDirty(ctx *core.Ctx, sp *core.Space) {
+	if len(u.dirty) == 0 {
+		return
+	}
+	if u.batch == nil {
+		u.batch = ctx.NewBatcher(sp, duWrite)
+	}
+	var local []*core.Region
+	for _, r := range u.dirty {
+		r.Flags &^= duFlagDirty
+		if r.IsHome() {
+			local = append(local, r)
+		} else {
+			u.batch.Add(r.Home, r)
+		}
+	}
+	u.dirty = u.dirty[:0]
+	u.outstanding += u.batch.Flush(ctx, nil)
+	if len(local) > 0 {
+		// Home-local writes are already in place; propagate them to
+		// sharers as one frame transaction so the drain accounting is
+		// uniform with remote frames.
+		fx := &duFrameXact{writer: ctx.ID()}
+		u.outstanding++
+		for _, r := range local {
+			u.propagate(ctx, r, ctx.ID())
+		}
+		u.flushPush(ctx, sp, fx)
+		u.frameDone(ctx, sp, fx)
+	}
+}
+
+// propagate queues r's contents for every sharer except the writer on
+// the push batcher.
+func (u *updateProto) propagate(ctx *core.Ctx, r *core.Region, writer amnet.NodeID) {
+	if u.push == nil {
+		u.push = ctx.NewBatcher(r.Space, duPush)
+	}
+	targets := r.Dir.Sharers
+	targets.Remove(writer)
+	targets.ForEach(func(n amnet.NodeID) { u.push.Add(n, r) })
+}
+
+// flushPush sends the pending push frames, binding each frame's tag to
+// fx so the acks (one per frame) retire the transaction.
+func (u *updateProto) flushPush(ctx *core.Ctx, sp *core.Space, fx *duFrameXact) {
+	if u.push == nil {
+		u.push = ctx.NewBatcher(sp, duPush)
+	}
+	fx.await += u.push.Flush(ctx, func(dst amnet.NodeID, regions int) uint64 {
+		u.nextTag++
+		u.fxs[u.nextTag] = fx
+		return u.nextTag
+	})
+}
+
+// frameDone completes a writer-frame transaction once nothing is
+// pending: remote writers get their duAck, the local writer's
+// outstanding count drops directly (everything runs under the space's
+// engine lock, application thread and pump alike).
+func (u *updateProto) frameDone(ctx *core.Ctx, sp *core.Space, fx *duFrameXact) {
+	if fx.regions != 0 || fx.await != 0 {
+		return
+	}
+	if fx.writer != ctx.ID() {
+		ctx.SendProto(fx.writer, 0, 0, duAck, uint64(sp.ID), nil)
+		return
+	}
+	u.ackOne(ctx)
+}
+
+// ackOne retires one outstanding update/frame, waking a blocked drain.
+func (u *updateProto) ackOne(ctx *core.Ctx) {
+	u.outstanding--
+	if u.outstanding == 0 && u.drainSeq != 0 {
+		seq := u.drainSeq
+		u.drainSeq = 0
+		ctx.Complete(seq, amnet.Msg{})
+	}
+}
+
+// DeliverBatch handles the two aggregated frame kinds. A duWrite frame
+// is one writer's barrier-time batch for regions homed here: records
+// apply (or defer under an open home section) and propagate to sharers
+// as per-sharer duPush frames, all bound to one transaction whose
+// completion acks the writer once. A duPush frame is one home's batch
+// for this sharer: records apply (or defer through duPend) and the
+// frame acks once with its tag.
+func (u *updateProto) DeliverBatch(ctx *core.Ctx, sp *core.Space, src amnet.NodeID, verb, tag uint64, recs []core.BatchRecord) {
+	switch verb {
+	case duWrite:
+		fx := &duFrameXact{writer: src}
+		for _, rec := range recs {
+			r := rec.R
+			if r.InUse() {
+				h := homeState(r)
+				h.pendingApply = append(h.pendingApply, append([]byte(nil), rec.Data...))
+				h.applySrc = append(h.applySrc, src)
+				h.applyFx = append(h.applyFx, fx)
+				fx.regions++
+				continue
+			}
+			copy(r.Data, rec.Data)
+			u.propagate(ctx, r, src)
+		}
+		u.flushPush(ctx, sp, fx)
+		u.frameDone(ctx, sp, fx)
+	case duPush:
+		var pf *duPushFrame
+		for _, rec := range recs {
+			r := rec.R
+			if r.InUse() {
+				if pf == nil {
+					pf = &duPushFrame{home: src, space: uint64(sp.ID), tag: tag}
+				}
+				pf.left++
+				pend, _ := r.PState.(*duPend)
+				if pend == nil {
+					pend = &duPend{}
+					r.PState = pend
+				}
+				pend.payload = append(pend.payload[:0], rec.Data...)
+				pend.frames = append(pend.frames, pf)
+				continue
+			}
+			copy(r.Data, rec.Data)
+			r.State = duValid
+		}
+		if pf == nil {
+			ctx.SendProto(src, 0, tag, duPushAck, uint64(sp.ID), nil)
+		}
+	default:
+		panic(fmt.Sprintf("proto: update: bad batch verb %d", verb))
+	}
 }
 
 // drain blocks until every update this processor shipped has been applied
@@ -194,8 +407,10 @@ func (u *updateProto) drain(ctx *core.Ctx) {
 }
 
 func (u *updateProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
-	// After a drain the home copies are authoritative and no protocol
-	// traffic is in flight; the runtime's reset does the rest.
+	// Ship anything still marked dirty first (ChangeProtocol resets the
+	// dirty bookkeeping); after a drain the home copies are authoritative
+	// and no protocol traffic is in flight.
+	u.shipDirty(ctx, sp)
 	u.drain(ctx)
 }
 
@@ -220,7 +435,9 @@ func (u *updateProto) FastBits(r *core.Region) core.FastBits {
 }
 
 func (u *updateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
-	if r == nil {
+	if r == nil && m.C != duPushAck && m.C != duAck {
+		// Frame-level acks of the aggregated path are space-level (A=0):
+		// one duPushAck per push frame, one duAck per writer frame.
 		panic(fmt.Sprintf("proto: update: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))
 	}
 	switch m.C {
@@ -237,6 +454,7 @@ func (u *updateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m a
 			h := homeState(r)
 			h.pendingApply = append(h.pendingApply, append([]byte(nil), m.Payload...))
 			h.applySrc = append(h.applySrc, m.Src)
+			h.applyFx = append(h.applyFx, nil)
 			return
 		}
 		u.applyUpdate(ctx, r, m.Src, m.Payload)
@@ -255,6 +473,12 @@ func (u *updateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m a
 		r.State = duValid
 		ctx.SendProto(m.Src, m.A, m.B, duPushAck, m.D, nil)
 	case duPushAck:
+		if fx, ok := u.fxs[m.B]; ok {
+			delete(u.fxs, m.B)
+			fx.await--
+			u.frameDone(ctx, sp, fx)
+			return
+		}
 		x, ok := u.xacts[m.B]
 		if !ok {
 			panic(fmt.Sprintf("proto: update: proc %d: stray push ack tag %d", ctx.ID(), m.B))
@@ -267,12 +491,7 @@ func (u *updateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m a
 		delete(u.xacts, m.B)
 		ctx.SendProto(x.writer, m.A, 0, duAck, m.D, nil)
 	case duAck:
-		u.outstanding--
-		if u.outstanding == 0 && u.drainSeq != 0 {
-			seq := u.drainSeq
-			u.drainSeq = 0
-			ctx.Complete(seq, amnet.Msg{})
-		}
+		u.ackOne(ctx)
 	default:
 		panic(fmt.Sprintf("proto: update: bad verb %d", m.C))
 	}

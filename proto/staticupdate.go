@@ -50,14 +50,24 @@ const (
 type staticUpdateProto struct {
 	core.Base
 	dirty       []*core.Region // home regions written since the last barrier
-	outstanding int            // pushes shipped, not yet acknowledged
+	outstanding int            // pushes/frames shipped, not yet acknowledged
 	drainSeq    uint64
+	batch       *core.ProtoBatcher // aggregated barrier pushes (lazily created)
 }
 
 // suPend defers a push that arrived while the region was in a section.
 type suPend struct {
 	payload []byte
-	acks    int
+	acks    int        // per-region pushes deferred (unaggregated wire path)
+	frames  []*suFrame // aggregated frames this region holds up
+}
+
+// suFrame tracks one partially-deferred inbound push frame on a sharer:
+// the frame's single ack goes out once every deferred record applied.
+type suFrame struct {
+	src   amnet.NodeID
+	space uint64
+	left  int
 }
 
 func (s *staticUpdateProto) Name() string { return "staticupdate" }
@@ -109,25 +119,81 @@ func (s *staticUpdateProto) applyDeferred(ctx *core.Ctx, r *core.Region) {
 	if pend, ok := r.PState.(*suPend); ok && pend != nil {
 		r.PState = nil
 		copy(r.Data, pend.payload)
+		r.State = duValid
 		for i := 0; i < pend.acks; i++ {
 			ctx.SendProto(r.Home, uint64(r.ID), 0, suPushAck, uint64(r.Space.ID), nil)
+		}
+		for _, f := range pend.frames {
+			f.left--
+			if f.left == 0 {
+				ctx.SendProto(f.src, 0, 0, suPushAck, f.space, nil)
+			}
 		}
 	}
 }
 
 // Barrier pushes every dirty region to its recorded sharers, waits for all
-// acknowledgements, and then performs the underlying barrier.
+// acknowledgements, and then performs the underlying barrier. With
+// aggregation on, pushes bound for the same sharer coalesce into one
+// frame with one ack (R dirty regions x S sharers collapse to at most S
+// messages); the per-region wire path below is the reference baseline.
 func (s *staticUpdateProto) Barrier(ctx *core.Ctx, sp *core.Space) {
-	for _, r := range s.dirty {
-		r.PState = nil
-		r.Dir.Sharers.ForEach(func(n amnet.NodeID) {
-			s.outstanding++
-			ctx.SendProto(n, uint64(r.ID), 0, suPush, uint64(sp.ID), r.Data)
-		})
+	if ctx.Aggregating() {
+		if s.batch == nil {
+			s.batch = ctx.NewBatcher(sp, suPush)
+		}
+		for _, r := range s.dirty {
+			r.PState = nil
+			r.Dir.Sharers.ForEach(func(n amnet.NodeID) { s.batch.Add(n, r) })
+		}
+		s.dirty = s.dirty[:0]
+		s.outstanding += s.batch.Flush(ctx, nil)
+	} else {
+		for _, r := range s.dirty {
+			r.PState = nil
+			r.Dir.Sharers.ForEach(func(n amnet.NodeID) {
+				s.outstanding++
+				ctx.SendProto(n, uint64(r.ID), 0, suPush, uint64(sp.ID), r.Data)
+			})
+		}
+		s.dirty = s.dirty[:0]
 	}
-	s.dirty = s.dirty[:0]
 	s.drain(ctx)
 	ctx.DefaultBarrier()
+}
+
+// DeliverBatch applies one aggregated barrier frame: every dirty region
+// of one home that this sharer subscribes to, acknowledged with a
+// single space-level suPushAck once all records applied — immediately,
+// or at section end for records the local thread holds open (those
+// defer through suPend with a shared per-frame countdown).
+func (s *staticUpdateProto) DeliverBatch(ctx *core.Ctx, sp *core.Space, src amnet.NodeID, verb, tag uint64, recs []core.BatchRecord) {
+	if verb != suPush {
+		panic(fmt.Sprintf("proto: staticupdate: bad batch verb %d", verb))
+	}
+	var frame *suFrame
+	for _, rec := range recs {
+		r := rec.R
+		if r.InUse() {
+			if frame == nil {
+				frame = &suFrame{src: src, space: uint64(sp.ID)}
+			}
+			frame.left++
+			pend, _ := r.PState.(*suPend)
+			if pend == nil {
+				pend = &suPend{}
+				r.PState = pend
+			}
+			pend.payload = append(pend.payload[:0], rec.Data...)
+			pend.frames = append(pend.frames, frame)
+			continue
+		}
+		copy(r.Data, rec.Data)
+		r.State = duValid
+	}
+	if frame == nil {
+		ctx.SendProto(src, 0, 0, suPushAck, uint64(sp.ID), nil)
+	}
 }
 
 func (s *staticUpdateProto) drain(ctx *core.Ctx) {
@@ -162,7 +228,9 @@ func (s *staticUpdateProto) FastBits(r *core.Region) core.FastBits {
 }
 
 func (s *staticUpdateProto) Deliver(ctx *core.Ctx, sp *core.Space, r *core.Region, m amnet.Msg) {
-	if r == nil {
+	if r == nil && m.C != suPushAck {
+		// suPushAck may be space-level (A=0): the single ack of an
+		// aggregated frame. Everything else names a region.
 		panic(fmt.Sprintf("proto: staticupdate: proc %d: message %d for unknown region %v", ctx.ID(), m.C, core.RegionID(m.A)))
 	}
 	switch m.C {
