@@ -36,6 +36,7 @@ bench:
 	$(GO) run ./cmd/acebench -exp bracket -baseline BENCH_bracket.json -out BENCH_bracket.json
 	$(GO) run ./cmd/acebench -exp scale
 	$(GO) run ./cmd/acebench -exp coll
+	$(GO) run ./cmd/acebench -exp elastic
 
 # bench-smoke runs the fabric benchmarks briefly so CI catches a stalled
 # or asserting fast path without paying for full measurements, plus one
@@ -47,18 +48,24 @@ bench-smoke:
 	$(GO) run ./cmd/acebench -exp adapt -scale small -out /tmp/acebench_adapt_smoke.json
 	$(GO) run ./cmd/acebench -exp scale -procs 4 -scale small -out /tmp/acebench_scale_smoke.json
 	$(GO) run ./cmd/acebench -exp coll -procs 4 -scale small -out /tmp/acebench_coll_smoke.json
+	$(GO) run ./cmd/acebench -exp elastic -procs 4 -scale small -out /tmp/acebench_elastic_smoke.json
 
 # chaos-smoke is the protocol-conformance stress gate: the fixed-seed
 # protocol × fault-policy matrix (seeds 1..3) via the package tests,
 # the collective topology × aggregation cells (tree/star, agg on/off,
-# lane-overlap stress, star-vs-tree bit-identical reductions), plus one
-# race-enabled cell on the nastiest policy. Fixed seeds keep it
-# deterministic and under a minute.
+# lane-overlap stress, star-vs-tree bit-identical reductions), the
+# elastic cells (checkpoint/kill/rejoin drills, MigrateHome
+# mid-workload, the broken-rejoin double), plus race-enabled cells: the
+# nastiest matrix policy, one rejoin drill, and the MigrateHome-vs-
+# bracket-fast-path stress. Fixed seeds keep it deterministic.
 chaos-smoke:
 	$(GO) test -run 'TestMatrixFixedSeeds|TestBrokenDoubleCaught' ./internal/chaos
 	$(GO) test -run 'TestColl|TestStarTreeReductionBitIdentical' ./internal/chaos
+	$(GO) test -run 'TestRejoinFixedSeeds|TestBrokenRejoinCaught|TestMigrateFixedSeeds' ./internal/chaos
 	$(GO) test -race -run 'TestMatrixFixedSeeds/^(update|adaptive)$$/lossy' ./internal/chaos
 	$(GO) test -race -run 'TestCollTopologyCells/update/tree\+agg/lossy' ./internal/chaos
+	$(GO) test -race -run 'TestRejoinFixedSeeds/update/jittery' ./internal/chaos
+	$(GO) test -race -run 'TestMigrateHomeRace|TestRejoinVsTreeReduction' ./internal/core
 
 # cluster-smoke is the multi-process deployment gate: 4 real acenode
 # processes assemble over gossip + TCP on loopback, run em3d (checksum

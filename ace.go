@@ -154,6 +154,16 @@ type (
 	AdaptHints = core.AdaptHints
 	// Base is an embeddable no-op Protocol implementation.
 	Base = core.Base
+	// Checkpoint is a collective snapshot of a cluster's shared state,
+	// taken by Proc.Checkpoint at a barrier point and restored — after a
+	// failure — by Proc.RestoreCheckpoint on every processor. See
+	// DESIGN.md §13.
+	Checkpoint = core.Checkpoint
+	// CheckpointRegion is one home region's contents in a Checkpoint.
+	CheckpointRegion = core.CheckpointRegion
+	// HomeMigrator is the optional protocol hook invoked during
+	// Proc.MigrateHome's ownership flip.
+	HomeMigrator = core.HomeMigrator
 	// PeerLostError reports which peer's loss failed a blocked wait.
 	PeerLostError = core.PeerLostError
 	// SyncStallError reports a synchronization wait that outlived
@@ -266,3 +276,11 @@ func NewCluster(opts Options) (*Cluster, error) {
 // NewRegistry returns a registry with the built-in "sc" protocol plus the
 // whole protocol library.
 func NewRegistry() *Registry { return proto.NewRegistry() }
+
+// EncodeCheckpoint serializes a checkpoint to its stable wire/file
+// format (see DESIGN.md §13).
+func EncodeCheckpoint(ck *Checkpoint) []byte { return core.EncodeCheckpoint(ck) }
+
+// DecodeCheckpoint is EncodeCheckpoint's inverse; it validates the
+// framing and rejects truncated or corrupt images.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) { return core.DecodeCheckpoint(b) }

@@ -97,12 +97,14 @@ func main() {
 		ok = runChaos(*chaosProto, *chaosPolicy, *chaosSeed, *procs, *chaosColl, *chaosNoAgg)
 	case "coll":
 		ok = runColl(w, bench.Scale(*scale), reportPath(*out, "BENCH_coll.json"))
+	case "elastic":
+		ok = runElastic(w, reportPath(*out, "BENCH_elastic.json"))
 	case "all":
 		ok = runFig7a(w, *runs)
 		ok = runFig7b(w, *runs) && ok
 		ok = runTable4(*procs) && ok
 	default:
-		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, scale, adapt, chaos, coll, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, scale, adapt, chaos, coll, elastic, all)\n", *exp)
 		os.Exit(2)
 	}
 	if !ok {
@@ -167,6 +169,36 @@ func runChaos(protoName, policy string, seed int64, procs int, coll string, noAg
 	fmt.Fprintf(os.Stderr, "chaos: %d of %d runs failed\n",
 		len(failed), len(chaos.Protocols())*len(chaos.Policies())*len(seeds))
 	return false
+}
+
+// runElastic measures the elastic-membership costs — rejoin from the
+// last collective checkpoint vs a cold restart (same bit-identical
+// checksum, fewer replayed steps and messages) and the adaptive
+// controller's traffic-driven region re-homing — writes the
+// BENCH_elastic.json artifact, and enforces the acceptance gates.
+func runElastic(w bench.Workloads, out string) bool {
+	fmt.Printf("=== Elastic: checkpoint/rejoin vs cold restart, traffic-driven re-homing (%d procs) ===\n", w.Procs)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elastic: %v\n", err)
+		return false
+	}
+	rep, err := bench.WriteElasticReport(f, w)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elastic: %v\n", err)
+		return false
+	}
+	fmt.Println(bench.FormatElastic(rep))
+	fmt.Printf("wrote %s\n", out)
+	if err := bench.CheckElasticGates(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "elastic: acceptance gates failed:\n%v\n", err)
+		return false
+	}
+	fmt.Println("acceptance gates held: bit-identical rejoin below cold-restart cost, >=1 traffic-driven migration")
+	return true
 }
 
 // runColl measures the collective micro-ops on both topologies across

@@ -17,9 +17,21 @@
 // node 0 prints the cluster checksum, which matches the same workload
 // on the in-process fabric bit for bit.
 //
+// The elastic workload adds checkpoint/rejoin (DESIGN.md §13): -ckpt
+// names a checkpoint file prefix, every -ckpt-every steps each
+// processor writes its snapshot (keeping the last two), and on startup
+// the processes collectively agree — AllReduce(Min) over each rank's
+// newest on-disk step — on the most recent checkpoint everyone holds,
+// restore it, and replay from there. With -recover, a survivor that
+// loses a peer mid-run tears its mesh down and re-Joins at the next
+// recovery epoch instead of exiting; a SIGKILLed process is restarted
+// by its supervisor with -rejoin -epoch <current>, and the cluster
+// resumes from the agreed checkpoint with a bit-identical result.
+//
 // Exit codes: 0 success, 1 usage or bootstrap failure, 2 workload
 // error, 3 a peer was lost mid-run (ErrPeerLost — the failure
-// detector's verdict surfaced through a failed synchronization wait).
+// detector's verdict surfaced through a failed synchronization wait)
+// and -recover was not set.
 package main
 
 import (
@@ -27,12 +39,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/acedsm/ace"
 	"github.com/acedsm/ace/internal/apps/em3d"
+	"github.com/acedsm/ace/internal/core"
 	"github.com/acedsm/ace/internal/rtiface"
 )
 
@@ -48,41 +63,44 @@ func main() {
 		dead     = flag.Duration("dead", 0, "failure-detector death threshold (default 3x suspicion)")
 		joinWait = flag.Duration("join-timeout", 30*time.Second, "bound on membership convergence")
 		syncWait = flag.Duration("sync-timeout", 0, "bound on blocking synchronization waits (0 = forever)")
-		run      = flag.String("run", "em3d", "workload: em3d | wait | hang")
+		run      = flag.String("run", "em3d", "workload: em3d | elastic | wait | hang")
 		standAl  = flag.Bool("standalone", false, "skip gossip/TCP: run all nodes in this process on the in-process fabric (reference mode)")
 		steps    = flag.Int("steps", 10, "em3d: simulation steps")
 		size     = flag.Int("size", 256, "em3d: E and H vertices, each")
-		proto    = flag.String("proto", "", "em3d: protocol for the value spaces (empty = default)")
+		protoF   = flag.String("proto", "", "em3d: protocol for the value spaces (empty = default)")
 		appSeed  = flag.Int64("app-seed", 42, "em3d: workload seed")
+		ckpt     = flag.String("ckpt", "", "elastic: checkpoint file prefix (empty = no checkpoints)")
+		ckptEvry = flag.Int("ckpt-every", 2, "elastic: steps between collective checkpoints")
+		epochF   = flag.Uint64("epoch", 0, "recovery epoch to join at (0 = fresh deployment)")
+		rejoinF  = flag.Bool("rejoin", false, "rejoin a recovering cluster at -epoch (restarted member)")
+		recoverF = flag.Bool("recover", false, "elastic: on peer loss, re-join at the next epoch and resume from checkpoint instead of exiting")
+		stepDel  = flag.Duration("step-delay", 0, "elastic: sleep after every step (stretches the run for kill drills)")
 	)
 	flag.Parse()
 
-	var cl *ace.Cluster
-	if *standAl {
-		if *nodes <= 0 {
-			fmt.Fprintln(os.Stderr, "usage: acenode -standalone -nodes N [-run em3d|wait]")
-			os.Exit(1)
-		}
-		var err error
-		cl, err = ace.NewCluster(ace.Options{Procs: *nodes, SyncTimeout: *syncWait})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "acenode: cluster:", err)
-			os.Exit(1)
-		}
-	} else {
-		localIDs, err := parseIDs(*local)
-		if *nodes <= 0 || err != nil || len(localIDs) == 0 {
-			fmt.Fprintln(os.Stderr, "usage: acenode -nodes N -local i[,j...] [-gossip addr] [-seeds a,b] [-run em3d|wait]")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "  -local:", err)
+	localIDs, perr := parseIDs(*local)
+	if !*standAl {
+		if *nodes <= 0 || perr != nil || len(localIDs) == 0 {
+			fmt.Fprintln(os.Stderr, "usage: acenode -nodes N -local i[,j...] [-gossip addr] [-seeds a,b] [-run em3d|elastic|wait|hang]")
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "  -local:", perr)
 			}
 			os.Exit(1)
 		}
-		var seedList []string
-		if *seeds != "" {
-			seedList = strings.Split(*seeds, ",")
+	} else if *nodes <= 0 {
+		fmt.Fprintln(os.Stderr, "usage: acenode -standalone -nodes N [-run em3d|elastic|wait]")
+		os.Exit(1)
+	}
+
+	var seedList []string
+	if *seeds != "" {
+		seedList = strings.Split(*seeds, ",")
+	}
+	makeCluster := func(epoch uint64, rejoin bool) (*ace.Cluster, error) {
+		if *standAl {
+			return ace.NewCluster(ace.Options{Procs: *nodes, SyncTimeout: *syncWait})
 		}
-		cl, err = ace.Join(ace.NodeConfig{
+		cl, err := ace.Join(ace.NodeConfig{
 			Nodes:        *nodes,
 			Local:        localIDs,
 			Gossip:       *gossipAt,
@@ -92,17 +110,37 @@ func main() {
 			SuspectAfter: *suspect,
 			DeadAfter:    *dead,
 			JoinTimeout:  *joinWait,
-			Options:      ace.Options{SyncTimeout: *syncWait},
+			Epoch:        epoch,
+			Rejoin:       rejoin,
+			OnResurrect: func(member int) {
+				fmt.Printf("acenode: member %d resurrected (restarted with a fresh generation)\n", member)
+			},
+			Options: ace.Options{SyncTimeout: *syncWait},
 		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "acenode: join:", err)
-			os.Exit(1)
+		if err == nil {
+			fmt.Printf("acenode: joined as node(s) %s of %d (epoch %d)\n", *local, *nodes, epoch)
 		}
-		fmt.Printf("acenode: joined as node(s) %s of %d\n", *local, *nodes)
+		return cl, err
+	}
+
+	cfg := em3d.DefaultConfig()
+	cfg.Steps = *steps
+	cfg.Nodes = *size
+	cfg.Seed = *appSeed
+	cfg.Proto = *protoF
+
+	if *run == "elastic" {
+		elasticMain(makeCluster, cfg, *ckpt, *ckptEvry, *stepDel, *epochF, *rejoinF, *recoverF)
+		return
+	}
+
+	cl, err := makeCluster(*epochF, *rejoinF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acenode: cluster:", err)
+		os.Exit(1)
 	}
 	defer cl.Close()
 
-	var err error
 	switch *run {
 	case "wait":
 		// Membership only: hold the processors in a barrier so the
@@ -121,11 +159,6 @@ func main() {
 			select {}
 		})
 	case "em3d":
-		cfg := em3d.DefaultConfig()
-		cfg.Steps = *steps
-		cfg.Nodes = *size
-		cfg.Seed = *appSeed
-		cfg.Proto = *proto
 		err = cl.Run(func(p *ace.Proc) error {
 			res, err := em3d.Run(rtiface.NewAce(p), cfg)
 			if err != nil {
@@ -141,14 +174,140 @@ func main() {
 		fmt.Fprintf(os.Stderr, "acenode: unknown workload %q\n", *run)
 		os.Exit(1)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "acenode: run:", err)
-		if errors.Is(err, ace.ErrPeerLost) {
-			os.Exit(3)
+	exitOn(err)
+}
+
+// elasticMain runs the checkpointing EM3D workload, optionally looping
+// through peer-loss recovery: tear down, re-Join at the next epoch,
+// agree on the newest checkpoint every rank holds, restore, replay.
+func elasticMain(makeCluster func(epoch uint64, rejoin bool) (*ace.Cluster, error),
+	cfg em3d.Config, ckpt string, every int, delay time.Duration, epoch uint64, rejoin, recov bool) {
+	for {
+		cl, err := makeCluster(epoch, rejoin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acenode: cluster:", err)
+			os.Exit(1)
 		}
-		os.Exit(2)
+		err = cl.Run(func(p *ace.Proc) error {
+			el := em3d.ElasticConfig{Every: every, Delay: delay}
+			if ckpt != "" {
+				el.Save = func(ck *core.Checkpoint) error {
+					return saveCheckpoint(ckpt, p.ID(), ck)
+				}
+				// Collective resume decision: the newest step every rank
+				// has on disk (-1 where none). Keep-last-2 retention makes
+				// the agreed step present everywhere — ranks are at most
+				// one save apart, since saving step K happens before
+				// entering the collectives that lead to step K+every.
+				my := latestCheckpointStep(ckpt, p.ID())
+				agreed := p.AllReduceInt64(ace.OpMin, my)
+				if agreed >= 0 {
+					ck, err := loadCheckpoint(ckpt, p.ID(), agreed)
+					if err != nil {
+						return err
+					}
+					el.Resume = ck
+					fmt.Printf("acenode: node %d restored from checkpoint step=%d\n", p.ID(), agreed)
+				}
+			}
+			res, err := em3d.RunElastic(p, cfg, el)
+			if err != nil {
+				return err
+			}
+			// Every rank prints: the checksum is an AllReduce, so the
+			// lines must be bit-identical — including on a rank that
+			// crashed and rejoined, which is the parity the smoke
+			// script asserts.
+			fmt.Printf("acenode: em3d checksum %.17g (%d steps, %d vertices)\n",
+				res.Checksum, cfg.Steps, cfg.Nodes)
+			return nil
+		})
+		cl.Close()
+		if err != nil && errors.Is(err, ace.ErrPeerLost) && recov {
+			epoch++
+			rejoin = true
+			fmt.Printf("acenode: peer lost; recovering at epoch %d\n", epoch)
+			continue
+		}
+		exitOn(err)
+		return
 	}
-	fmt.Println("acenode: done")
+}
+
+func exitOn(err error) {
+	if err == nil {
+		fmt.Println("acenode: done")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "acenode: run:", err)
+	if errors.Is(err, ace.ErrPeerLost) {
+		os.Exit(3)
+	}
+	os.Exit(2)
+}
+
+// ckptFile names rank's checkpoint of one application step.
+func ckptFile(prefix string, rank int, step int64) string {
+	return fmt.Sprintf("%s.%d.%d", prefix, rank, step)
+}
+
+// saveCheckpoint atomically writes one checkpoint file (temp + rename,
+// so a kill mid-write leaves no torn image behind) and prunes this
+// rank's older files down to the last two steps.
+func saveCheckpoint(prefix string, rank int, ck *core.Checkpoint) error {
+	path := ckptFile(prefix, rank, int64(ck.App))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, ace.EncodeCheckpoint(ck), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	steps := checkpointSteps(prefix, rank)
+	for len(steps) > 2 {
+		os.Remove(ckptFile(prefix, rank, steps[0]))
+		steps = steps[1:]
+	}
+	return nil
+}
+
+// checkpointSteps lists the steps of rank's on-disk checkpoints,
+// ascending.
+func checkpointSteps(prefix string, rank int) []int64 {
+	matches, _ := filepath.Glob(fmt.Sprintf("%s.%d.*", prefix, rank))
+	var steps []int64
+	for _, m := range matches {
+		suffix := m[strings.LastIndexByte(m, '.')+1:]
+		n, err := strconv.ParseInt(suffix, 10, 64)
+		if err != nil {
+			continue // .tmp leftovers and strangers
+		}
+		steps = append(steps, n)
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	return steps
+}
+
+// latestCheckpointStep returns the newest step rank has on disk, or -1.
+func latestCheckpointStep(prefix string, rank int) int64 {
+	steps := checkpointSteps(prefix, rank)
+	if len(steps) == 0 {
+		return -1
+	}
+	return steps[len(steps)-1]
+}
+
+// loadCheckpoint reads and decodes one checkpoint file.
+func loadCheckpoint(prefix string, rank int, step int64) (*core.Checkpoint, error) {
+	buf, err := os.ReadFile(ckptFile(prefix, rank, step))
+	if err != nil {
+		return nil, err
+	}
+	ck, err := ace.DecodeCheckpoint(buf)
+	if err != nil {
+		return nil, fmt.Errorf("acenode: checkpoint %s: %w", ckptFile(prefix, rank, step), err)
+	}
+	return ck, nil
 }
 
 func parseIDs(s string) ([]int, error) {

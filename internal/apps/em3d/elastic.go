@@ -1,0 +1,152 @@
+package em3d
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/acedsm/ace/internal/apps/apputil"
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/rtiface"
+)
+
+// ElasticConfig adds checkpoint/restore to an EM3D run (DESIGN.md §13).
+// The graph construction is deterministic from Config, so a restarted
+// cluster of the same shape reallocates the same region ids; a
+// checkpoint therefore only needs the region contents plus the step it
+// was taken at, and re-execution from there is bit-identical.
+type ElasticConfig struct {
+	// Every takes a collective checkpoint before computing step K for
+	// every K that is a positive multiple of Every (0 disables).
+	Every int
+	// Save persists this processor's checkpoint; called on every
+	// processor, outside any collective (failures propagate as run
+	// errors). Nil discards.
+	Save func(ck *core.Checkpoint) error
+	// Resume, if non-nil, restores this checkpoint after construction
+	// and starts the time-step loop at Resume.App instead of 0.
+	Resume *core.Checkpoint
+	// Delay, if positive, sleeps this long after every step — a drill
+	// knob that stretches the run so a chaos harness can kill a process
+	// mid-computation at a predictable step.
+	Delay time.Duration
+}
+
+// RunElastic executes EM3D on a core cluster with periodic collective
+// checkpoints, optionally resuming from one. The computation — and its
+// checksum — matches Run on the same Config bit for bit: construction
+// is replayed, state is reset to the checkpoint image, and the
+// remaining steps re-execute deterministically.
+func RunElastic(p *core.Proc, cfg Config, el ElasticConfig) (apputil.Result, error) {
+	rt := rtiface.NewAce(p)
+	res := apputil.Result{Name: "em3d", Runtime: rt.Name(), Protocols: protoLabel(cfg.Proto)}
+	if cfg.Nodes < p.Procs() || cfg.Degree < 1 || cfg.Steps < 2 {
+		return res, fmt.Errorf("em3d: bad config %+v", cfg)
+	}
+	start := 0
+	if el.Resume != nil {
+		start = int(el.Resume.App)
+		if start < 0 || start >= cfg.Steps {
+			return res, fmt.Errorf("em3d: checkpoint step %d outside [0,%d)", start, cfg.Steps)
+		}
+	}
+
+	// Construction, exactly as Run: two spaces born sequentially
+	// consistent, switched after the graph is built.
+	eSpace, err := p.NewSpace("sc")
+	if err != nil {
+		return res, err
+	}
+	hSpace, err := p.NewSpace("sc")
+	if err != nil {
+		return res, err
+	}
+	lo, hi := apputil.Block(cfg.Nodes, p.Procs(), p.ID())
+	mineE := make([]core.RegionID, 0, hi-lo)
+	mineH := make([]core.RegionID, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		mineE = append(mineE, p.GMalloc(eSpace, 8))
+		mineH = append(mineH, p.GMalloc(hSpace, 8))
+	}
+	eIDs := gatherIDs(rt, cfg.Nodes, mineE)
+	hIDs := gatherIDs(rt, cfg.Nodes, mineH)
+	eNodes := buildNodes(cfg, lo, hi, eIDs, hIDs, 0, rt)
+	hNodes := buildNodes(cfg, lo, hi, hIDs, eIDs, 1, rt)
+	for i, n := range eNodes {
+		r := p.Map(n.own)
+		p.StartWrite(r)
+		r.Data.SetFloat64(0, float64(lo+i)/float64(cfg.Nodes))
+		p.EndWrite(r)
+		p.Unmap(r)
+	}
+	for i, n := range hNodes {
+		r := p.Map(n.own)
+		p.StartWrite(r)
+		r.Data.SetFloat64(0, float64(lo+i+cfg.Nodes)/float64(cfg.Nodes))
+		p.EndWrite(r)
+		p.Unmap(r)
+	}
+	p.GlobalBarrier()
+	if cfg.Proto != "" && cfg.Proto != "sc" {
+		if err := p.ChangeProtocol(eSpace, cfg.Proto); err != nil {
+			return res, err
+		}
+		if err := p.ChangeProtocol(hSpace, cfg.Proto); err != nil {
+			return res, err
+		}
+	}
+
+	// Restore after the protocol switch so the checkpoint lands on the
+	// same protocol it was taken under (RestoreCheckpoint resets the
+	// installed protocol's state either way).
+	if el.Resume != nil {
+		if err := p.RestoreCheckpoint(el.Resume); err != nil {
+			return res, err
+		}
+		// Restore is local; fence it collectively so no processor's
+		// first remote fetch can race a peer still installing its image.
+		p.GlobalBarrier()
+	}
+
+	var tm apputil.Timer
+	for step := start; step < cfg.Steps; step++ {
+		if el.Every > 0 && step > start && step%el.Every == 0 {
+			ck, err := p.Checkpoint(uint64(step))
+			if err != nil {
+				return res, err
+			}
+			if el.Save != nil {
+				if err := el.Save(ck); err != nil {
+					return res, fmt.Errorf("em3d: checkpoint save: %w", err)
+				}
+			}
+		}
+		tm.StartIter()
+		computePhase(rt, eNodes)
+		p.Barrier(eSpace)
+		computePhase(rt, hNodes)
+		p.Barrier(hSpace)
+		tm.EndIter()
+		if el.Delay > 0 {
+			time.Sleep(el.Delay)
+		}
+	}
+
+	sum := 0.0
+	for _, n := range append(append([]node{}, eNodes...), hNodes...) {
+		r := p.Map(n.own)
+		p.StartRead(r)
+		sum += r.Data.Float64(0)
+		p.EndRead(r)
+		p.Unmap(r)
+	}
+	res.Checksum = p.AllReduceFloat64(core.OpSum, sum)
+
+	iters, total := tm.Timed()
+	res.Iters = iters
+	res.Total = time.Duration(p.AllReduceInt64(core.OpMax, int64(total)))
+	if iters > 0 {
+		res.TimePerIter = res.Total / time.Duration(iters)
+	}
+	p.GlobalBarrier()
+	return res, nil
+}

@@ -1,0 +1,288 @@
+package bench
+
+// Elastic-membership measurements backing BENCH_elastic.json
+// (`acebench -exp elastic`). Two suites:
+//
+//   - Recovery: the checkpointing EM3D workload run twice on fresh
+//     clusters — once cold (full re-execution from step 0, the only
+//     option without checkpoints) and once as a rejoin (restore the
+//     last collective checkpoint, replay the remaining steps). Both
+//     must converge to the bit-identical checksum; the rows compare
+//     wall-clock and messages-to-converge, which is the bound the
+//     checkpoint generation buys (DESIGN.md §13).
+//
+//   - Migration: a deliberately skewed placement — every region homed
+//     at processor 0 while the other processors ping-pong exclusive
+//     ownership through it — run under the adaptive controller with
+//     re-homing enabled. The controller must observe the per-home
+//     traffic skew and perform at least one traffic-driven MigrateHome
+//     (the acceptance gate); the row records how many regions left the
+//     hot home.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/acedsm/ace/internal/apps/em3d"
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/proto"
+)
+
+// ElasticRecoveryRow is one recovery mode's cost in BENCH_elastic.json.
+type ElasticRecoveryRow struct {
+	Mode          string  `json:"mode"` // "cold" or "rejoin"
+	StepsReplayed int     `json:"steps_replayed"`
+	Seconds       float64 `json:"seconds"`
+	Msgs          uint64  `json:"msgs"`
+	Bytes         uint64  `json:"bytes"`
+	Checksum      float64 `json:"checksum"`
+}
+
+// ElasticMigrationRow is the traffic-driven re-homing demo's outcome.
+type ElasticMigrationRow struct {
+	Procs      int    `json:"procs"`
+	Regions    int    `json:"regions"`
+	Rounds     int    `json:"rounds"`
+	Migrations uint64 `json:"migrations"`
+	// HomesMoved counts regions no longer homed at the initially hot
+	// processor when the run ends.
+	HomesMoved int `json:"homes_moved"`
+}
+
+// ElasticReport is the BENCH_elastic.json document.
+type ElasticReport struct {
+	Generated string               `json:"generated_by"`
+	Procs     int                  `json:"procs"`
+	Steps     int                  `json:"em3d_steps"`
+	CkptEvery int                  `json:"checkpoint_every"`
+	CkptStep  int                  `json:"checkpoint_step"` // step the rejoin resumed from
+	Recovery  []ElasticRecoveryRow `json:"recovery"`
+	Migration ElasticMigrationRow  `json:"migration"`
+}
+
+// runElasticEM3D runs the checkpointing EM3D workload once on a fresh
+// cluster. save and resume are per-rank hooks (nil to disable); the
+// returned row carries rank 0's checksum and the cluster-wide traffic.
+func runElasticEM3D(procs int, cfg em3d.Config, every int,
+	save func(ck *core.Checkpoint) error,
+	resume func(rank int) (*core.Checkpoint, error)) (ElasticRecoveryRow, error) {
+
+	cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry()})
+	if err != nil {
+		return ElasticRecoveryRow{}, err
+	}
+	defer cl.Close()
+	sums := make([]float64, procs)
+	start := time.Now()
+	err = cl.Run(func(p *core.Proc) error {
+		el := em3d.ElasticConfig{Every: every, Save: save}
+		if resume != nil {
+			ck, err := resume(p.ID())
+			if err != nil {
+				return err
+			}
+			el.Resume = ck
+		}
+		res, err := em3d.RunElastic(p, cfg, el)
+		if err != nil {
+			return err
+		}
+		sums[p.ID()] = res.Checksum
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return ElasticRecoveryRow{}, err
+	}
+	m := cl.Metrics()
+	return ElasticRecoveryRow{
+		Seconds:  elapsed.Seconds(),
+		Msgs:     m.Net.MsgsSent,
+		Bytes:    m.Net.BytesSent,
+		Checksum: sums[0],
+	}, nil
+}
+
+// measureElasticRecovery produces the cold-vs-rejoin comparison. The
+// cold run doubles as the checkpoint producer: its Save hook keeps each
+// rank's newest encoded checkpoint in memory (exactly what acenode
+// keeps on disk), and the rejoin run restores from those and replays
+// only the remaining steps.
+func measureElasticRecovery(w Workloads) (rows []ElasticRecoveryRow, ckptEvery, ckptStep int, err error) {
+	cfg := w.EM3D
+	ckptEvery = cfg.Steps / 4
+	if ckptEvery < 1 {
+		ckptEvery = 1
+	}
+	saved := make([][]byte, w.Procs)
+	lastStep := make([]int, w.Procs)
+	save := func(ck *core.Checkpoint) error {
+		saved[ck.Rank] = core.EncodeCheckpoint(ck)
+		lastStep[ck.Rank] = int(ck.App)
+		return nil
+	}
+	cold, err := runElasticEM3D(w.Procs, cfg, ckptEvery, save, nil)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("cold run: %w", err)
+	}
+	ckptStep = lastStep[0]
+	cold.Mode = "cold"
+	cold.StepsReplayed = cfg.Steps
+
+	resume := func(rank int) (*core.Checkpoint, error) {
+		if saved[rank] == nil {
+			return nil, fmt.Errorf("rank %d produced no checkpoint", rank)
+		}
+		return core.DecodeCheckpoint(saved[rank])
+	}
+	rejoin, err := runElasticEM3D(w.Procs, cfg, ckptEvery, nil, resume)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("rejoin run: %w", err)
+	}
+	rejoin.Mode = "rejoin"
+	rejoin.StepsReplayed = cfg.Steps - ckptStep
+	return []ElasticRecoveryRow{cold, rejoin}, ckptEvery, ckptStep, nil
+}
+
+// measureElasticMigration runs the skewed-placement workload under the
+// re-homing controller. Processor 0 homes every region and does no work
+// of its own; the others ping-pong exclusive ownership through it, so
+// the per-home traffic vector is maximally skewed and the controller
+// must migrate.
+func measureElasticMigration(procs int) (ElasticMigrationRow, error) {
+	const regions, rounds, hammers = 8, 40, 24
+	row := ElasticMigrationRow{Procs: procs, Regions: regions, Rounds: rounds}
+	acfg := &core.AdaptConfig{
+		EpochBarriers:  2,
+		Cooldown:       -1, // no initial quiet period
+		MinOps:         1,
+		MigrateFactor:  2,
+		MinMigrateMsgs: 8,
+	}
+	cl, err := core.NewCluster(core.Options{Procs: procs, Registry: proto.NewRegistry(), Adapt: acfg})
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+	moved := make([]int, procs)
+	err = cl.Run(func(p *core.Proc) error {
+		sp, err := p.NewSpace("sc")
+		if err != nil {
+			return err
+		}
+		ids := make([]core.RegionID, regions)
+		for r := range ids {
+			if p.ID() == 0 {
+				ids[r] = p.GMalloc(sp, 8)
+			}
+			ids[r] = p.BroadcastID(0, ids[r])
+		}
+		hs := make([]*core.Region, regions)
+		for r, id := range ids {
+			hs[r] = p.Map(id)
+		}
+		p.Barrier(sp)
+		for round := 0; round < rounds; round++ {
+			if p.ID() != 0 {
+				// Every non-home processor writes the same region
+				// sequence, so exclusive ownership ping-pongs through
+				// the home's directory on each transfer.
+				for k := 0; k < hammers; k++ {
+					h := hs[(round+k)%regions]
+					p.StartWrite(h)
+					h.Data.SetInt64(0, int64(round*hammers+k))
+					p.EndWrite(h)
+				}
+			}
+			p.Barrier(sp)
+		}
+		for _, h := range hs {
+			if int(h.Home) != 0 {
+				moved[p.ID()]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return row, err
+	}
+	for _, a := range cl.Metrics().Adapt {
+		row.Migrations += a.Migrations
+	}
+	row.HomesMoved = moved[0]
+	return row, nil
+}
+
+// MeasureElastic runs both suites and returns the report body.
+func MeasureElastic(w Workloads) (ElasticReport, error) {
+	rep := ElasticReport{
+		Generated: "acebench -exp elastic",
+		Procs:     w.Procs,
+		Steps:     w.EM3D.Steps,
+	}
+	rows, every, step, err := measureElasticRecovery(w)
+	if err != nil {
+		return rep, err
+	}
+	rep.Recovery, rep.CkptEvery, rep.CkptStep = rows, every, step
+	mig, err := measureElasticMigration(w.Procs)
+	if err != nil {
+		return rep, fmt.Errorf("migration: %w", err)
+	}
+	rep.Migration = mig
+	return rep, nil
+}
+
+// WriteElasticReport measures and writes the BENCH_elastic.json
+// document.
+func WriteElasticReport(out io.Writer, w Workloads) (ElasticReport, error) {
+	rep, err := MeasureElastic(w)
+	if err != nil {
+		return rep, err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return rep, enc.Encode(rep)
+}
+
+// FormatElastic renders the report for the console.
+func FormatElastic(rep ElasticReport) string {
+	s := fmt.Sprintf("recovery (em3d, %d procs, %d steps, checkpoint every %d, resumed at %d):\n",
+		rep.Procs, rep.Steps, rep.CkptEvery, rep.CkptStep)
+	s += fmt.Sprintf("  %-8s %14s %12s %12s %12s\n", "mode", "steps replayed", "seconds", "msgs", "bytes")
+	for _, r := range rep.Recovery {
+		s += fmt.Sprintf("  %-8s %14d %12.4f %12d %12d\n", r.Mode, r.StepsReplayed, r.Seconds, r.Msgs, r.Bytes)
+	}
+	m := rep.Migration
+	s += fmt.Sprintf("migration (%d procs, %d regions homed at proc 0, %d skewed rounds):\n",
+		m.Procs, m.Regions, m.Rounds)
+	s += fmt.Sprintf("  controller migrations: %d, regions re-homed off proc 0: %d", m.Migrations, m.HomesMoved)
+	return s
+}
+
+// CheckElasticGates enforces the structural acceptance gates: the
+// rejoin must reach the cold run's bit-identical checksum with fewer
+// replayed steps and less traffic, and the controller must have
+// performed at least one traffic-driven migration.
+func CheckElasticGates(rep ElasticReport) error {
+	if len(rep.Recovery) != 2 {
+		return fmt.Errorf("elastic: %d recovery rows, want 2", len(rep.Recovery))
+	}
+	cold, rejoin := rep.Recovery[0], rep.Recovery[1]
+	if rejoin.Checksum != cold.Checksum {
+		return fmt.Errorf("elastic: rejoin checksum %.17g != cold %.17g", rejoin.Checksum, cold.Checksum)
+	}
+	if rejoin.StepsReplayed >= cold.StepsReplayed {
+		return fmt.Errorf("elastic: rejoin replayed %d steps, cold %d — checkpoint bought nothing",
+			rejoin.StepsReplayed, cold.StepsReplayed)
+	}
+	if rejoin.Msgs >= cold.Msgs {
+		return fmt.Errorf("elastic: rejoin took %d msgs to converge, cold restart %d", rejoin.Msgs, cold.Msgs)
+	}
+	if rep.Migration.Migrations < 1 {
+		return fmt.Errorf("elastic: controller performed no traffic-driven migration under maximal home skew")
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/acedsm/ace/internal/amnet"
 	"github.com/acedsm/ace/internal/trace"
 )
 
@@ -98,6 +99,18 @@ type AdaptConfig struct {
 	// the space for the rest of the run. Default 1.25; negative disables
 	// rollback.
 	RollbackMargin float64
+
+	// MigrateFactor enables traffic-driven region re-homing: when one
+	// processor's share of a space's home-bound protocol traffic in an
+	// epoch exceeds this factor times the per-processor mean, the
+	// controller migrates that home's hottest region to the least loaded
+	// processor (MigrateHome). Zero (the default) disables re-homing
+	// entirely — the traffic counters are not even maintained.
+	MigrateFactor float64
+	// MinMigrateMsgs is the minimum cluster-wide home-bound message
+	// count per epoch before the re-homing trigger fires; quieter epochs
+	// carry no placement signal. Default 64.
+	MinMigrateMsgs uint64
 }
 
 func (c AdaptConfig) withDefaults() AdaptConfig {
@@ -119,6 +132,12 @@ func (c AdaptConfig) withDefaults() AdaptConfig {
 		c.RollbackMargin = 1.25
 	} else if c.RollbackMargin < 0 {
 		c.RollbackMargin = 0
+	}
+	if c.MigrateFactor < 0 {
+		c.MigrateFactor = 0
+	}
+	if c.MinMigrateMsgs == 0 {
+		c.MinMigrateMsgs = 64
 	}
 	return c
 }
@@ -181,6 +200,7 @@ type adaptState struct {
 	probeCount    int
 	cooled        map[string]bool
 	rollbacks     uint64
+	migrations    uint64
 
 	// Monitoring-cadence backoff (see stableEpochs): stable counts
 	// consecutive do-nothing epochs, epochLen is the current barriers-
@@ -241,6 +261,7 @@ func (st *adaptState) publish(sp *Space) {
 		Epochs:          st.epoch,
 		Switches:        st.switches,
 		Rollbacks:       st.rollbacks,
+		Migrations:      st.migrations,
 		LastSwitchEpoch: st.lastSw,
 	}
 	st.pub.Store(&s)
@@ -297,7 +318,7 @@ func (p *Proc) adaptTick(sp *Space) {
 	if delta.Ops[trace.OpStartRead] > 0 {
 		rf = 1
 	}
-	agg := p.AllReduceInt64s(OpSum, []int64{
+	feats := []int64{
 		int64(delta.Ops[trace.OpStartRead]),
 		int64(delta.Ops[trace.OpStartWrite]),
 		int64(delta.Ops[trace.OpLock]),
@@ -315,7 +336,21 @@ func (p *Proc) adaptTick(sp *Space) {
 		// it prices the installed protocol, so a switch can be judged
 		// against its pre-switch baseline (and reversed).
 		epochNanos,
-	})
+	}
+	if p.cl.migrate {
+		// Per-home traffic vector, one slot per processor: each
+		// contributes its own epoch delta in its own slot, so the reduced
+		// vector — like every other decision input — is identical
+		// everywhere.
+		sp.eng.Lock()
+		my := int64(sp.homeIn)
+		sp.homeIn = 0
+		sp.eng.Unlock()
+		loads := make([]int64, p.cl.Procs())
+		loads[p.id] = my
+		feats = append(feats, loads...)
+	}
+	agg := p.AllReduceInt64s(OpSum, feats)
 	reads, writes, locks := agg[0], agg[1], agg[2]
 	remoteReads, nWriters, nReaders := agg[3], agg[4], agg[5]
 	remoteWritesEver, nanos := agg[6], agg[7]
@@ -372,6 +407,25 @@ func (p *Proc) adaptTick(sp *Space) {
 			return
 		}
 		st.baseProto = "" // probation passed; the switch stands
+	}
+
+	// Placement: with re-homing enabled, a sufficiently skewed per-home
+	// traffic vector triggers a MigrateHome before (and instead of) this
+	// epoch's protocol evaluation. Runs only outside cooldown and
+	// probation — both gates above are lockstep decisions, so every
+	// processor reaches (or skips) the migration collective together.
+	if p.cl.migrate && p.adaptMigrate(sp, st, agg[8:], cfg) {
+		st.streak = 0
+		st.target = ""
+		st.wake()
+		// Re-baseline so the migration's flush traffic is not read as
+		// application signal next epoch.
+		if cur, ok := p.rec.SpaceSnapshot(sp.ID); ok {
+			st.prev = cur
+		}
+		st.lastTick = time.Now()
+		st.publish(sp)
+		return
 	}
 
 	// This epoch is the status quo protocol's to account for: it feeds
@@ -452,6 +506,68 @@ func (p *Proc) adaptTick(sp *Space) {
 	}
 	st.lastTick = time.Now()
 	st.publish(sp)
+}
+
+// adaptMigrate evaluates the re-homing trigger against the epoch's
+// reduced per-home traffic vector and, when one home dominates,
+// migrates its hottest region to the least loaded processor. Returns
+// whether a migration ran. Collective discipline: the decision is a
+// pure function of the identical reduced vector, the candidate region
+// is broadcast from the hot home, and MigrateHome is itself collective
+// — so all processors take the same path.
+func (p *Proc) adaptMigrate(sp *Space, st *adaptState, loads []int64, cfg *AdaptConfig) bool {
+	if len(loads) != p.cl.Procs() {
+		panic(fmt.Sprintf("core: proc %d: migration load vector has %d slots for %d procs",
+			p.id, len(loads), p.cl.Procs()))
+	}
+	var total int64
+	hot, cold := 0, 0
+	for i, v := range loads {
+		total += v
+		if v > loads[hot] {
+			hot = i
+		}
+		if v < loads[cold] {
+			cold = i
+		}
+	}
+	if total < int64(cfg.MinMigrateMsgs) || hot == cold {
+		return false
+	}
+	mean := float64(total) / float64(len(loads))
+	if float64(loads[hot]) <= cfg.MigrateFactor*mean {
+		return false
+	}
+	// The hot home nominates its busiest region of the space; everyone
+	// else learns it from the broadcast. Zero means the traffic was not
+	// attributable to a region still homed there — no-op epoch.
+	var cand RegionID
+	if int(p.id) == hot {
+		var best uint64
+		sp.eng.Lock()
+		for id, n := range sp.regIn {
+			r := p.ctx.Region(id)
+			if r == nil || !r.IsHome() || r.Space != sp {
+				continue
+			}
+			if n > best || (n == best && (cand == 0 || id < cand)) {
+				best, cand = n, id
+			}
+		}
+		sp.eng.Unlock()
+	}
+	id := p.BroadcastID(hot, cand)
+	if id == 0 {
+		return false
+	}
+	if err := p.MigrateHome(sp, id, amnet.NodeID(cold)); err != nil {
+		// Unreachable unless the lockstep invariant is broken (see the
+		// adaptive-switch panic above).
+		panic(fmt.Sprintf("core: proc %d: adaptive migration of %v to %d failed: %v",
+			p.id, id, cold, err))
+	}
+	st.migrations++
+	return true
 }
 
 // classifyPattern maps one epoch's cluster-wide features to an access-

@@ -142,6 +142,16 @@ type Cluster struct {
 	procs  []*Proc // the processors hosted by this OS process
 	ran    bool
 
+	// revived is set by Revive and consumed by Resume; reviveEpoch
+	// counts revivals, keying each resume's out-of-band resync round.
+	revived     bool
+	reviveEpoch uint64
+
+	// migrate is true when the adaptive controller may re-home regions
+	// (Adapt.MigrateFactor > 0): only then do the protocol handlers
+	// maintain the per-home traffic counters the trigger consumes.
+	migrate bool
+
 	// collTree and agg are the resolved collective configuration:
 	// whether the built-in collectives route through the binomial tree,
 	// and whether protocol push aggregation is on.
@@ -245,6 +255,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if opts.Adapt != nil {
 		c.adapt = opts.Adapt
 		c.adaptTargets = adaptTargetTable(reg)
+		c.migrate = opts.Adapt.MigrateFactor > 0
 	}
 	if opts.Trace != nil && opts.Trace.Metrics {
 		for _, ep := range eps {
@@ -353,12 +364,13 @@ func (c *Cluster) WriteTrace(w io.Writer) error {
 
 // The handler identifiers reserved by the runtime.
 const (
-	hComplete  amnet.HandlerID = 1 // completes waiter m.B with the message
-	hLookup    amnet.HandlerID = 2 // region metadata request: A=id, B=seq
-	hBarArrive amnet.HandlerID = 3 // barrier arrival at node 0: A=gen, B=seq
-	hLockReq   amnet.HandlerID = 4 // region lock request: A=id, B=seq
-	hUnlockMsg amnet.HandlerID = 5 // region unlock: A=id
-	hColl      amnet.HandlerID = 6 // collective: A=tag, C=op, payload=value
-	hProto     amnet.HandlerID = 7 // protocol message: A=region, B=seq, C=verb, D=space
+	hComplete   amnet.HandlerID = 1 // completes waiter m.B with the message
+	hLookup     amnet.HandlerID = 2 // region metadata request: A=id, B=seq
+	hBarArrive  amnet.HandlerID = 3 // barrier arrival at node 0: A=gen, B=seq
+	hLockReq    amnet.HandlerID = 4 // region lock request: A=id, B=seq
+	hUnlockMsg  amnet.HandlerID = 5 // region unlock: A=id
+	hColl       amnet.HandlerID = 6 // collective: A=tag, C=op, payload=value
+	hProto      amnet.HandlerID = 7 // protocol message: A=region, B=seq, C=verb, D=space
 	hProtoBatch amnet.HandlerID = 8 // aggregated protocol frame: A=records, B=tag, C=verb, D=space
+	hMigrate    amnet.HandlerID = 9 // MigrateHome pull at the old home: A=region, B=seq, D=space
 )

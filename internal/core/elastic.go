@@ -1,0 +1,462 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/acedsm/ace/internal/faultnet"
+)
+
+// This file implements elastic membership: collective checkpoints of
+// per-space region state, restoration of a checkpoint into a freshly
+// set-up (or revived) cluster, and the revive/resume path that lets an
+// in-process cluster recover from a Kill instead of being unusable
+// after ErrPeerLost.
+//
+// The recovery model is coordinated rollback plus re-execution. A
+// barrier generation cannot be replayed by one processor alone — its
+// peers' arrival records for completed generations are gone — so after
+// a peer loss every processor rolls back to the last collective
+// checkpoint and re-executes the program from its cursor. Execution is
+// deterministic (the SPMD programs the harness runs derive all values
+// from seeds), so the re-executed run converges to bit-identical state,
+// and the work replayed is bounded by the checkpoint generation, not
+// the full history.
+
+// CheckpointRegion is one home region's snapshot inside a Checkpoint.
+type CheckpointRegion struct {
+	ID    RegionID
+	Space int
+	Size  int
+	Data  []byte
+}
+
+// Checkpoint is one processor's collectively-taken snapshot: the data
+// of every region homed here, the per-space protocol bindings, and the
+// cursors (barrier generation, collective sequence, allocation
+// sequence, application step) that version it. Checkpoints taken by
+// the same Proc.Checkpoint call on different processors share Gen and
+// App, which is what makes a set of per-rank checkpoint files a
+// consistent cut.
+type Checkpoint struct {
+	Rank    int    // processor that took the snapshot
+	Procs   int    // cluster size at snapshot time
+	Gen     uint64 // barrier generation at the snapshot barrier
+	CollSeq uint64 // collective sequence at snapshot time
+	NextSeq uint64 // region allocation cursor
+	App     uint64 // application-defined cursor (e.g. the step count)
+
+	// Protos is the protocol name of each space, indexed by space id.
+	Protos []string
+
+	// Regions holds every region homed at Rank, sorted by id.
+	Regions []CheckpointRegion
+}
+
+// Checkpoint takes a collective snapshot of every space. All
+// processors must call it at the same program point with the same app
+// cursor (verified). The sequence mirrors ChangeProtocol's safety
+// argument: a barrier fences in-flight brackets, FlushSpace drives
+// every region to the base state (authoritative data at the home, no
+// dirty cached copies), a second barrier fences the flush traffic, and
+// only then — with no coherence message in flight anywhere — is the
+// home data copied. A final barrier holds every processor until all
+// snapshots are done, so no post-checkpoint write can race a copy.
+func (p *Proc) Checkpoint(app uint64) (*Checkpoint, error) {
+	if err := p.verifyCollective(fmt.Sprintf("ckpt:%d", app)); err != nil {
+		return nil, err
+	}
+	p.ctx.DefaultBarrier()
+	sps := *p.spaces.Load()
+	for _, sp := range sps {
+		sp.eng.Lock()
+		sp.Proto.FlushSpace(sp.ctx, sp)
+		// The flush invalidated cached copies space-wide; withdraw every
+		// region's fast bits so no bracket keeps fast-hitting a flushed
+		// copy (the protocol republishes lazily, as after ChangeProtocol).
+		for _, r := range p.regionList() {
+			if r.Space == sp {
+				r.publishFast(0)
+			}
+		}
+		sp.eng.Unlock()
+	}
+	p.ctx.DefaultBarrier()
+
+	ck := &Checkpoint{
+		Rank:    int(p.id),
+		Procs:   p.cl.Procs(),
+		Gen:     p.barGen,
+		CollSeq: p.collSeq,
+		App:     app,
+		Protos:  make([]string, len(sps)),
+	}
+	p.regMu.RLock()
+	ck.NextSeq = p.nextSeq
+	p.regMu.RUnlock()
+	for i, sp := range sps {
+		sp.eng.Lock()
+		ck.Protos[i] = sp.ProtoName
+		for _, r := range p.regionList() {
+			if r.Space != sp || !r.IsHome() {
+				continue
+			}
+			data := make([]byte, r.Size)
+			copy(data, r.Data)
+			ck.Regions = append(ck.Regions, CheckpointRegion{
+				ID: r.ID, Space: sp.ID, Size: r.Size, Data: data,
+			})
+		}
+		sp.eng.Unlock()
+	}
+	sort.Slice(ck.Regions, func(i, j int) bool { return ck.Regions[i].ID < ck.Regions[j].ID })
+	p.ctx.DefaultBarrier()
+	return ck, nil
+}
+
+// RestoreCheckpoint installs ck's state into this processor: every
+// region of every checkpointed space is reset to the base state (as a
+// protocol change would), each space's protocol is re-instantiated to
+// the recorded binding, and the home-region data is copied back in.
+// The caller orchestrates the collective discipline: all processors
+// restore checkpoints of the same Gen/App before any resumes
+// execution, with no traffic in flight (a fresh bootstrap, or after
+// Cluster.Revive).
+//
+// The region table itself is not recorded: the caller re-runs its
+// deterministic setup first (GMalloc sequences restart at the same
+// ids), or resumes an in-process cluster whose tables survived. A
+// checkpointed region the table does not have — or has at the wrong
+// size, or no longer homed here — fails the restore, which is how a
+// stale or mismatched checkpoint is caught instead of poisoning the
+// cluster.
+func (p *Proc) RestoreCheckpoint(ck *Checkpoint) error {
+	if ck == nil {
+		return errors.New("core: restore of nil checkpoint")
+	}
+	if ck.Procs != p.cl.Procs() {
+		return fmt.Errorf("core: checkpoint is for %d procs, cluster has %d", ck.Procs, p.cl.Procs())
+	}
+	if ck.Rank != int(p.id) {
+		return fmt.Errorf("core: proc %d restoring checkpoint of rank %d", p.id, ck.Rank)
+	}
+	sps := *p.spaces.Load()
+	if len(ck.Protos) != len(sps) {
+		return fmt.Errorf("core: checkpoint names %d spaces, cluster has %d — re-run setup first",
+			len(ck.Protos), len(sps))
+	}
+	for i, name := range ck.Protos {
+		info, ok := p.cl.reg.Lookup(name)
+		if !ok {
+			return fmt.Errorf("core: checkpoint protocol %q not registered", name)
+		}
+		sp := sps[i]
+		sp.eng.Lock()
+		for _, r := range p.regionList() {
+			if r.Space != sp {
+				continue
+			}
+			r.disableFast()
+			r.State = 0
+			r.Flags = 0
+			r.PState = nil
+			if r.Dir != nil {
+				r.Dir.ResetCoherence()
+				r.Dir.lockMu.Lock()
+				r.Dir.LockHolder = -1
+				r.Dir.LockQueue = nil
+				r.Dir.lockMu.Unlock()
+			}
+			r.publishFast(0)
+		}
+		sp.Proto = info.New()
+		sp.ProtoName = name
+		sp.Epoch++
+		sp.PData = nil
+		sp.homeIn = 0
+		sp.regIn = nil
+		sp.fp, _ = sp.Proto.(FastPather)
+		p.rec.SetProtocol(sp.ID, name)
+		sp.Proto.InitSpace(sp.ctx, sp)
+		sp.eng.Unlock()
+	}
+	for _, cr := range ck.Regions {
+		r := p.ctx.Region(cr.ID)
+		if r == nil {
+			return fmt.Errorf("core: proc %d: checkpointed region %v missing — setup mismatch", p.id, cr.ID)
+		}
+		if !r.IsHome() {
+			return fmt.Errorf("core: proc %d: checkpointed region %v no longer homed here", p.id, cr.ID)
+		}
+		if r.Size != cr.Size || len(cr.Data) != cr.Size {
+			return fmt.Errorf("core: proc %d: checkpointed region %v size %d, local %d", p.id, cr.ID, cr.Size, r.Size)
+		}
+		sp := r.Space
+		sp.eng.Lock()
+		copy(r.Data, cr.Data)
+		sp.eng.Unlock()
+	}
+	p.regMu.Lock()
+	if p.nextSeq < ck.NextSeq {
+		p.nextSeq = ck.NextSeq
+	}
+	p.regMu.Unlock()
+	return nil
+}
+
+// ckptMagic versions the checkpoint wire format.
+const ckptMagic uint32 = 0x41434b31 // "ACK1"
+
+// EncodeCheckpoint renders ck in the versioned binary checkpoint
+// format (little-endian):
+//
+//	magic u32, procs u32, rank u32, spaces u32,
+//	gen u64, collseq u64, nextseq u64, app u64,
+//	per space: nameLen u32 + name bytes,
+//	nregions u32, per region: id u64, space u32, size u32, data bytes.
+func EncodeCheckpoint(ck *Checkpoint) []byte {
+	size := 4*4 + 4*8
+	for _, name := range ck.Protos {
+		size += 4 + len(name)
+	}
+	size += 4
+	for _, cr := range ck.Regions {
+		size += 8 + 4 + 4 + len(cr.Data)
+	}
+	buf := make([]byte, 0, size)
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	u32(ckptMagic)
+	u32(uint32(ck.Procs))
+	u32(uint32(ck.Rank))
+	u32(uint32(len(ck.Protos)))
+	u64(ck.Gen)
+	u64(ck.CollSeq)
+	u64(ck.NextSeq)
+	u64(ck.App)
+	for _, name := range ck.Protos {
+		u32(uint32(len(name)))
+		buf = append(buf, name...)
+	}
+	u32(uint32(len(ck.Regions)))
+	for _, cr := range ck.Regions {
+		u64(uint64(cr.ID))
+		u32(uint32(cr.Space))
+		u32(uint32(cr.Size))
+		buf = append(buf, cr.Data...)
+	}
+	return buf
+}
+
+// DecodeCheckpoint parses the binary checkpoint format, rejecting
+// truncated or malformed input with an error (never a panic): a
+// half-written checkpoint file must fail a rejoin loudly, not poison
+// the cluster with partial state.
+func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
+	off := 0
+	u32 := func() (uint32, error) {
+		if off+4 > len(buf) {
+			return 0, fmt.Errorf("core: truncated checkpoint at byte %d of %d", off, len(buf))
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if off+8 > len(buf) {
+			return 0, fmt.Errorf("core: truncated checkpoint at byte %d of %d", off, len(buf))
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, nil
+	}
+	magic, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %#x", magic)
+	}
+	var ck Checkpoint
+	procs, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	rank, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	nspaces, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if procs == 0 || procs > MaxProcs || rank >= procs || nspaces > 1<<16 {
+		return nil, fmt.Errorf("core: implausible checkpoint header: procs %d rank %d spaces %d", procs, rank, nspaces)
+	}
+	ck.Procs, ck.Rank = int(procs), int(rank)
+	if ck.Gen, err = u64(); err != nil {
+		return nil, err
+	}
+	if ck.CollSeq, err = u64(); err != nil {
+		return nil, err
+	}
+	if ck.NextSeq, err = u64(); err != nil {
+		return nil, err
+	}
+	if ck.App, err = u64(); err != nil {
+		return nil, err
+	}
+	ck.Protos = make([]string, nspaces)
+	for i := range ck.Protos {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if off+int(n) > len(buf) || n > 1<<10 {
+			return nil, fmt.Errorf("core: truncated checkpoint protocol name at byte %d", off)
+		}
+		ck.Protos[i] = string(buf[off : off+int(n)])
+		off += int(n)
+	}
+	nregions, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nregions; i++ {
+		id, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		space, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		size, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if space >= nspaces {
+			return nil, fmt.Errorf("core: checkpoint region %v names unknown space %d", RegionID(id), space)
+		}
+		if off+int(size) > len(buf) {
+			return nil, fmt.Errorf("core: truncated checkpoint region data at byte %d of %d", off, len(buf))
+		}
+		data := make([]byte, size)
+		copy(data, buf[off:off+int(size)])
+		off += int(size)
+		ck.Regions = append(ck.Regions, CheckpointRegion{
+			ID: RegionID(id), Space: int(space), Size: int(size), Data: data,
+		})
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("core: %d trailing bytes after checkpoint", len(buf)-off)
+	}
+	return &ck, nil
+}
+
+// FaultNet returns the fault-injection wrapper around the cluster's
+// network, or nil when the cluster runs without Options.Faults. Chaos
+// harnesses use it to Kill a peer mid-run and Revive it for a rejoin
+// drill.
+func (c *Cluster) FaultNet() *faultnet.Network {
+	fn, _ := c.net.(*faultnet.Network)
+	return fn
+}
+
+// Revive resets every local processor's peer-loss state after a
+// simulated kill, so the cluster can Resume: the down latch re-arms,
+// purged synchronization tables are re-cleared, and every outstanding
+// waiter is retired (its seq is never reused — nextWaiter is
+// monotonic — so a stale completion still in flight strands
+// harmlessly).
+//
+// Only in-process clusters (all processors local) can revive; a
+// multi-process deployment recovers by tearing down and re-Joining at
+// a higher recovery epoch instead. The caller must first quiesce the
+// transport (FaultNet().Revive + Quiesce) so no pre-kill message is
+// released after the down latch resets — the arrival handlers drop
+// stale traffic only while downPeer is set.
+func (c *Cluster) Revive() error {
+	if len(c.procs) != c.nodes {
+		return errors.New("core: Revive on a multi-process cluster — re-Join instead")
+	}
+	if !c.ran {
+		return errors.New("core: Revive before Run")
+	}
+	c.reviveEpoch++
+	for _, p := range c.procs {
+		p.purgeSyncState()
+		p.revive(c.reviveEpoch)
+	}
+	c.revived = true
+	return nil
+}
+
+// Resume re-runs an SPMD program on a revived cluster. Each processor
+// first resynchronizes its collective cursors (see resyncAfterRevive),
+// then runs fn — which restores a checkpoint and re-executes from its
+// cursor. Resume is only legal directly after Revive.
+func (c *Cluster) Resume(fn func(p *Proc) error) error {
+	if !c.revived {
+		return errors.New("core: Resume without Revive")
+	}
+	c.revived = false
+	c.ran = false
+	return c.Run(func(p *Proc) error {
+		p.resyncAfterRevive()
+		return fn(p)
+	})
+}
+
+// revive re-arms this processor's peer-loss machinery and clears the
+// rendezvous state a failed run left behind. Called with no
+// application thread running and the transport quiesced.
+func (p *Proc) revive(epoch uint64) {
+	p.downMu.Lock()
+	if p.downClosed {
+		p.downCh = make(chan struct{})
+		p.downClosed = false
+	}
+	p.downPeer.Store(-1)
+	p.downMu.Unlock()
+	p.reviveEpoch = epoch
+
+	p.wMu.Lock()
+	seqs := make([]uint64, 0, len(p.waiters))
+	for seq := range p.waiters {
+		seqs = append(seqs, seq)
+	}
+	p.wMu.Unlock()
+	for _, seq := range seqs {
+		p.retireWaiter(seq)
+	}
+	p.collMu.Lock()
+	clear(p.collGot)
+	clear(p.collWait)
+	p.collMu.Unlock()
+}
+
+// resyncTagBase is the reserved out-of-band collective tag space for
+// post-revive resynchronization. Program-order tags (barGen, collSeq)
+// are small counters; a resync tag has bit 62 set, so it can never
+// collide with a stale in-flight tag from before the kill.
+const resyncTagBase = uint64(1) << 62
+
+// resyncAfterRevive aligns the collective cursors across processors
+// after a revive. Survivors crashed at different points, so their
+// barGen/collSeq disagree; everyone adopts the maximum, which makes
+// every re-executed collective's tag strictly greater than any stale
+// tag still buffered in the fabric — stale arrivals strand in dead
+// table entries instead of completing live rendezvous. The reduce
+// itself cannot use a program-order tag (the cursors disagree), so it
+// runs in the reserved resync tag space, keyed by the revive epoch.
+func (p *Proc) resyncAfterRevive() {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], p.barGen)
+	binary.LittleEndian.PutUint64(buf[8:], p.collSeq)
+	out := p.reduceRoundTag(resyncTagBase+p.reviveEpoch, collOpMaxI, buf[:])
+	p.barGen = binary.LittleEndian.Uint64(out)
+	p.collSeq = binary.LittleEndian.Uint64(out[8:])
+}

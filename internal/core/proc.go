@@ -105,13 +105,20 @@ type Proc struct {
 	// region data to Send without a defensive clone of its own.
 	fabricCopies bool
 
-	// downCh is closed (once) when the transport declares a peer lost
+	// downCh is closed when the transport declares a peer lost
 	// (amnet.PeerAware); downPeer then holds the peer's id. Blocked
 	// synchronization waits select on it and fail with ErrPeerLost
-	// instead of hanging forever.
-	downCh   chan struct{}
-	downOnce sync.Once
-	downPeer atomic.Int32
+	// instead of hanging forever. downMu guards the latch (downClosed)
+	// so Cluster.Revive can re-arm it with a fresh channel — a plain
+	// sync.Once could fire only for the first kill of the cluster's
+	// lifetime. reviveEpoch counts revivals; it keys the out-of-band
+	// resynchronization collective (application thread reads it, revive
+	// writes it before Resume starts the thread).
+	downCh      chan struct{}
+	downMu      sync.Mutex
+	downClosed  bool
+	downPeer    atomic.Int32
+	reviveEpoch uint64
 
 	// ops counts runtime primitive invocations; fastOps the subset that
 	// completed on the lock-free bracket fast path. Indexed by trace.Op.
@@ -184,17 +191,22 @@ func newProc(c *Cluster, ep amnet.Endpoint) *Proc {
 // synchronization wait (current and future) into the ErrPeerLost path.
 // It is called from a transport goroutine and never blocks.
 func (p *Proc) peerDown(peer amnet.NodeID) {
-	p.downOnce.Do(func() {
-		p.downPeer.Store(int32(peer))
-		close(p.downCh)
-		// Purge pending collective and lock state on a fresh goroutine:
-		// this callback runs on a transport goroutine that must not
-		// block, and the purge takes runtime locks a handler may hold.
-		// downPeer is visibly set before the purge starts, and arrival
-		// handlers drop messages once it is (checked under the same
-		// locks), so the purged tables cannot repopulate.
-		go p.purgeSyncState()
-	})
+	p.downMu.Lock()
+	if p.downClosed {
+		p.downMu.Unlock()
+		return
+	}
+	p.downClosed = true
+	p.downPeer.Store(int32(peer))
+	close(p.downCh)
+	p.downMu.Unlock()
+	// Purge pending collective and lock state on a fresh goroutine:
+	// this callback runs on a transport goroutine that must not
+	// block, and the purge takes runtime locks a handler may hold.
+	// downPeer is visibly set before the purge starts, and arrival
+	// handlers drop messages once it is (checked under the same
+	// locks), so the purged tables cannot repopulate.
+	go p.purgeSyncState()
 }
 
 // ID returns this processor's id.
@@ -363,15 +375,22 @@ func (p *Proc) fetchRegion(id RegionID) *Region {
 	m := p.ctx.Wait(seq)
 	sp := p.space(int(m.C))
 	sp.eng.Lock()
-	r := p.materialize(id, int(m.A), sp)
+	r := p.materializeAt(id, int(m.A), sp, amnet.NodeID(m.D))
 	sp.eng.Unlock()
 	return r
 }
 
-// materialize creates the local view of a region homed elsewhere,
-// returning the existing view if a protocol push raced it in. Caller
-// holds sp's engine lock.
+// materialize creates the local view of a region homed elsewhere at the
+// home its id encodes, returning the existing view if a protocol push
+// raced it in. Caller holds sp's engine lock.
 func (p *Proc) materialize(id RegionID, size int, sp *Space) *Region {
+	return p.materializeAt(id, size, sp, amnet.NodeID(id.Home()))
+}
+
+// materializeAt is materialize with an explicit home: a lookup reply
+// names the region's current home, which after a MigrateHome differs
+// from the allocator the id encodes.
+func (p *Proc) materializeAt(id RegionID, size int, sp *Space, home amnet.NodeID) *Region {
 	p.regMu.Lock()
 	if r := p.regions.Get(id); r != nil {
 		p.regMu.Unlock()
@@ -379,7 +398,7 @@ func (p *Proc) materialize(id RegionID, size int, sp *Space) *Region {
 	}
 	r := &Region{
 		ID:    id,
-		Home:  amnet.NodeID(id.Home()),
+		Home:  home,
 		Size:  size,
 		Data:  make(memory.Data, size),
 		Space: sp,
@@ -657,11 +676,20 @@ func (p *Proc) registerHandlers() {
 		p.regMu.RLock()
 		r := p.regions.Get(RegionID(m.A))
 		p.regMu.RUnlock()
-		if r == nil || !r.IsHome() {
+		if r == nil {
 			panic(fmt.Sprintf("core: proc %d: lookup of unknown region %v", p.id, RegionID(m.A)))
 		}
-		// Size and Space are immutable after creation; no lock needed.
-		p.ep.Send(amnet.Msg{Dst: m.Src, Handler: hComplete, A: uint64(r.Size), B: m.B, C: uint64(r.Space.ID)})
+		// Size and Space are immutable after creation; Home is not
+		// (MigrateHome), so read it under the engine and carry it in the
+		// reply. Lookups are addressed to the region's original
+		// allocator, which always retains a view and updates its Home at
+		// every migration flip — so the requester materializes against
+		// the current home even when this node no longer is it.
+		sp := r.Space
+		sp.eng.Lock()
+		home := r.Home
+		sp.eng.Unlock()
+		p.ep.Send(amnet.Msg{Dst: m.Src, Handler: hComplete, A: uint64(r.Size), B: m.B, C: uint64(sp.ID), D: uint64(home)})
 	})
 	p.ep.Register(hBarArrive, func(m amnet.Msg) {
 		p.barrierArrive(m) // node-0 state under barMu
@@ -694,6 +722,9 @@ func (p *Proc) registerHandlers() {
 			// this point (and its count is visible below) or its CAS
 			// fails and it retries through the slow path behind eng.
 			r.disableFast()
+			if p.cl.migrate && r.IsHome() {
+				sp.countHomeIn(r.ID, 1)
+			}
 		}
 		sp.Proto.Deliver(sp.ctx, sp, r, m)
 		if r != nil {
@@ -714,6 +745,13 @@ func (p *Proc) registerHandlers() {
 				p.id, sp.ID, sp.ProtoName))
 		}
 		recs := p.decodeBatch(sp, m)
+		if p.cl.migrate {
+			for _, rec := range recs {
+				if rec.R.IsHome() {
+					sp.countHomeIn(rec.R.ID, 1)
+				}
+			}
+		}
 		bd.DeliverBatch(sp.ctx, sp, m.Src, m.C, m.B, recs)
 		for _, rec := range recs {
 			sp.refreshFast(rec.R)
@@ -721,6 +759,31 @@ func (p *Proc) registerHandlers() {
 		sp.eng.Unlock()
 		// DeliverBatch consumes record data synchronously, like Deliver.
 		amnet.Recycle(m.Payload)
+	})
+	p.ep.Register(hMigrate, func(m amnet.Msg) {
+		// A MigrateHome pull: the incoming home asks the current home for
+		// the authoritative data and lock ownership. Runs between the
+		// flush barrier and the flip barrier, so no coherence traffic
+		// races the copy; the engine lock still brackets it so the read
+		// is ordered against any local slow-path bracket.
+		sp := p.space(int(m.D))
+		sp.eng.Lock()
+		p.regMu.RLock()
+		r := p.regions.Get(RegionID(m.A))
+		p.regMu.RUnlock()
+		if r == nil || !r.IsHome() {
+			panic(fmt.Sprintf("core: proc %d: migrate pull for non-home region %v", p.id, RegionID(m.A)))
+		}
+		r.Dir.lockMu.Lock()
+		holder := r.Dir.LockHolder
+		r.Dir.lockMu.Unlock()
+		p.ep.Send(amnet.Msg{
+			Dst: m.Src, Handler: hComplete, B: m.B,
+			A:       uint64(int64(holder) + 1), // -1 (unheld) encodes as 0
+			C:       uint64(r.Size),
+			Payload: p.cloneForSend(r.Data),
+		})
+		sp.eng.Unlock()
 	})
 }
 
@@ -759,6 +822,24 @@ type Space struct {
 	// Proc.Snapshot can read the published stats concurrently; all other
 	// access is from the application thread.
 	adapt atomic.Pointer[adaptState]
+
+	// homeIn counts protocol messages delivered to regions homed at this
+	// processor since the controller's last epoch snapshot; regIn breaks
+	// the count down per region so the controller can nominate the
+	// hottest one for re-homing. Both under eng, maintained only when
+	// migration is enabled (Cluster.migrate).
+	homeIn uint64
+	regIn  map[RegionID]uint64
+}
+
+// countHomeIn charges n delivered protocol messages to the home region
+// id. Caller holds sp.eng.
+func (sp *Space) countHomeIn(id RegionID, n uint64) {
+	sp.homeIn += n
+	if sp.regIn == nil {
+		sp.regIn = make(map[RegionID]uint64)
+	}
+	sp.regIn[id] += n
 }
 
 // refreshFast recomputes and publishes r's fast-path eligibility bits

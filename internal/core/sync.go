@@ -564,7 +564,14 @@ func (p *Proc) AllReduceInt64s(op ReduceOp, v []int64) []int64 {
 // child reports, and the root starts the result wave down).
 func (p *Proc) reduceRound(code uint64, buf []byte) []byte {
 	p.collSeq++
-	tag := p.collSeq
+	return p.reduceRoundTag(p.collSeq, code, buf)
+}
+
+// reduceRoundTag is reduceRound with a caller-chosen tag. Program-order
+// collectives tag with collSeq; the post-revive resynchronization round
+// cannot (the cursors it is aligning disagree across processors) and
+// uses a reserved out-of-band tag instead (see resyncAfterRevive).
+func (p *Proc) reduceRoundTag(tag, code uint64, buf []byte) []byte {
 	p.coll.CountReduce()
 	if p.cl.collTree {
 		p.treeContribute(tag, code, p.id, buf)

@@ -201,6 +201,43 @@ func (n *Network) Kill(peer amnet.NodeID) {
 	}
 }
 
+// Revive clears a peer's killed state so a rejoin drill can resume
+// traffic through it. Call Quiesce first: revival only stops future
+// discards, and any pre-kill attempt still scheduled would otherwise be
+// released to a runtime that has re-armed its peer-down latch.
+func (n *Network) Revive(peer amnet.NodeID) {
+	n.killMu.Lock()
+	if int(peer) < len(n.killed) {
+		n.killed[peer] = false
+	}
+	n.killMu.Unlock()
+}
+
+// Quiesce blocks until every endpoint's scheduled wire attempts have
+// been released or discarded, then a little longer so the releases
+// drain through the inner fabric's dispatch. After a Kill the
+// schedulers converge quickly — every due attempt involving the dead
+// peer is discarded after resequencing (so sequence gaps cannot wedge a
+// link) — which makes Quiesce the fence between "the old run's traffic
+// is gone" and reviving the cluster.
+func (n *Network) Quiesce() {
+	settled := 0
+	for settled < 2 {
+		pending := 0
+		for _, ep := range n.eps {
+			ep.mu.Lock()
+			pending += len(ep.heap)
+			ep.mu.Unlock()
+		}
+		if pending == 0 {
+			settled++
+		} else {
+			settled = 0
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func (n *Network) isKilled(id amnet.NodeID) bool {
 	n.killMu.Lock()
 	defer n.killMu.Unlock()
@@ -279,7 +316,7 @@ type endpoint struct {
 func (e *endpoint) ID() amnet.NodeID                              { return e.inner.ID() }
 func (e *endpoint) Nodes() int                                    { return e.inner.Nodes() }
 func (e *endpoint) Register(id amnet.HandlerID, fn amnet.Handler) { e.inner.Register(id, fn) }
-func (e *endpoint) Stats() *trace.NetStats                           { return e.inner.Stats() }
+func (e *endpoint) Stats() *trace.NetStats                        { return e.inner.Stats() }
 
 // SetPeerDownHandler implements amnet.PeerAware: fn fires when Kill
 // declares a peer lost or the inner transport reports one down.

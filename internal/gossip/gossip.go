@@ -108,6 +108,14 @@ type Config struct {
 	OnAlive   func(node int)
 	OnSuspect func(node int)
 	OnDead    func(node int)
+
+	// OnResurrect fires when a known node reappears with a higher
+	// generation — a restarted process, whether or not the detector had
+	// declared the old incarnation dead yet (a fast restart can outrun
+	// suspicion, but a generation bump is proof positive the previous
+	// incarnation is gone). Runs under the same rules as the other
+	// callbacks.
+	OnResurrect func(node int)
 }
 
 func (c Config) withDefaults() Config {
@@ -343,7 +351,8 @@ func (a *Agent) mergeLocked(st NodeState, now time.Time) bool {
 	if !st.newer(ps.NodeState) {
 		return false
 	}
-	resurrected := ps.Status == Dead && st.Gen > ps.Gen
+	restarted := st.Gen > ps.Gen
+	resurrected := ps.Status == Dead && restarted
 	wasDown := ps.Status == Suspect || resurrected
 	status := ps.Status
 	if status != Dead || resurrected {
@@ -353,6 +362,9 @@ func (a *Agent) mergeLocked(st NodeState, now time.Time) bool {
 	ps.Status = status
 	if status == Alive {
 		ps.heard = now
+	}
+	if restarted && a.cfg.OnResurrect != nil {
+		a.cfg.OnResurrect(st.Node)
 	}
 	if wasDown && status == Alive && a.cfg.OnAlive != nil {
 		a.cfg.OnAlive(st.Node)

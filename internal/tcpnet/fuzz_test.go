@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/acedsm/ace/internal/amnet"
+	"github.com/acedsm/ace/internal/core"
 )
 
 // encodeTestFrame builds a well-formed frame for seeding the fuzzer.
@@ -57,6 +58,29 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(trunc[:frameHeader+10])
 	// Two valid frames back to back.
 	f.Add(append(encodeTestFrame(1, []byte("a")), encodeTestFrame(2, []byte("b"))...))
+	// A frame carrying a real encoded checkpoint: rejoin ships these
+	// over the fabric verbatim, so the corpus should mutate from the
+	// ACK1 layout (magic, cursors, proto names, region table).
+	ckpt := core.EncodeCheckpoint(&core.Checkpoint{
+		Rank: 1, Procs: 4, Gen: 9, CollSeq: 12, NextSeq: 3, App: 2,
+		Protos: []string{"sc", "update"},
+		Regions: []core.CheckpointRegion{
+			{ID: 1, Space: 0, Size: 8, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+			{ID: 2, Space: 1, Size: 4, Data: []byte{9, 8, 7, 6}},
+		},
+	})
+	f.Add(encodeTestFrame(5, ckpt))
+	// The same checkpoint cut off mid-region-table: the frame itself is
+	// well-formed (the length prefix matches), so the decoder must hand
+	// the truncated payload up intact for DecodeCheckpoint to reject.
+	f.Add(encodeTestFrame(6, ckpt[:len(ckpt)/2]))
+	// Journal replay past a checkpoint: a rejoiner resumes from the
+	// checkpoint cut while the sender's journal still holds frames with
+	// sequence numbers far beyond it. Seed that shape — a checkpoint
+	// frame followed by a data frame whose seq jumps past it — so the
+	// fuzzer explores reordered/stale-seq streams around the cut.
+	replay := append(encodeTestFrame(7, ckpt), encodeTestFrame(1<<40, []byte("journal tail"))...)
+	f.Add(replay)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))

@@ -119,6 +119,9 @@ type AdaptStats struct {
 	// Rollbacks counts the subset of Switches that reversed a switch
 	// whose probation epoch cost more than the pre-switch baseline.
 	Rollbacks uint64
+	// Migrations counts controller-initiated MigrateHome calls (region
+	// re-homing driven by the per-home traffic skew trigger).
+	Migrations uint64
 	// LastSwitchEpoch is the epoch of the most recent switch (0 = none).
 	LastSwitchEpoch uint64
 }

@@ -60,6 +60,36 @@ type NodeConfig struct {
 	// node's data address learned). Default 30s.
 	JoinTimeout time.Duration
 
+	// Epoch is the cluster's recovery epoch. A fresh deployment is
+	// epoch 0. After a member loss the survivors tear their mesh down
+	// and re-Join at the next epoch (with Rejoin set); the restarted
+	// member does the same. Claims are tagged with the epoch, and the
+	// bootstrap only accepts matching claims — so nobody dials a data
+	// address gossiped before the crash, which the dead incarnation
+	// owned. Old-epoch state still circulating in gossip is simply
+	// ignored until it ages out.
+	Epoch uint64
+
+	// Rejoin marks this process as a returning or surviving member of a
+	// recovering cluster. Without it, observing a claim from a higher
+	// epoch fails the Join fast with an error naming that epoch — the
+	// operator (or supervisor) restarts with Rejoin and the matching
+	// Epoch rather than joining a cluster that has moved on. With it,
+	// mismatched claims are silently filtered while coverage converges.
+	// The gossip layer needs no flag either way: the restarted process
+	// carries a fresh generation, which resurrects its member entry on
+	// every survivor (Status Dead → Alive, see gossip.Config.OnResurrect).
+	Rejoin bool
+
+	// OnResurrect, if non-nil, fires when a member returns with a fresh
+	// generation — a restarted process, whether or not the failure
+	// detector had declared it dead first. (Join also reacts itself:
+	// the old incarnation's nodes are declared down on the data fabric,
+	// since a restart is proof positive the previous incarnation died.)
+	// Informational: called from the gossip tick goroutine, so it must
+	// not block.
+	OnResurrect func(member int)
+
 	// Net tunes the data-plane transport's connection supervision
 	// (timeouts, backoff, reconnect budget). Topology fields (Nodes,
 	// Addrs, Local) are managed by Join and ignored here.
@@ -160,19 +190,21 @@ func Join(cfg NodeConfig) (*Cluster, error) {
 		SuspectAfter: cfg.SuspectAfter,
 		DeadAfter:    cfg.DeadAfter,
 		GossipAddr:   udp.Addr(),
-		DataAddr:     encodeClaims(cfg.Local, nd.Addrs()),
+		DataAddr:     encodeClaims(cfg.Epoch, cfg.Local, nd.Addrs()),
 		Seeds:        cfg.Seeds,
+		OnResurrect: func(m int) {
+			// A higher generation is proof the member's previous
+			// incarnation died, even if it restarted faster than the
+			// failure detector could suspect it. Its old data addresses
+			// are dead sockets: declare them down so survivors' blocked
+			// waits fail with ErrPeerLost and recovery can begin.
+			declareDown(m, claims, &claimsMu, &fabric)
+			if cfg.OnResurrect != nil {
+				cfg.OnResurrect(m)
+			}
+		},
 		OnDead: func(m int) {
-			claimsMu.Lock()
-			nodes := claims[m]
-			claimsMu.Unlock()
-			pd, _ := fabric.Load().(peerDowner)
-			if pd == nil {
-				return
-			}
-			for _, n := range nodes {
-				pd.DeclarePeerDown(amnet.NodeID(n))
-			}
+			declareDown(m, claims, &claimsMu, &fabric)
 		},
 	}, udp.Send)
 	if err != nil {
@@ -244,6 +276,23 @@ func Join(cfg NodeConfig) (*Cluster, error) {
 	return cl, nil
 }
 
+// declareDown marks every node a member claimed as down on the data
+// fabric, failing blocked synchronization with ErrPeerLost. Fired by
+// the failure detector (OnDead) and by resurrection (a restarted
+// member's old incarnation is certainly gone).
+func declareDown(member int, claims map[int][]int, mu *sync.Mutex, fabric *atomic.Value) {
+	mu.Lock()
+	nodes := claims[member]
+	mu.Unlock()
+	pd, _ := fabric.Load().(peerDowner)
+	if pd == nil {
+		return
+	}
+	for _, n := range nodes {
+		pd.DeclarePeerDown(amnet.NodeID(n))
+	}
+}
+
 // awaitCoverage polls the gossip view until every node id 0..Nodes-1
 // has a claimed data address (also recording member→nodes claims for
 // the failure detector), or JoinTimeout passes.
@@ -252,8 +301,18 @@ func awaitCoverage(agent *gossip.Agent, cfg NodeConfig, claims map[int][]int, mu
 	for {
 		addrs := make([]string, cfg.Nodes)
 		covered := 0
+		var newerEpoch uint64
 		for _, st := range agent.View() {
-			parsed := parseClaims(st.DataAddr)
+			epoch, parsed := parseClaims(st.DataAddr)
+			if epoch != cfg.Epoch {
+				// A claim from another recovery epoch: a pre-crash data
+				// address (stale — its owner is gone) or a cluster that
+				// already moved past us. Never dial it.
+				if epoch > cfg.Epoch && epoch > newerEpoch {
+					newerEpoch = epoch
+				}
+				continue
+			}
 			nodes := make([]int, 0, len(parsed))
 			for id, addr := range parsed {
 				if id >= 0 && id < cfg.Nodes && addrs[id] == "" {
@@ -267,6 +326,10 @@ func awaitCoverage(agent *gossip.Agent, cfg NodeConfig, claims map[int][]int, mu
 			claims[st.Node] = nodes
 			mu.Unlock()
 		}
+		if newerEpoch > 0 && !cfg.Rejoin {
+			return nil, fmt.Errorf("ace: cluster is recovering at epoch %d (local epoch %d) — restart with Rejoin and the current epoch",
+				newerEpoch, cfg.Epoch)
+		}
 		if covered == cfg.Nodes {
 			return addrs, nil
 		}
@@ -277,25 +340,42 @@ func awaitCoverage(agent *gossip.Agent, cfg NodeConfig, claims map[int][]int, mu
 					missing = append(missing, strconv.Itoa(id))
 				}
 			}
-			return nil, fmt.Errorf("ace: membership did not converge within %v: no address for node(s) %s",
-				cfg.JoinTimeout, strings.Join(missing, ","))
+			return nil, fmt.Errorf("ace: membership did not converge within %v: no epoch-%d address for node(s) %s",
+				cfg.JoinTimeout, cfg.Epoch, strings.Join(missing, ","))
 		}
 		time.Sleep(cfg.Interval / 2)
 	}
 }
 
 // encodeClaims renders a process's hosted nodes and their data
-// addresses as the gossiped metadata payload: "id=addr,id=addr".
-func encodeClaims(local []int, addrs []string) string {
+// addresses as the gossiped metadata payload: "id=addr,id=addr",
+// prefixed with the recovery epoch ("e<N>;...") when nonzero — epoch 0
+// keeps the unprefixed form, so a fresh deployment's claims are
+// readable by older tooling.
+func encodeClaims(epoch uint64, local []int, addrs []string) string {
 	parts := make([]string, len(local))
 	for i, id := range local {
 		parts[i] = strconv.Itoa(id) + "=" + addrs[i]
 	}
-	return strings.Join(parts, ",")
+	s := strings.Join(parts, ",")
+	if epoch > 0 {
+		s = "e" + strconv.FormatUint(epoch, 10) + ";" + s
+	}
+	return s
 }
 
-// parseClaims is encodeClaims's inverse; malformed entries are skipped.
-func parseClaims(s string) map[int]string {
+// parseClaims is encodeClaims's inverse; malformed entries are skipped
+// and a missing epoch prefix means epoch 0.
+func parseClaims(s string) (uint64, map[int]string) {
+	var epoch uint64
+	if rest, ok := strings.CutPrefix(s, "e"); ok {
+		if es, claims, ok := strings.Cut(rest, ";"); ok {
+			if e, err := strconv.ParseUint(es, 10, 64); err == nil {
+				epoch = e
+				s = claims
+			}
+		}
+	}
 	out := make(map[int]string)
 	for _, part := range strings.Split(s, ",") {
 		id, addr, ok := strings.Cut(part, "=")
@@ -308,5 +388,5 @@ func parseClaims(s string) map[int]string {
 		}
 		out[n] = addr
 	}
-	return out
+	return epoch, out
 }

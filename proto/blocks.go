@@ -250,6 +250,18 @@ func (w *writeThrough) FlushSpace(ctx *core.Ctx, sp *core.Space) {
 	w.drain.Wait(ctx)
 }
 
+// MigrateRegion (core.HomeMigrator) drops r from the dirty list if the
+// pre-flip flush somehow left it there: a stale entry would ship the
+// next synchronization point's wtStore to a home that moved away.
+func (w *writeThrough) MigrateRegion(ctx *core.Ctx, r *core.Region, oldHome, newHome amnet.NodeID) {
+	for i, d := range w.dirty {
+		if d == r {
+			w.dirty = append(w.dirty[:i], w.dirty[i+1:]...)
+			break
+		}
+	}
+}
+
 // FastBits: every bracket routine early-returns at the home (stores land
 // there directly), so home brackets of both kinds are hit-eligible. A
 // remote copy supports fast reads once valid; remote writes always ship

@@ -414,6 +414,20 @@ func (u *updateProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
 	u.drain(ctx)
 }
 
+// MigrateRegion (core.HomeMigrator) drops r from the dirty list if the
+// pre-flip flush somehow left it there: a stale entry would ship the
+// next barrier's duWrite to a home that moved away. The home-side
+// sharer/deferral state lived in Dir.PData, which the runtime's
+// base-state reset already cleared on both the old and new home.
+func (u *updateProto) MigrateRegion(ctx *core.Ctx, r *core.Region, oldHome, newHome amnet.NodeID) {
+	for i, d := range u.dirty {
+		if d == r {
+			u.dirty = append(u.dirty[:i], u.dirty[i+1:]...)
+			break
+		}
+	}
+}
+
 // FastBits: reads are hit-eligible exactly when the end-of-section drain
 // has nothing to do. At the home, StartRead is a no-op and EndRead only
 // matters when work was deferred during an open section — so a quiet

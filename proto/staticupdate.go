@@ -211,6 +211,22 @@ func (s *staticUpdateProto) FlushSpace(ctx *core.Ctx, sp *core.Space) {
 	s.drain(ctx)
 }
 
+// MigrateRegion (core.HomeMigrator) drops r from the dirty list if the
+// pre-flip flush somehow left it there: after the flip this processor
+// may no longer be r's home, and a barrier push from a stale entry
+// would address a directory that moved away. Sharer state needs no
+// action — it lives in the directory the runtime reassigned, and the
+// flip's base-state reset makes every reader re-fetch from the new
+// home (re-registering there as it does).
+func (s *staticUpdateProto) MigrateRegion(ctx *core.Ctx, r *core.Region, oldHome, newHome amnet.NodeID) {
+	for i, d := range s.dirty {
+		if d == r {
+			s.dirty = append(s.dirty[:i], s.dirty[i+1:]...)
+			break
+		}
+	}
+}
+
 // FastBits: reads are hit-eligible at the home unconditionally (home
 // StartRead returns immediately and home EndRead's applyDeferred bails on
 // IsHome) and on a sharer whose copy is valid with no deferred push

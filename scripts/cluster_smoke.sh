@@ -8,6 +8,13 @@
 # Phase 2 — failure detection: 3 processes park in a barrier while a
 # 4th joins and hangs; the 4th is SIGKILLed and every survivor must
 # exit with code 3 (ErrPeerLost) within the detector bound.
+#
+# Phase 3 — elastic rejoin: a 4-process cluster runs the checkpointing
+# elastic workload; one member is SIGKILLed after it has a checkpoint
+# on disk and restarted as a rejoiner at the next epoch. Every process
+# (including the rejoined one) must exit 0 with the bit-identical em3d
+# checksum of the undisturbed standalone run, and the restart must log
+# that it resumed from its checkpoint rather than from step 0.
 set -u
 
 GO=${GO:-go}
@@ -70,4 +77,46 @@ ELAPSED=$(( $(date +%s) - START ))
 # 10s of slack keeps the gate robust on loaded CI machines.
 [ "$ELAPSED" -le 10 ] || fail "detection took ${ELAPSED}s, bound 10s"
 echo "cluster-smoke: all survivors reported ErrPeerLost in ${ELAPSED}s"
+
+echo "cluster-smoke: elastic rejoin drill (SIGKILL + rejoin at epoch 1)"
+EL="-run elastic -steps 8 -size 64 -ckpt $WORK/ck -ckpt-every 2 -step-delay 150ms -interval 25ms -recover -join-timeout 20s -sync-timeout 15s"
+EREF=$("$WORK/acenode" -standalone -nodes 4 -run elastic -steps 8 -size 64 | awk '/checksum/ {print $4; exit}')
+[ -n "$EREF" ] || fail "no elastic reference checksum"
+PORT3=$((PORT + 2))
+SEED3="127.0.0.1:$PORT3"
+"$WORK/acenode" -nodes 4 -local 0 -gossip "$SEED3" $EL >"$WORK/e0.log" 2>&1 &
+E0=$!
+"$WORK/acenode" -nodes 4 -local 1 -seeds "$SEED3" $EL >"$WORK/e1.log" 2>&1 &
+E1=$!
+"$WORK/acenode" -nodes 4 -local 2 -seeds "$SEED3" $EL >"$WORK/e2.log" 2>&1 &
+E2=$!
+"$WORK/acenode" -nodes 4 -local 3 -seeds "$SEED3" $EL >"$WORK/e3.log" 2>&1 &
+VICTIM=$!
+
+# Wait until the victim has checkpointed step 2, then SIGKILL it and
+# restart it as a rejoiner claiming the next epoch.
+for _ in $(seq 1 200); do
+    [ -e "$WORK/ck.3.2" ] && break
+    sleep 0.05
+done
+[ -e "$WORK/ck.3.2" ] || { cat "$WORK"/e*.log >&2; fail "victim never checkpointed"; }
+sleep 0.2
+kill -9 "$VICTIM" 2>/dev/null
+wait "$VICTIM" 2>/dev/null
+"$WORK/acenode" -nodes 4 -local 3 -seeds "$SEED3" $EL -rejoin -epoch 1 >"$WORK/e3b.log" 2>&1 &
+E3B=$!
+
+for pid in $E0 $E1 $E2 $E3B; do
+    wait "$pid" || { cat "$WORK"/e*.log >&2; fail "an elastic acenode process failed"; }
+done
+grep -q "restored from checkpoint step=" "$WORK/e3b.log" \
+    || { cat "$WORK/e3b.log" >&2; fail "rejoiner did not restore from its checkpoint"; }
+# Bit-identical parity on every rank, the rejoined one included: a
+# recovering process may print more than one checksum line (one per
+# epoch it completed), and all of them must equal the reference.
+for log in e0 e1 e2 e3b; do
+    EGOT=$(awk '/checksum/ {print $4}' "$WORK/$log.log" | sort -u)
+    [ "$EGOT" = "$EREF" ] || { cat "$WORK"/e*.log >&2; fail "elastic checksum mismatch on $log: '$EGOT' vs $EREF"; }
+done
+echo "cluster-smoke: rejoined cluster converged to the reference checksum ($EREF)"
 echo "cluster-smoke: PASS"
