@@ -5,12 +5,14 @@ GO ?= go
 # controller's counter snapshots and collective decisions run
 # concurrently with the bracket fast path. core and amnet also carry the
 # tree-collective and shared-payload fan-out paths (coll_test.go,
-# multisend_test.go); proto the aggregated push frames.
-RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet ./internal/gossip ./proto
+# multisend_test.go); proto the aggregated push frames. gateway carries
+# the session fan-out: per-session writers, the coordinator, and the
+# room drains all share the stats and send-queue paths.
+RACE_PKGS = ./internal/trace ./internal/core ./internal/amnet ./internal/tcpnet ./internal/gossip ./proto ./internal/gateway
 
-.PHONY: ci vet build test race bench bench-smoke bench-allocs chaos-smoke cluster-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-allocs chaos-smoke cluster-smoke gate-smoke
 
-ci: vet build test race bench-smoke bench-allocs chaos-smoke cluster-smoke
+ci: vet build test race bench-smoke bench-allocs chaos-smoke cluster-smoke gate-smoke
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +51,7 @@ bench-smoke:
 	$(GO) run ./cmd/acebench -exp scale -procs 4 -scale small -out /tmp/acebench_scale_smoke.json
 	$(GO) run ./cmd/acebench -exp coll -procs 4 -scale small -out /tmp/acebench_coll_smoke.json
 	$(GO) run ./cmd/acebench -exp elastic -procs 4 -scale small -out /tmp/acebench_elastic_smoke.json
+	$(GO) run ./cmd/acebench -exp gate -gate-sessions 400 -gate-rooms 16 -out /tmp/acebench_gate_smoke.json
 
 # chaos-smoke is the protocol-conformance stress gate: the fixed-seed
 # protocol × fault-policy matrix (seeds 1..3) via the package tests,
@@ -57,14 +60,19 @@ bench-smoke:
 # elastic cells (checkpoint/kill/rejoin drills, MigrateHome
 # mid-workload, the broken-rejoin double), plus race-enabled cells: the
 # nastiest matrix policy, one rejoin drill, and the MigrateHome-vs-
-# bracket-fast-path stress. Fixed seeds keep it deterministic.
+# bracket-fast-path stress. Fixed seeds keep it deterministic. The
+# space-churn cells cover the lifecycle itself: waves of collective
+# NewSpace/FreeSpace under every fault policy, with bounded-table,
+# stale-ref and generation checks (plus a lossy cell under -race).
 chaos-smoke:
 	$(GO) test -run 'TestMatrixFixedSeeds|TestBrokenDoubleCaught' ./internal/chaos
 	$(GO) test -run 'TestColl|TestStarTreeReductionBitIdentical' ./internal/chaos
 	$(GO) test -run 'TestRejoinFixedSeeds|TestBrokenRejoinCaught|TestMigrateFixedSeeds' ./internal/chaos
+	$(GO) test -run 'TestSpaceChurn' ./internal/chaos
 	$(GO) test -race -run 'TestMatrixFixedSeeds/^(update|adaptive)$$/lossy' ./internal/chaos
 	$(GO) test -race -run 'TestCollTopologyCells/update/tree\+agg/lossy' ./internal/chaos
 	$(GO) test -race -run 'TestRejoinFixedSeeds/update/jittery' ./internal/chaos
+	$(GO) test -race -run 'TestSpaceChurnFixedSeeds/update/lossy' ./internal/chaos
 	$(GO) test -race -run 'TestMigrateHomeRace|TestRejoinVsTreeReduction' ./internal/core
 
 # cluster-smoke is the multi-process deployment gate: 4 real acenode
@@ -73,6 +81,14 @@ chaos-smoke:
 # ErrPeerLost on every survivor within the detector bound.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# gate-smoke is the session-gateway deployment gate: a real acegate
+# process on loopback takes scripted websocket probe fleets (checksum
+# parity across every member of a room), re-creates its rooms in
+# recycled space slots on a rerun, shrugs off garbage connections, and
+# must exit with rooms created == destroyed (no leaked spaces).
+gate-smoke:
+	bash scripts/gate_smoke.sh
 
 # bench-allocs is the regression gate for the lock-free bracket fast
 # path: with tracing disabled a hit bracket must not allocate. The awk

@@ -169,6 +169,15 @@ type (
 	// SyncStallError reports a synchronization wait that outlived
 	// Options.SyncTimeout.
 	SyncStallError = core.SyncStallError
+	// SpaceRef is a generation-tagged space identifier: it stays
+	// meaningful after the space dies, and resolving a stale one
+	// (Proc.SpaceByRef) reports ErrStaleSpace instead of the table
+	// slot's next occupant. See DESIGN.md §14.
+	SpaceRef = core.SpaceRef
+	// StaleSpaceError reports a SpaceRef whose space has been freed.
+	StaleSpaceError = core.StaleSpaceError
+	// BadSizeError reports an allocation size rejected by GMallocE.
+	BadSizeError = core.BadSizeError
 )
 
 // Failure-model sentinels, matched with errors.Is against Run's error.
@@ -177,7 +186,16 @@ var (
 	ErrPeerLost = core.ErrPeerLost
 	// ErrSyncStall: a synchronization wait exceeded Options.SyncTimeout.
 	ErrSyncStall = core.ErrSyncStall
+	// ErrStaleSpace: a SpaceRef named a freed (or recycled) space.
+	ErrStaleSpace = core.ErrStaleSpace
+	// ErrBadSize: an allocation size was non-positive or above
+	// MaxRegionSize (GMallocE's bound on client-derived sizes).
+	ErrBadSize = core.ErrBadSize
 )
+
+// MaxRegionSize bounds a single region allocation on the
+// error-returning path (Proc.GMallocE).
+const MaxRegionSize = core.MaxRegionSize
 
 // Fault-injection re-exports. See the corresponding internal/faultnet
 // documentation on each.
@@ -232,6 +250,7 @@ const (
 	OpLock           = trace.OpLock
 	OpUnlock         = trace.OpUnlock
 	OpChangeProtocol = trace.OpChangeProtocol
+	OpFreeSpace      = trace.OpFreeSpace
 )
 
 // Reduction operators.

@@ -8,6 +8,7 @@
 //	acebench -exp chaos   # protocol-conformance stress matrix under fault injection
 //	acebench -exp adapt   # adaptive controller vs sc and hand-picked protocols (BENCH_adapt.json)
 //	acebench -exp coll    # collective topologies + push aggregation traffic (BENCH_coll.json)
+//	acebench -exp gate    # session gateway: 10k ws sessions over 100+ room-spaces (BENCH_gate.json)
 //	acebench -exp all
 //
 // The chaos experiment runs every library protocol through a seeded
@@ -65,8 +66,25 @@ func main() {
 		chaosSeed   = flag.Int64("chaos-seed", 1, "chaos experiment: base seed (single run: the seed; matrix: seed, seed+1, seed+2)")
 		chaosColl   = flag.String("chaos-coll", "", "chaos experiment: force the collective topology for -chaos-proto (star, tree; empty = auto)")
 		chaosNoAgg  = flag.Bool("chaos-noagg", false, "chaos experiment: disable push aggregation for -chaos-proto")
+
+		gateSessions = flag.Int("gate-sessions", 10000, "gate experiment: concurrent client sessions")
+		gateRooms    = flag.Int("gate-rooms", 128, "gate experiment: rooms the sessions spread over")
+		gateAdds     = flag.Int("gate-adds", 8, "gate experiment: adds per session")
+		gateWorker   = flag.Bool("gate-worker", false, "internal: run as a gate-experiment session worker")
+		gateAddr     = flag.String("gate-addr", "", "internal: gateway address for -gate-worker")
+		gateOffset   = flag.Int("gate-offset", 0, "internal: first global session id for -gate-worker")
 	)
 	flag.Parse()
+
+	if *gateWorker {
+		// Session-worker subprocess launched by `-exp gate` (see
+		// bench.GateWorkerArgs); it owns a slice of the client sessions so
+		// the parent's descriptor budget covers only the server side.
+		if err := bench.RunGateWorker(*gateAddr, *gateOffset, *gateSessions, *gateRooms, *gateAdds); err != nil {
+			os.Exit(1)
+		}
+		return
+	}
 
 	w := bench.WorkloadsFor(bench.Scale(*scale), *procs)
 	if *metrics || *traceOut != "" {
@@ -99,12 +117,14 @@ func main() {
 		ok = runColl(w, bench.Scale(*scale), reportPath(*out, "BENCH_coll.json"))
 	case "elastic":
 		ok = runElastic(w, reportPath(*out, "BENCH_elastic.json"))
+	case "gate":
+		ok = runGate(*gateSessions, *gateRooms, *gateAdds, *procs, reportPath(*out, "BENCH_gate.json"))
 	case "all":
 		ok = runFig7a(w, *runs)
 		ok = runFig7b(w, *runs) && ok
 		ok = runTable4(*procs) && ok
 	default:
-		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, scale, adapt, chaos, coll, elastic, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "acebench: unknown experiment %q (fig7a, fig7b, table4, ablation, fabric, bracket, scale, adapt, chaos, coll, elastic, gate, all)\n", *exp)
 		os.Exit(2)
 	}
 	if !ok {
@@ -481,4 +501,46 @@ func bestRows(runs int, f func() ([]bench.Row, error)) ([]bench.Row, error) {
 		}
 	}
 	return best, nil
+}
+
+// runGate runs the session-gateway load benchmark — ten-thousand-class
+// concurrent websocket sessions over a hundred-plus room-spaces on
+// loopback, with churn and malformed-frame phases — writes the
+// BENCH_gate.json artifact, and enforces the gates (concurrency floor,
+// checksum parity, bounded space table, zero panics) in the run.
+func runGate(sessions, rooms, adds, procs int, out string) bool {
+	fmt.Printf("=== Gate: %d sessions over %d rooms, %d procs ===\n", sessions, rooms, procs)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gate: %v\n", err)
+		return false
+	}
+	cfg := bench.GateConfig{Sessions: sessions, Rooms: rooms, Adds: adds, Procs: procs}
+	// Hold the client sessions in worker subprocesses so the parent's
+	// RLIMIT_NOFILE budget covers only the server-side sockets.
+	if exe, err := os.Executable(); err == nil {
+		cfg.WorkerExec = []string{exe}
+		cfg.Workers = 2
+	}
+	rep, err := bench.WriteGateReport(f, cfg)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if rep != nil {
+		fmt.Printf("connect+join %d sessions: %.2fs (%.0f joins/s)\n",
+			rep.Sessions, rep.ConnectSecs, rep.JoinsPerSec)
+		fmt.Printf("apply %d ops: %.2fs (%.0f ops/s), broadcasts %d, send-queue drops %d\n",
+			rep.Sessions*rep.Adds, rep.ApplySecs, rep.OpsPerSec,
+			rep.Stats.Broadcasts, rep.Stats.SendQueueDrops)
+		fmt.Printf("churn %d waves x %d rooms: table %d -> %d slots (bound %d); malformed frames %d (bad %d)\n",
+			rep.ChurnWaves, rep.ChurnRooms, rep.SlotsBeforeChurn, rep.SlotsAfterChurn,
+			rep.SlotsBound, rep.Malformed, rep.Stats.BadFrames)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gate: %v\n", err)
+		return false
+	}
+	fmt.Printf("wrote %s\n", out)
+	fmt.Println("acceptance gates held: concurrency floor, checksum parity, bounded space table, zero panics")
+	return true
 }

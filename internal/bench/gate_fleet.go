@@ -1,0 +1,291 @@
+package bench
+
+// The gate benchmark's session fleet: the thing that holds Sessions
+// live websocket clients through the load phases. Two implementations —
+// in-process for tests and small runs, and worker subprocesses for the
+// 10k-class runs where one process cannot hold both ends of every
+// loopback socket under the RLIMIT_NOFILE hard limit. The parent and
+// its workers speak a three-word line protocol over stdin/stdout:
+// the worker prints "ready" once every session is joined, the parent
+// says "adds", the worker fires them and prints "sent", the parent
+// says "close", the worker disconnects everything and prints "closed".
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"github.com/acedsm/ace/internal/gateway"
+)
+
+// sessionFleet is the load-phase driver: all sessions joined, all adds
+// fired, all sessions closed.
+type sessionFleet interface {
+	join() error
+	adds() error
+	close() error
+	shutdown() // best-effort cleanup on any exit path
+}
+
+func newFleet(cfg GateConfig, addr string) (sessionFleet, error) {
+	if cfg.Workers > 0 && len(cfg.WorkerExec) > 0 {
+		return newWorkerFleet(cfg, addr)
+	}
+	return &localFleet{cfg: cfg, addr: addr, clients: make([]*gateway.Client, cfg.Sessions)}, nil
+}
+
+// gateRoom names session i's room; the formula is shared by the parent
+// (for expected sums) and every worker.
+func gateRoom(i, rooms int) string { return fmt.Sprintf("gate-%d", i%rooms) }
+
+// localFleet runs every session in this process.
+type localFleet struct {
+	cfg     GateConfig
+	addr    string
+	clients []*gateway.Client
+}
+
+func (f *localFleet) join() error {
+	return forEach(f.cfg.Sessions, 256, func(i int) error {
+		c, err := gateway.DialClient(f.addr)
+		if err != nil {
+			return fmt.Errorf("dial %d: %w", i, err)
+		}
+		f.clients[i] = c
+		c.SetDeadline(time.Now().Add(120 * time.Second))
+		if _, _, err := c.Join(gateRoom(i, f.cfg.Rooms)); err != nil {
+			return fmt.Errorf("join %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+func (f *localFleet) adds() error {
+	return forEach(f.cfg.Sessions, 256, func(i int) error {
+		c := f.clients[i]
+		c.SetDeadline(time.Now().Add(120 * time.Second))
+		cell := i % gateway.RoomCells
+		for k := 0; k < f.cfg.Adds; k++ {
+			if err := c.Add(gateRoom(i, f.cfg.Rooms), cell, int64(i+1)); err != nil {
+				return fmt.Errorf("add %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+}
+
+func (f *localFleet) close() error {
+	forEach(f.cfg.Sessions, 256, func(i int) error {
+		if f.clients[i] != nil {
+			f.clients[i].Close()
+			f.clients[i] = nil
+		}
+		return nil
+	})
+	return nil
+}
+
+func (f *localFleet) shutdown() { f.close() }
+
+// GateWorkerArgs is the CLI contract between the worker fleet and the
+// binary hosting RunGateWorker (cmd/acebench): the argv appended to
+// GateConfig.WorkerExec to launch one worker owning count sessions
+// with global ids [offset, offset+count).
+func GateWorkerArgs(addr string, offset, count, rooms, adds int) []string {
+	return []string{
+		"-gate-worker",
+		"-gate-addr", addr,
+		"-gate-offset", strconv.Itoa(offset),
+		"-gate-sessions", strconv.Itoa(count),
+		"-gate-rooms", strconv.Itoa(rooms),
+		"-gate-adds", strconv.Itoa(adds),
+	}
+}
+
+// workerFleet drives Worker subprocesses, each owning a contiguous
+// slice of the global session ids.
+type workerFleet struct {
+	cmds []*exec.Cmd
+	in   []io.WriteCloser
+	out  []*bufio.Scanner
+	done bool
+}
+
+func newWorkerFleet(cfg GateConfig, addr string) (*workerFleet, error) {
+	f := &workerFleet{}
+	per, rem := cfg.Sessions/cfg.Workers, cfg.Sessions%cfg.Workers
+	offset := 0
+	for w := 0; w < cfg.Workers; w++ {
+		count := per
+		if w < rem {
+			count++
+		}
+		args := append(append([]string{}, cfg.WorkerExec[1:]...),
+			GateWorkerArgs(addr, offset, count, cfg.Rooms, cfg.Adds)...)
+		cmd := exec.Command(cfg.WorkerExec[0], args...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			f.shutdown()
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			f.shutdown()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			f.shutdown()
+			return nil, fmt.Errorf("gate worker %d: %w", w, err)
+		}
+		f.cmds = append(f.cmds, cmd)
+		f.in = append(f.in, stdin)
+		f.out = append(f.out, bufio.NewScanner(stdout))
+		offset += count
+	}
+	return f, nil
+}
+
+// expect reads one line from every worker and requires it to be tok;
+// anything else (a worker's error line, or its death) fails the phase.
+func (f *workerFleet) expect(tok string) error {
+	for w, sc := range f.out {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return fmt.Errorf("gate worker %d: %w", w, err)
+			}
+			return fmt.Errorf("gate worker %d exited before %q", w, tok)
+		}
+		if line := sc.Text(); line != tok {
+			return fmt.Errorf("gate worker %d: %s", w, line)
+		}
+	}
+	return nil
+}
+
+func (f *workerFleet) send(tok string) error {
+	for w, in := range f.in {
+		if _, err := io.WriteString(in, tok+"\n"); err != nil {
+			return fmt.Errorf("gate worker %d: %w", w, err)
+		}
+	}
+	return nil
+}
+
+func (f *workerFleet) join() error { return f.expect("ready") }
+
+func (f *workerFleet) adds() error {
+	if err := f.send("adds"); err != nil {
+		return err
+	}
+	return f.expect("sent")
+}
+
+func (f *workerFleet) close() error {
+	if err := f.send("close"); err != nil {
+		return err
+	}
+	if err := f.expect("closed"); err != nil {
+		return err
+	}
+	f.done = true
+	for w, cmd := range f.cmds {
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("gate worker %d: %w", w, err)
+		}
+	}
+	return nil
+}
+
+func (f *workerFleet) shutdown() {
+	if f.done {
+		return
+	}
+	for _, in := range f.in {
+		in.Close()
+	}
+	for _, cmd := range f.cmds {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		cmd.Wait()
+	}
+	f.done = true
+}
+
+// RunGateWorker is the worker-subprocess half of the gate benchmark's
+// load phase: it owns count sessions with global ids [offset,
+// offset+count), joins them all, then follows the parent's line
+// protocol on stdin. Phase results go to stdout; errors are reported
+// as an "error: ..." line so the parent's expect names them.
+func RunGateWorker(addr string, offset, count, rooms, adds int) error {
+	raiseNoFile(uint64(count) + 1024)
+	clients := make([]*gateway.Client, count)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	fail := func(err error) error {
+		fmt.Printf("error: %v\n", err)
+		return err
+	}
+	err := forEach(count, 256, func(i int) error {
+		id := offset + i
+		c, err := gateway.DialClient(addr)
+		if err != nil {
+			return fmt.Errorf("dial %d: %w", id, err)
+		}
+		clients[i] = c
+		c.SetDeadline(time.Now().Add(120 * time.Second))
+		if _, _, err := c.Join(gateRoom(id, rooms)); err != nil {
+			return fmt.Errorf("join %d: %w", id, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Println("ready")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		switch sc.Text() {
+		case "adds":
+			err := forEach(count, 256, func(i int) error {
+				id := offset + i
+				c := clients[i]
+				c.SetDeadline(time.Now().Add(120 * time.Second))
+				cell := id % gateway.RoomCells
+				for k := 0; k < adds; k++ {
+					if err := c.Add(gateRoom(id, rooms), cell, int64(id+1)); err != nil {
+						return fmt.Errorf("add %d: %w", id, err)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Println("sent")
+		case "close":
+			forEach(count, 256, func(i int) error {
+				if clients[i] != nil {
+					clients[i].Close()
+					clients[i] = nil
+				}
+				return nil
+			})
+			fmt.Println("closed")
+			return nil
+		default:
+			return fail(fmt.Errorf("unknown command %q", sc.Text()))
+		}
+	}
+	return fail(fmt.Errorf("parent went away: %v", sc.Err()))
+}

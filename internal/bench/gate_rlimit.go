@@ -1,0 +1,26 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// raiseNoFile lifts the soft RLIMIT_NOFILE toward need (capped at the
+// hard limit) so the gate benchmark can hold both ends of tens of
+// thousands of loopback sockets in one process. Best effort: a failure
+// just leaves the limit where it was, and the benchmark reports dial
+// errors if it then runs out.
+func raiseNoFile(need uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= need {
+		return
+	}
+	want := need
+	if want > lim.Max {
+		want = lim.Max
+	}
+	lim.Cur = want
+	syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

@@ -1,0 +1,42 @@
+package chaos
+
+import "testing"
+
+// TestSpaceChurnFixedSeeds runs the space-churn lifecycle cell — waves
+// of collective NewSpace / home-write / FreeSpace with bounded-table,
+// stale-ref and generation checks in the worker — for a representative
+// protocol pair under every fault policy, at the pinned seeds.
+func TestSpaceChurnFixedSeeds(t *testing.T) {
+	seeds := fixedSeeds
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, protocol := range []string{"sc", "update"} {
+		for _, policy := range Policies() {
+			protocol, policy := protocol, policy
+			t.Run(protocol+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				for _, seed := range seeds {
+					rep := RunSpaceChurn(Config{Seed: seed, Protocol: protocol, Policy: policy})
+					if rep.Err != nil {
+						t.Fatal(FormatReport(rep))
+					}
+					perMessage := policy == "jittery" || policy == "lossy" || policy == "slow"
+					if perMessage && rep.Faults.Total() == 0 {
+						t.Fatalf("seed %d: policy %q injected no faults", seed, policy)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSpaceChurnRejectsUnknownNames: bad names fail typed, as in Run.
+func TestSpaceChurnRejectsUnknownNames(t *testing.T) {
+	if rep := RunSpaceChurn(Config{Seed: 1, Protocol: "nosuch"}); rep.Err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if rep := RunSpaceChurn(Config{Seed: 1, Policy: "nosuch"}); rep.Err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

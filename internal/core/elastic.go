@@ -71,6 +71,9 @@ func (p *Proc) Checkpoint(app uint64) (*Checkpoint, error) {
 	p.ctx.DefaultBarrier()
 	sps := *p.spaces.Load()
 	for _, sp := range sps {
+		if sp == nil {
+			continue // freed slot awaiting reuse
+		}
 		sp.eng.Lock()
 		sp.Proto.FlushSpace(sp.ctx, sp)
 		// The flush invalidated cached copies space-wide; withdraw every
@@ -97,6 +100,9 @@ func (p *Proc) Checkpoint(app uint64) (*Checkpoint, error) {
 	ck.NextSeq = p.nextSeq
 	p.regMu.RUnlock()
 	for i, sp := range sps {
+		if sp == nil {
+			continue // freed slot: Protos[i] stays "", no regions to record
+		}
 		sp.eng.Lock()
 		ck.Protos[i] = sp.ProtoName
 		for _, r := range p.regionList() {
@@ -148,11 +154,22 @@ func (p *Proc) RestoreCheckpoint(ck *Checkpoint) error {
 			len(ck.Protos), len(sps))
 	}
 	for i, name := range ck.Protos {
+		sp := sps[i]
+		if name == "" {
+			// Slot i was freed at snapshot time; it must still be free (the
+			// caller re-ran the same deterministic setup).
+			if sp != nil {
+				return fmt.Errorf("core: checkpoint has space %d freed, cluster has it live — re-run setup first", i)
+			}
+			continue
+		}
+		if sp == nil {
+			return fmt.Errorf("core: checkpoint names space %d, cluster has the slot freed — re-run setup first", i)
+		}
 		info, ok := p.cl.reg.Lookup(name)
 		if !ok {
 			return fmt.Errorf("core: checkpoint protocol %q not registered", name)
 		}
-		sp := sps[i]
 		sp.eng.Lock()
 		for _, r := range p.regionList() {
 			if r.Space != sp {

@@ -58,10 +58,18 @@ type Proc struct {
 	regions memory.Table[*Region]
 	nextSeq uint64
 
-	// spaceMu serializes space creation. The table itself is published
-	// as a copy-on-write snapshot so space lookup is one atomic load.
-	spaceMu sync.Mutex
-	spaces  atomic.Pointer[[]*Space]
+	// spaceMu serializes space creation and destruction. The table
+	// itself is published as a copy-on-write snapshot so space lookup is
+	// one atomic load. Freed slots are nil in the snapshot; spaceFree
+	// holds their indices (ascending, so reuse is deterministic across
+	// processors) and slotGen the per-slot generation, bumped at every
+	// free so a recycled slot's new occupant never aliases a stale
+	// SpaceRef. Both are identical on every processor because the space
+	// lifecycle is collective.
+	spaceMu   sync.Mutex
+	spaces    atomic.Pointer[[]*Space]
+	spaceFree []int
+	slotGen   []uint64
 
 	// wMu guards the waiter table and the retired tombstones (waiters
 	// whose Wait failed; late completions for them are dropped).
@@ -225,13 +233,21 @@ func (p *Proc) DefaultSpace() *Space {
 	return (*p.spaces.Load())[0]
 }
 
-// space returns the space with the given id, panicking on unknown ids.
+// space returns the space with the given id, panicking on unknown or
+// freed ids. Runtime wire handlers may use it because the collective
+// space lifecycle guarantees no protocol traffic for a freed space is
+// in flight (FreeSpace flushes and barriers before recycling the slot);
+// anything fed by external input goes through SpaceByRef instead.
 func (p *Proc) space(id int) *Space {
 	sps := p.spaces.Load()
 	if sps == nil || id < 0 || id >= len(*sps) {
 		panic(fmt.Sprintf("core: proc %d: unknown space %d", p.id, id))
 	}
-	return (*sps)[id]
+	sp := (*sps)[id]
+	if sp == nil {
+		panic(fmt.Sprintf("core: proc %d: space %d has been freed", p.id, id))
+	}
+	return sp
 }
 
 // FastHits returns how many invocations of each operation completed on
@@ -254,6 +270,9 @@ func (p *Proc) Snapshot() trace.Metrics {
 	m := p.rec.Snapshot()
 	if sps := p.spaces.Load(); sps != nil {
 		for _, sp := range *sps {
+			if sp == nil {
+				continue
+			}
 			if st := sp.adapt.Load(); st != nil {
 				if s := st.pub.Load(); s != nil {
 					m.Adapt = append(m.Adapt, *s)
@@ -266,8 +285,10 @@ func (p *Proc) Snapshot() trace.Metrics {
 	return m
 }
 
-// addSpace creates a space locally. Callers guarantee the collective
-// discipline (all processors create spaces in the same order).
+// addSpace creates a space locally, reusing the lowest freed table slot
+// if one exists. Callers guarantee the collective discipline (all
+// processors create and free spaces in the same order), which keeps the
+// chosen slot and its generation identical everywhere.
 func (p *Proc) addSpace(protoName string) *Space {
 	info, ok := p.cl.reg.Lookup(protoName)
 	if !ok {
@@ -278,20 +299,36 @@ func (p *Proc) addSpace(protoName string) *Space {
 	if sps := p.spaces.Load(); sps != nil {
 		cur = *sps
 	}
+	slot := -1
+	if len(p.spaceFree) > 0 {
+		slot = p.spaceFree[0]
+		p.spaceFree = p.spaceFree[1:]
+	}
+	grown := make([]*Space, len(cur), len(cur)+1)
+	copy(grown, cur)
+	if slot < 0 {
+		slot = len(cur)
+		grown = append(grown, nil)
+	}
+	for len(p.slotGen) <= slot {
+		p.slotGen = append(p.slotGen, 0)
+	}
 	sp := &Space{
-		ID:        len(cur),
+		ID:        slot,
+		Gen:       p.slotGen[slot],
 		ProtoName: protoName,
 		Proto:     info.New(),
 		proc:      p,
 	}
 	sp.ctx = &Ctx{p: p, eng: &sp.eng}
 	sp.fp, _ = sp.Proto.(FastPather)
-	grown := make([]*Space, len(cur)+1)
-	copy(grown, cur)
-	grown[len(cur)] = sp
+	grown[slot] = sp
 	p.spaces.Store(&grown)
 	p.spaceMu.Unlock()
 	p.rec.AddSpace(sp.ID, protoName)
+	// On a recycled slot AddSpace is a no-op (counters accumulate per
+	// slot); record the occupant's protocol explicitly.
+	p.rec.SetProtocol(sp.ID, protoName)
 	sp.eng.Lock()
 	sp.Proto.InitSpace(sp.ctx, sp)
 	sp.eng.Unlock()
@@ -314,10 +351,28 @@ func (p *Proc) NewSpace(protoName string) (*Space, error) {
 // GMalloc allocates a shared region of size bytes from sp. The calling
 // processor becomes the region's home. The returned id is valid on every
 // processor (communicate it with Broadcast or by storing it in another
-// region).
+// region). It panics on an invalid size or a freed space — programmer
+// errors in SPMD code; boundaries that feed client-derived input through
+// use GMallocE, which returns the error instead.
 func (p *Proc) GMalloc(sp *Space, size int) RegionID {
-	if size <= 0 {
-		panic(fmt.Sprintf("core: GMalloc size %d", size))
+	id, err := p.GMallocE(sp, size)
+	if err != nil {
+		panic(fmt.Sprintf("core: GMalloc: %v", err))
+	}
+	return id
+}
+
+// GMallocE is GMalloc with the validity checks surfaced as errors: a
+// non-positive or oversized (MaxRegionSize) size fails with ErrBadSize,
+// allocation from a freed space with ErrStaleSpace. It never panics on
+// bad input, so it is safe at boundaries where sizes derive from
+// untrusted client frames.
+func (p *Proc) GMallocE(sp *Space, size int) (RegionID, error) {
+	if size <= 0 || size > MaxRegionSize {
+		return 0, &BadSizeError{Size: size}
+	}
+	if sp.dead.Load() {
+		return 0, &StaleSpaceError{Ref: sp.Ref()}
 	}
 	t := p.rec.Begin()
 	p.ops[trace.OpGMalloc].Add(1)
@@ -339,7 +394,7 @@ func (p *Proc) GMalloc(sp *Space, size int) RegionID {
 	sp.refreshFast(r)
 	sp.eng.Unlock()
 	p.rec.End(trace.OpGMalloc, sp.ID, t)
-	return id
+	return id, nil
 }
 
 // Map translates a region id into this processor's local view of the
@@ -791,8 +846,15 @@ func (p *Proc) registerHandlers() {
 // paper's central abstraction for binding protocols to data structures.
 type Space struct {
 	// ID is the space's index, identical on every processor (spaces are
-	// created collectively).
+	// created collectively). Table slots are recycled by FreeSpace, so
+	// an ID alone does not name a space across its whole lifetime — the
+	// (ID, Gen) pair does (see Ref).
 	ID int
+	// Gen is the table slot's generation at creation, bumped every time
+	// the slot is freed. A SpaceRef carrying an older generation is
+	// stale and refuses to resolve (SpaceByRef), so recycled slots never
+	// alias.
+	Gen uint64
 	// ProtoName is the current protocol's registered name.
 	ProtoName string
 	// Proto is this processor's instance of the protocol.
@@ -830,7 +892,19 @@ type Space struct {
 	// migration is enabled (Cluster.migrate).
 	homeIn uint64
 	regIn  map[RegionID]uint64
+
+	// dead is set by FreeSpace once the space has been flushed and its
+	// slot recycled; allocation and lookup paths check it lock-free.
+	dead atomic.Bool
 }
+
+// Ref returns the space's generation-tagged identifier, the handle a
+// layer above the runtime (a session gateway mapping rooms to spaces)
+// holds across the space's lifetime. Identical on every processor.
+func (sp *Space) Ref() SpaceRef { return SpaceRef{ID: sp.ID, Gen: sp.Gen} }
+
+// Freed reports whether the space has been destroyed by FreeSpace.
+func (sp *Space) Freed() bool { return sp.dead.Load() }
 
 // countHomeIn charges n delivered protocol messages to the home region
 // id. Caller holds sp.eng.

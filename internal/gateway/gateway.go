@@ -1,0 +1,576 @@
+// Package gateway is the session front door: a websocket gateway that
+// multiplexes large numbers of external client sessions onto spaces.
+// Each room maps to one space (created collectively on first join,
+// destroyed collectively on last leave — exercising the space
+// lifecycle DESIGN.md §14 describes), client ops are applied through
+// brackets by the room's home processor, and when the adaptive
+// controller is enabled each room's protocol follows its live traffic.
+//
+// Concurrency model. The gateway runs an in-process Ace cluster whose
+// application threads execute a command loop instead of an SPMD
+// program. A single coordinator goroutine is the only producer of
+// commands: collective commands (create, destroy, barrier) are pushed
+// to every processor's channel in the same order — which is exactly
+// the collective call discipline NewSpace/FreeSpace/Barrier demand —
+// while drain commands go only to the room's home processor. Client
+// sessions never touch the runtime directly: readers enqueue decoded
+// ops on the room's bounded op queue, the home processor's loop
+// applies them through brackets, and events flow back through each
+// session's bounded send queue under a slow-client policy.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/acedsm/ace/internal/core"
+	"github.com/acedsm/ace/internal/trace"
+	"github.com/acedsm/ace/proto"
+)
+
+// SlowPolicy selects what happens to a session whose bounded send
+// queue is full when an event must be delivered.
+type SlowPolicy int
+
+const (
+	// SlowDrop drops the event and counts it; a session exceeding its
+	// drop budget in a row is closed as a slow client.
+	SlowDrop SlowPolicy = iota
+	// SlowClose closes the session at the first full-queue event.
+	SlowClose
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Procs is the cluster size backing the gateway. Default 4.
+	Procs int
+	// Protocol is the protocol new room spaces start on. Default "sc".
+	Protocol string
+	// Adapt, if non-nil, enables the adaptive controller: each room's
+	// protocol then follows its live traffic, evaluated at the
+	// gateway's periodic room barriers.
+	Adapt *core.AdaptConfig
+	// OpQueue bounds each room's pending-op queue. Default 256.
+	OpQueue int
+	// SendQueue bounds each session's event send queue. Default 64.
+	SendQueue int
+	// Policy is the slow-client policy. Default SlowDrop.
+	Policy SlowPolicy
+	// DropBudget is how many consecutive drops a SlowDrop session
+	// survives before it is closed. Default 64.
+	DropBudget int
+	// Quantum is the most ops one drain applies before the room yields
+	// to other rooms on the same home processor. Default 32.
+	Quantum int
+	// BarrierEvery is how many drains a room goes between collective
+	// space barriers (the adaptive controller's evaluation points).
+	// Default 16.
+	BarrierEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.Protocol == "" {
+		c.Protocol = "sc"
+	}
+	if c.OpQueue <= 0 {
+		c.OpQueue = 256
+	}
+	if c.SendQueue <= 0 {
+		c.SendQueue = 64
+	}
+	if c.DropBudget <= 0 {
+		c.DropBudget = 64
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 32
+	}
+	if c.BarrierEvery <= 0 {
+		c.BarrierEvery = 16
+	}
+	return c
+}
+
+// ctl command kinds.
+const (
+	ctlCreate  = iota // collective: NewSpace + room region setup
+	ctlDestroy        // collective: FreeSpace
+	ctlBarrier        // collective: space barrier (adapt evaluation)
+	ctlDrain          // home only: apply queued ops through brackets
+	ctlStop           // collective: exit the command loop
+)
+
+type ctlCmd struct {
+	kind int
+	room *room
+	done *sync.WaitGroup // collective commands: one Done per processor
+}
+
+// roomOp is one client op queued for the room's home processor.
+type roomOp struct {
+	f    Frame
+	sess *session
+}
+
+// room is one live room: a space, its state region, its members, and
+// its bounded op queue.
+type room struct {
+	name string
+	home int // home processor: applies ops, owns the state region
+
+	// sps holds each processor's handle on the room's space, written by
+	// that processor during ctlCreate (disjoint indices) and read only
+	// after the create completes.
+	sps []*core.Space
+	ref core.SpaceRef // generation-tagged id, identical on every proc
+	rid core.RegionID // room state region, homed at home
+	reg *core.Region  // home processor's mapped view (home only)
+
+	mu      sync.Mutex
+	members map[*session]struct{}
+	ops     []roomOp
+	dead    bool
+
+	// queued marks the room as present in the gateway's ready queue, so
+	// it occupies at most one slot there (the fairness scheduler's
+	// round-robin invariant).
+	queued atomic.Bool
+
+	drains int // drains since the last barrier tick (home proc only)
+}
+
+// request kinds from sessions to the coordinator.
+const (
+	reqJoin = iota
+	reqLeave
+	reqDisconnect
+)
+
+type request struct {
+	kind int
+	room string
+	sess *session
+}
+
+// Gateway multiplexes websocket sessions onto room spaces.
+type Gateway struct {
+	cfg   Config
+	cl    *core.Cluster
+	stats trace.GateStats
+
+	reqCh   chan request
+	readyCh chan *room // rooms with queued ops; ≤1 entry per room
+	ctl     []chan ctlCmd
+
+	mu     sync.Mutex
+	rooms  map[string]*room
+	closed bool
+
+	runDone chan error // cluster Run result
+	coDone  chan struct{}
+	nextSID atomic.Uint64
+}
+
+// New starts a gateway: the backing cluster's processors enter their
+// command loops and the coordinator starts. Close shuts it down.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	opts := core.Options{
+		Procs:    cfg.Procs,
+		Registry: proto.NewRegistry(),
+		Adapt:    cfg.Adapt,
+	}
+	cl, err := core.NewCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		cl:      cl,
+		reqCh:   make(chan request, 1024),
+		readyCh: make(chan *room, 1<<16),
+		ctl:     make([]chan ctlCmd, cfg.Procs),
+		rooms:   make(map[string]*room),
+		runDone: make(chan error, 1),
+		coDone:  make(chan struct{}),
+	}
+	for i := range g.ctl {
+		g.ctl[i] = make(chan ctlCmd, 256)
+	}
+	go func() {
+		g.runDone <- cl.Run(g.procLoop)
+	}()
+	go g.coordinator()
+	return g, nil
+}
+
+// Stats returns the gateway's telemetry.
+func (g *Gateway) Stats() *trace.GateStats { return &g.stats }
+
+// SpaceSlots returns the backing space table's length on processor 0 —
+// the bound the churn tests watch.
+func (g *Gateway) SpaceSlots() int { return g.cl.Local()[0].SpaceSlots() }
+
+// LiveRooms returns the number of live rooms.
+func (g *Gateway) LiveRooms() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.rooms)
+}
+
+// Close destroys every room, stops the cluster, and waits for it.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return errors.New("gateway: already closed")
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.coDone)
+	err := <-g.runDone
+	g.cl.Close()
+	return err
+}
+
+// coordinator is the single producer of processor commands. It owns
+// room lifecycle: create-on-first-join, destroy-on-last-leave, and
+// round-robin drain dispatch across ready rooms (per-room fairness:
+// every ready room gets one quantum before any room gets a second).
+func (g *Gateway) coordinator() {
+	for {
+		select {
+		case <-g.coDone:
+			g.shutdown()
+			return
+		case req := <-g.reqCh:
+			g.handleRequest(req)
+		case rm := <-g.readyCh:
+			g.dispatchDrain(rm)
+		}
+	}
+}
+
+// shutdown destroys all rooms and stops the processor loops.
+func (g *Gateway) shutdown() {
+	g.mu.Lock()
+	rooms := make([]*room, 0, len(g.rooms))
+	for _, rm := range g.rooms {
+		rooms = append(rooms, rm)
+	}
+	g.rooms = map[string]*room{}
+	g.mu.Unlock()
+	for _, rm := range rooms {
+		g.destroyRoom(rm)
+	}
+	g.collective(ctlCmd{kind: ctlStop})
+}
+
+// collective pushes cmd to every processor in rank order and waits for
+// all of them to execute it.
+func (g *Gateway) collective(cmd ctlCmd) {
+	var wg sync.WaitGroup
+	wg.Add(len(g.ctl))
+	cmd.done = &wg
+	for _, ch := range g.ctl {
+		ch <- cmd
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) handleRequest(req request) {
+	switch req.kind {
+	case reqJoin:
+		g.join(req.sess, req.room)
+	case reqLeave:
+		g.leave(req.sess, req.room)
+	case reqDisconnect:
+		for name := range req.sess.joined {
+			g.leave(req.sess, name)
+		}
+		g.stats.SessionsClosed.Add(1)
+	}
+}
+
+func (g *Gateway) join(s *session, name string) {
+	if s.isClosed() {
+		return
+	}
+	g.mu.Lock()
+	rm := g.rooms[name]
+	g.mu.Unlock()
+	if rm == nil {
+		rm = g.createRoom(name)
+		if rm == nil {
+			s.sendFrame(Frame{Kind: EvError, Room: name, Msg: "room create failed"})
+			return
+		}
+	}
+	rm.mu.Lock()
+	rm.members[s] = struct{}{}
+	rm.mu.Unlock()
+	s.joined[name] = struct{}{}
+	s.sendFrame(Frame{Kind: EvJoined, Room: name, Space: rm.ref.ID, Gen: rm.ref.Gen})
+	// Serve the initial state through the normal op path, so it is
+	// ordered after every previously applied op.
+	g.enqueueOp(rm, roomOp{f: Frame{Kind: OpGet, Room: name}, sess: s})
+}
+
+func (g *Gateway) leave(s *session, name string) {
+	g.mu.Lock()
+	rm := g.rooms[name]
+	g.mu.Unlock()
+	delete(s.joined, name)
+	if rm == nil {
+		return
+	}
+	rm.mu.Lock()
+	_, was := rm.members[s]
+	delete(rm.members, s)
+	empty := len(rm.members) == 0
+	rm.mu.Unlock()
+	if was {
+		s.sendFrame(Frame{Kind: EvLeft, Room: name})
+	}
+	if empty {
+		g.mu.Lock()
+		delete(g.rooms, name)
+		g.mu.Unlock()
+		g.destroyRoom(rm)
+	}
+}
+
+// createRoom drives the collective space creation for a new room and
+// publishes it. Runs on the coordinator, so creations are serialized.
+func (g *Gateway) createRoom(name string) *room {
+	if len(name) == 0 || len(name) > MaxRoomName {
+		return nil
+	}
+	rm := &room{
+		name:    name,
+		home:    roomHome(name, g.cfg.Procs),
+		sps:     make([]*core.Space, g.cfg.Procs),
+		members: make(map[*session]struct{}),
+	}
+	g.collective(ctlCmd{kind: ctlCreate, room: rm})
+	if rm.reg == nil {
+		// Create failed after the collective NewSpace; free the orphan
+		// spaces so the failure doesn't leak table slots.
+		g.destroyRoom(rm)
+		return nil
+	}
+	g.mu.Lock()
+	g.rooms[name] = rm
+	g.mu.Unlock()
+	g.stats.RoomsCreated.Add(1)
+	return rm
+}
+
+// destroyRoom drains the room's last ops and drives the collective
+// FreeSpace. The room must already be unpublished from g.rooms.
+func (g *Gateway) destroyRoom(rm *room) {
+	rm.mu.Lock()
+	rm.dead = true
+	dropped := len(rm.ops)
+	rm.ops = nil
+	rm.mu.Unlock()
+	if dropped > 0 {
+		g.stats.OpsDropped.Add(uint64(dropped))
+	}
+	g.collective(ctlCmd{kind: ctlDestroy, room: rm})
+	g.stats.RoomsDestroyed.Add(1)
+}
+
+// dispatchDrain hands one ready room a quantum on its home processor.
+func (g *Gateway) dispatchDrain(rm *room) {
+	rm.queued.Store(false)
+	rm.mu.Lock()
+	skip := rm.dead || len(rm.ops) == 0
+	rm.mu.Unlock()
+	if skip {
+		return
+	}
+	g.ctl[rm.home] <- ctlCmd{kind: ctlDrain, room: rm}
+	if rm.drains++; rm.drains >= g.cfg.BarrierEvery {
+		rm.drains = 0
+		g.collective(ctlCmd{kind: ctlBarrier, room: rm})
+	}
+}
+
+// enqueueOp appends one client op to the room's bounded queue and
+// marks the room ready. A full queue or a dead room drops the op.
+func (g *Gateway) enqueueOp(rm *room, op roomOp) {
+	rm.mu.Lock()
+	if rm.dead || len(rm.ops) >= g.cfg.OpQueue {
+		rm.mu.Unlock()
+		g.stats.OpsDropped.Add(1)
+		return
+	}
+	rm.ops = append(rm.ops, op)
+	depth := len(rm.ops)
+	rm.mu.Unlock()
+	g.stats.ObserveOpQueue(depth)
+	if rm.queued.CompareAndSwap(false, true) {
+		g.readyCh <- rm
+	}
+}
+
+// roomHome maps a room name to its home processor (FNV-1a).
+func roomHome(name string, procs int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % uint32(procs))
+}
+
+// procLoop is each processor's application thread: it executes the
+// coordinator's command stream. Collective commands appear in the same
+// order in every stream; drains only in the home's.
+func (g *Gateway) procLoop(p *core.Proc) error {
+	me := p.ID()
+	for cmd := range g.ctl[me] {
+		switch cmd.kind {
+		case ctlCreate:
+			g.doCreate(p, cmd.room)
+			cmd.done.Done()
+		case ctlDestroy:
+			rm := cmd.room
+			if sp := rm.sps[me]; sp != nil {
+				if err := p.FreeSpace(sp); err != nil {
+					// A failed collective free leaves the cluster wedged;
+					// surface it loudly through Run's error.
+					cmd.done.Done()
+					return fmt.Errorf("gateway: proc %d: free %q: %w", me, rm.name, err)
+				}
+				rm.sps[me] = nil
+			}
+			cmd.done.Done()
+		case ctlBarrier:
+			if sp := cmd.room.sps[me]; sp != nil && !sp.Freed() {
+				p.Barrier(sp)
+			}
+			cmd.done.Done()
+		case ctlDrain:
+			g.drain(p, cmd.room)
+		case ctlStop:
+			cmd.done.Done()
+			return nil
+		}
+	}
+	return nil
+}
+
+// doCreate is the per-processor half of room creation: collective
+// NewSpace, then the home allocates the state region (through the
+// error-returning allocator — the size is a constant here, but the
+// boundary stays panic-free) and shares its id.
+func (g *Gateway) doCreate(p *core.Proc, rm *room) {
+	me := p.ID()
+	sp, err := p.NewSpace(g.cfg.Protocol)
+	if err != nil {
+		return // collective mismatch: Run is about to fail anyway
+	}
+	rm.sps[me] = sp // recorded before any failure so cleanup can free it
+	var id core.RegionID
+	if me == rm.home {
+		id, err = p.GMallocE(sp, RoomStateBytes)
+		if err != nil {
+			id = 0
+		}
+	}
+	id = p.BroadcastID(rm.home, id)
+	if id == 0 {
+		return // allocation failed; rm.reg stays nil and create fails
+	}
+	if me == rm.home {
+		rm.ref = sp.Ref()
+		rm.rid = id
+		rm.reg = p.Map(id)
+	}
+}
+
+// drain applies up to one quantum of the room's queued ops through
+// brackets on the home processor, broadcasting deltas to members. The
+// space is resolved through its generation-tagged ref: a drain racing
+// a destroy observes the stale ref and drops the batch instead of
+// touching the slot's next occupant.
+func (g *Gateway) drain(p *core.Proc, rm *room) {
+	rm.mu.Lock()
+	n := len(rm.ops)
+	if n > g.cfg.Quantum {
+		n = g.cfg.Quantum
+	}
+	batch := rm.ops[:n:n]
+	rm.ops = rm.ops[n:]
+	rm.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	if _, err := p.SpaceByRef(rm.ref); err != nil {
+		g.stats.StaleSpaceRefs.Add(uint64(n))
+		g.stats.OpsDropped.Add(uint64(n))
+		return
+	}
+	r := rm.reg
+	for _, op := range batch {
+		switch op.f.Kind {
+		case OpSet:
+			p.StartWrite(r)
+			r.Data.SetInt64(op.f.Cell, op.f.Value)
+			p.EndWrite(r)
+			g.stats.OpsApplied.Add(1)
+			g.broadcast(rm, Frame{Kind: EvDelta, Room: rm.name, Cell: op.f.Cell, Value: op.f.Value})
+		case OpAdd:
+			p.StartWrite(r)
+			v := r.Data.Int64(op.f.Cell) + op.f.Value
+			r.Data.SetInt64(op.f.Cell, v)
+			p.EndWrite(r)
+			g.stats.OpsApplied.Add(1)
+			g.broadcast(rm, Frame{Kind: EvDelta, Room: rm.name, Cell: op.f.Cell, Value: v})
+		case OpGet:
+			state := make([]int64, RoomCells)
+			p.StartRead(r)
+			for i := range state {
+				state[i] = r.Data.Int64(i)
+			}
+			p.EndRead(r)
+			g.stats.OpsApplied.Add(1)
+			op.sess.sendFrame(Frame{Kind: EvState, Room: rm.name, State: state})
+		default:
+			g.stats.OpsDropped.Add(1)
+		}
+	}
+	// Requeue behind every other ready room if work remains — the
+	// per-room fairness half of the scheduler.
+	rm.mu.Lock()
+	more := !rm.dead && len(rm.ops) > 0
+	rm.mu.Unlock()
+	if more && rm.queued.CompareAndSwap(false, true) {
+		g.readyCh <- rm
+	}
+}
+
+// broadcast sends an event to every member through its bounded send
+// queue (the slow-client policy applies per session).
+func (g *Gateway) broadcast(rm *room, f Frame) {
+	buf, err := EncodeFrame(f)
+	if err != nil {
+		return
+	}
+	g.stats.Broadcasts.Add(1)
+	rm.mu.Lock()
+	members := make([]*session, 0, len(rm.members))
+	for s := range rm.members {
+		members = append(members, s)
+	}
+	rm.mu.Unlock()
+	for _, s := range members {
+		s.send(buf)
+	}
+}

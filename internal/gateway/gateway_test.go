@@ -1,0 +1,412 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/acedsm/ace/internal/core"
+)
+
+// startGateway spins up a gateway and a loopback server for it.
+func startGateway(t *testing.T, cfg Config) (*Gateway, *Server) {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		g.Close()
+		t.Fatalf("listen: %v", err)
+	}
+	srv := g.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		if err := g.Close(); err != nil {
+			t.Errorf("gateway close: %v", err)
+		}
+	})
+	return g, srv
+}
+
+func dial(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	return c
+}
+
+// waitFor polls cond for up to 5s — for effects that trail the wire
+// protocol (room teardown runs after the leave event is sent).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	state := make([]int64, RoomCells)
+	for i := range state {
+		state[i] = int64(i * 31)
+	}
+	frames := []Frame{
+		{Kind: OpJoin, Room: "lobby"},
+		{Kind: OpLeave, Room: "lobby"},
+		{Kind: OpSet, Room: "a", Cell: 7, Value: -12345},
+		{Kind: OpAdd, Room: "b", Cell: 63, Value: 1 << 40},
+		{Kind: OpGet, Room: "c"},
+		{Kind: EvJoined, Room: "d", Space: 9, Gen: 4},
+		{Kind: EvLeft, Room: "d"},
+		{Kind: EvDelta, Room: "e", Cell: 0, Value: 1},
+		{Kind: EvState, Room: "f", State: state},
+		{Kind: EvError, Room: "g", Msg: "nope"},
+	}
+	for _, f := range frames {
+		buf, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %#x: %v", f.Kind, err)
+		}
+		got, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", f.Kind, err)
+		}
+		if got.Kind != f.Kind || got.Room != f.Room || got.Cell != f.Cell ||
+			got.Value != f.Value || got.Space != f.Space || got.Gen != f.Gen || got.Msg != f.Msg {
+			t.Fatalf("roundtrip %#x: got %+v, want %+v", f.Kind, got, f)
+		}
+		for i := range f.State {
+			if got.State[i] != f.State[i] {
+				t.Fatalf("roundtrip state[%d]: %d != %d", i, got.State[i], f.State[i])
+			}
+		}
+	}
+}
+
+func TestDecodeFrameMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{OpJoin},
+		{OpJoin, 5, 'a'},                       // truncated room
+		{0x00, 0},                              // unknown kind
+		{0xFF, 0},                              // unknown kind
+		{OpJoin, 0, 1, 2, 3},                   // trailing bytes
+		{OpSet, 0, 9},                          // short body
+		{OpSet, 0, 64, 0, 0, 0, 0, 0, 0, 0, 0}, // cell out of range
+		{EvJoined, 0, 1, 2, 3},                 // short EvJoined
+		append([]byte{EvState, 0}, make([]byte, 8)...), // short state
+	}
+	for i, buf := range cases {
+		if _, err := DecodeFrame(buf); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("case %d (% x): err=%v, want ErrBadFrame", i, buf, err)
+		}
+	}
+}
+
+// TestJoinApplyLeave is the end-to-end happy path: join creates the
+// room space, ops apply through brackets, the last leave destroys it
+// and the table slot is recycled.
+func TestJoinApplyLeave(t *testing.T) {
+	g, srv := startGateway(t, Config{Procs: 2})
+	c := dial(t, srv)
+	defer c.Close()
+
+	slots := g.SpaceSlots()
+	if _, _, err := c.Join("alpha"); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if got := g.LiveRooms(); got != 1 {
+		t.Fatalf("live rooms %d, want 1", got)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if err := c.Add("alpha", 3, i); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+	}
+	if err := c.Set("alpha", 5, 42); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	state, err := c.Get("alpha")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if state[3] != 55 || state[5] != 42 {
+		t.Fatalf("state[3]=%d state[5]=%d, want 55 and 42", state[3], state[5])
+	}
+	if err := c.Leave("alpha"); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	// The room unpublishes before the collective FreeSpace completes and
+	// bumps RoomsDestroyed, so wait on the counter too.
+	waitFor(t, "room destroy", func() bool {
+		return g.LiveRooms() == 0 && g.Stats().Snapshot().RoomsDestroyed == 1
+	})
+	if got := g.SpaceSlots(); got > slots+1 {
+		t.Fatalf("space table grew %d -> %d after one room's lifetime", slots, got)
+	}
+	if s := g.Stats().Snapshot(); s.RoomsCreated != 1 {
+		t.Fatalf("rooms created %d, want 1", s.RoomsCreated)
+	}
+}
+
+// TestBroadcastDeltas: a second member of the room observes the
+// writer's deltas.
+func TestBroadcastDeltas(t *testing.T) {
+	_, srv := startGateway(t, Config{Procs: 2})
+	writer, watcher := dial(t, srv), dial(t, srv)
+	defer writer.Close()
+	defer watcher.Close()
+
+	if _, _, err := writer.Join("r"); err != nil {
+		t.Fatalf("writer join: %v", err)
+	}
+	if _, _, err := watcher.Join("r"); err != nil {
+		t.Fatalf("watcher join: %v", err)
+	}
+	if err := writer.Add("r", 1, 5); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	f, err := watcher.WaitFor(EvDelta, "r")
+	if err != nil {
+		t.Fatalf("watcher delta: %v", err)
+	}
+	if f.Cell != 1 || f.Value != 5 {
+		t.Fatalf("delta cell %d value %d, want 1/5", f.Cell, f.Value)
+	}
+}
+
+// TestRoomChurnBounded is the gateway-level churn test: rooms created
+// and destroyed in waves leave the space table bounded by the wave
+// width, and the generation of a recycled slot advances.
+func TestRoomChurnBounded(t *testing.T) {
+	g, srv := startGateway(t, Config{Procs: 3})
+	c := dial(t, srv)
+	defer c.Close()
+
+	const waves, width = 6, 5
+	base := g.SpaceSlots()
+	gens := map[string]uint64{}
+	for w := 0; w < waves; w++ {
+		names := make([]string, width)
+		for i := range names {
+			names[i] = fmt.Sprintf("room-%d", i)
+			if _, gen, err := c.Join(names[i]); err != nil {
+				t.Fatalf("wave %d join %s: %v", w, names[i], err)
+			} else if w > 0 && gen <= gens[names[i]] {
+				t.Fatalf("wave %d: %s generation %d did not advance past %d", w, names[i], gen, gens[names[i]])
+			} else {
+				gens[names[i]] = gen
+			}
+			if err := c.Add(names[i], 0, int64(w)); err != nil {
+				t.Fatalf("add: %v", err)
+			}
+		}
+		for _, name := range names {
+			if err := c.Leave(name); err != nil {
+				t.Fatalf("wave %d leave %s: %v", w, name, err)
+			}
+		}
+		// Rooms unpublish before the collective FreeSpace completes and
+		// bumps the counter, so wait on the counter, not just LiveRooms.
+		wantDestroyed := uint64((w + 1) * width)
+		waitFor(t, "wave teardown", func() bool {
+			return g.LiveRooms() == 0 && g.Stats().Snapshot().RoomsDestroyed == wantDestroyed
+		})
+		if got := g.SpaceSlots(); got > base+width {
+			t.Fatalf("wave %d: table at %d slots (base %d, width %d) — leak", w, got, base, width)
+		}
+	}
+	s := g.Stats().Snapshot()
+	if s.RoomsCreated != waves*width || s.RoomsDestroyed != waves*width {
+		t.Fatalf("rooms created %d destroyed %d, want %d", s.RoomsCreated, s.RoomsDestroyed, waves*width)
+	}
+}
+
+// TestStaleRefRejected: a destroyed room's generation-tagged ref must
+// refuse to resolve even after the slot is recycled by a new room.
+func TestStaleRefRejected(t *testing.T) {
+	g, srv := startGateway(t, Config{Procs: 2})
+	c := dial(t, srv)
+	defer c.Close()
+
+	space, gen, err := c.Join("old")
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	stale := core.SpaceRef{ID: space, Gen: gen}
+	if err := c.Leave("old"); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	waitFor(t, "destroy", func() bool { return g.LiveRooms() == 0 })
+
+	space2, gen2, err := c.Join("new")
+	if err != nil {
+		t.Fatalf("join new: %v", err)
+	}
+	if space2 != space {
+		t.Fatalf("slot %d not recycled: new room got %d", space, space2)
+	}
+	if gen2 <= gen {
+		t.Fatalf("generation did not advance: %d -> %d", gen, gen2)
+	}
+	p := g.cl.Local()[0]
+	if _, err := p.SpaceByRef(stale); !errors.Is(err, core.ErrStaleSpace) {
+		t.Fatalf("stale ref resolved: err=%v", err)
+	}
+}
+
+// TestMalformedFramesNoPanic hammers the decode boundary over a live
+// connection: every malformed payload answers with EvError (or is
+// survived), the connection keeps working, and nothing panics.
+func TestMalformedFramesNoPanic(t *testing.T) {
+	g, srv := startGateway(t, Config{Procs: 2})
+	c := dial(t, srv)
+	defer c.Close()
+
+	bad := [][]byte{
+		{},
+		{0x00},
+		{0xFF, 0xFF},
+		{OpJoin, 200},
+		{OpSet, 0, 64, 1, 2, 3, 4, 5, 6, 7, 8},
+		{EvDelta, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0}, // server kind from a client
+		make([]byte, 300),
+	}
+	for i, payload := range bad {
+		if err := c.SendRaw(payload); err != nil {
+			t.Fatalf("send raw %d: %v", i, err)
+		}
+		if _, err := c.WaitFor(EvError, ""); err != nil {
+			t.Fatalf("bad frame %d: no error event: %v", i, err)
+		}
+	}
+	// The session survived all of it: a normal op still works.
+	if _, _, err := c.Join("after"); err != nil {
+		t.Fatalf("join after malformed frames: %v", err)
+	}
+	if s := g.Stats().Snapshot(); s.BadFrames < uint64(len(bad)) {
+		t.Fatalf("BadFrames %d, want >= %d", s.BadFrames, len(bad))
+	}
+}
+
+// TestSlowClientClose: with the SlowClose policy and a tiny send
+// queue, a member that never reads is closed instead of stalling the
+// room's broadcasts.
+func TestSlowClientClose(t *testing.T) {
+	g, srv := startGateway(t, Config{Procs: 2, SendQueue: 2, Policy: SlowClose})
+	writer, slow := dial(t, srv), dial(t, srv)
+	defer writer.Close()
+	defer slow.Close()
+
+	if _, _, err := writer.Join("s"); err != nil {
+		t.Fatalf("writer join: %v", err)
+	}
+	if _, _, err := slow.Join("s"); err != nil {
+		t.Fatalf("slow join: %v", err)
+	}
+	// The slow client stops reading; the writer floods broadcasts. The
+	// writer doesn't read its own deltas either, so with a cap-2 queue
+	// the server may legitimately close it too — stop flooding then.
+	for i := 0; i < 200; i++ {
+		if err := writer.Add("s", 0, 1); err != nil {
+			break
+		}
+	}
+	waitFor(t, "slow client close", func() bool {
+		return g.Stats().SlowClients.Load() >= 1
+	})
+}
+
+// TestSlowClientDropBudget: with SlowDrop, events are dropped and
+// counted; past the budget the session is closed.
+func TestSlowClientDropBudget(t *testing.T) {
+	g, srv := startGateway(t, Config{Procs: 2, SendQueue: 2, Policy: SlowDrop, DropBudget: 8})
+	writer, slow := dial(t, srv), dial(t, srv)
+	defer writer.Close()
+	defer slow.Close()
+
+	if _, _, err := writer.Join("s"); err != nil {
+		t.Fatalf("writer join: %v", err)
+	}
+	if _, _, err := slow.Join("s"); err != nil {
+		t.Fatalf("slow join: %v", err)
+	}
+	// As in TestSlowClientClose: the non-reading writer may exhaust its
+	// own drop budget and be closed — the flood has done its job then.
+	for i := 0; i < 500; i++ {
+		if err := writer.Add("s", 0, 1); err != nil {
+			break
+		}
+	}
+	waitFor(t, "drop budget exhaustion", func() bool {
+		s := g.Stats().Snapshot()
+		return s.SendQueueDrops > 0 && s.SlowClients >= 1
+	})
+}
+
+// TestConcurrentSessionsChurn runs many sessions joining, writing and
+// leaving overlapping rooms concurrently — the -race workout for the
+// coordinator, the worker pump, and the session queues.
+func TestConcurrentSessionsChurn(t *testing.T) {
+	g, srv := startGateway(t, Config{Procs: 3})
+	const sessions, rounds, rooms = 12, 4, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := DialClient(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			c.SetDeadline(time.Now().Add(60 * time.Second))
+			for r := 0; r < rounds; r++ {
+				room := fmt.Sprintf("churn-%d", (id+r)%rooms)
+				if _, _, err := c.Join(room); err != nil {
+					errs <- fmt.Errorf("session %d join %s: %w", id, room, err)
+					return
+				}
+				cell := id % RoomCells
+				for k := 0; k < 10; k++ {
+					if err := c.Add(room, cell, 1); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if _, err := c.Get(room); err != nil {
+					errs <- fmt.Errorf("session %d get %s: %w", id, room, err)
+					return
+				}
+				if err := c.Leave(room); err != nil {
+					errs <- fmt.Errorf("session %d leave %s: %w", id, room, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	waitFor(t, "teardown", func() bool { return g.LiveRooms() == 0 })
+	if slots := g.SpaceSlots(); slots > 1+rooms {
+		t.Fatalf("space table at %d slots after churn (max %d rooms live)", slots, rooms)
+	}
+}

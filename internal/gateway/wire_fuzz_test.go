@@ -1,0 +1,67 @@
+package gateway
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the gateway's client-facing decode boundary:
+// DecodeFrame must never panic, and anything it accepts must re-encode
+// and re-decode to the same frame (a decode/encode fixed point). The
+// seed corpus in testdata/fuzz/FuzzDecodeFrame covers every frame kind
+// plus the historically interesting malformed shapes.
+func FuzzDecodeFrame(f *testing.F) {
+	// One well-formed seed per kind.
+	for _, fr := range []Frame{
+		{Kind: OpJoin, Room: "lobby"},
+		{Kind: OpLeave, Room: "lobby"},
+		{Kind: OpSet, Room: "r", Cell: 1, Value: 7},
+		{Kind: OpAdd, Room: "r", Cell: 63, Value: -1},
+		{Kind: OpGet, Room: "r"},
+		{Kind: EvJoined, Room: "r", Space: 3, Gen: 9},
+		{Kind: EvLeft, Room: "r"},
+		{Kind: EvDelta, Room: "r", Cell: 0, Value: 1},
+		{Kind: EvState, Room: "r", State: make([]int64, RoomCells)},
+		{Kind: EvError, Room: "r", Msg: "boom"},
+	} {
+		buf, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatalf("seed encode %#x: %v", fr.Kind, err)
+		}
+		f.Add(buf)
+	}
+	// Malformed seeds: truncations, bad lengths, bad kinds.
+	f.Add([]byte{})
+	f.Add([]byte{OpJoin})
+	f.Add([]byte{OpJoin, 255})
+	f.Add([]byte{OpSet, 0, 64, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0x00})
+	f.Add(bytes.Repeat([]byte{0x84}, 600))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return // rejected — that is fine, as long as we got here
+		}
+		buf, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", fr, err)
+		}
+		fr2, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if fr2.Kind != fr.Kind || fr2.Room != fr.Room || fr2.Cell != fr.Cell ||
+			fr2.Value != fr.Value || fr2.Space != fr.Space || fr2.Gen != fr.Gen || fr2.Msg != fr.Msg {
+			t.Fatalf("decode/encode not a fixed point: %+v vs %+v", fr, fr2)
+		}
+		if len(fr2.State) != len(fr.State) {
+			t.Fatalf("state length changed: %d vs %d", len(fr.State), len(fr2.State))
+		}
+		for i := range fr.State {
+			if fr.State[i] != fr2.State[i] {
+				t.Fatalf("state[%d] changed: %d vs %d", i, fr.State[i], fr2.State[i])
+			}
+		}
+	})
+}

@@ -84,7 +84,15 @@ type RT interface {
 type SpaceRT interface {
 	RT
 	NewSpace(protoName string) (SpaceID, error)
+	// FreeSpace destroys the space and recycles its slot (collective).
+	// The SpaceID is dead afterwards; a later NewSpace may hand it out
+	// again for a different space.
+	FreeSpace(sp SpaceID) error
 	MallocIn(sp SpaceID, size int) core.RegionID
+	// MallocInE is MallocIn with the validity checks surfaced as errors
+	// instead of panics — the variant for sizes derived from external
+	// input (a gateway's client frames).
+	MallocInE(sp SpaceID, size int) (core.RegionID, error)
 	BarrierSpace(sp SpaceID)
 	ChangeProtocol(sp SpaceID, protoName string) error
 }
@@ -161,9 +169,35 @@ func (a *AceRT) NewSpace(protoName string) (SpaceID, error) {
 	return SpaceID(sp.ID), nil
 }
 
+// FreeSpace destroys the space and recycles its table slot (collective).
+func (a *AceRT) FreeSpace(sp SpaceID) error {
+	if int(sp) <= 0 || int(sp) >= len(a.spaces) || a.spaces[sp] == nil {
+		return fmt.Errorf("rtiface: FreeSpace of unknown space %d", sp)
+	}
+	if err := a.P.FreeSpace(a.spaces[sp]); err != nil {
+		return err
+	}
+	a.spaces[sp] = nil // a later NewSpace may recycle the slot
+	return nil
+}
+
 // MallocIn allocates from the given space.
 func (a *AceRT) MallocIn(sp SpaceID, size int) core.RegionID {
 	return a.P.GMalloc(a.space(sp), size)
+}
+
+// MallocInE allocates from the given space, returning errors (bad size,
+// freed space, unknown space) instead of panicking.
+func (a *AceRT) MallocInE(sp SpaceID, size int) (core.RegionID, error) {
+	var csp *core.Space
+	if int(sp) == 0 {
+		csp = a.P.DefaultSpace()
+	} else if int(sp) > 0 && int(sp) < len(a.spaces) && a.spaces[sp] != nil {
+		csp = a.spaces[sp]
+	} else {
+		return 0, fmt.Errorf("rtiface: MallocInE in unknown space %d", sp)
+	}
+	return a.P.GMallocE(csp, size)
 }
 
 // BarrierSpace runs a barrier with the space's protocol semantics.

@@ -334,7 +334,7 @@ func TestBlockedEnqueueUnblocksOnPeerDown(t *testing.T) {
 // in-flight journal frames (use-after-free via the buffer pool) and
 // wedge the link by making every genuine ack look stale.
 func TestAckNeverJournaledIgnored(t *testing.T) {
-	s := &sender{}
+	s := &sender{ep: &endpoint{}} // ack updates the endpoint's queue gauge
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
 	for i := uint64(1); i <= 3; i++ {

@@ -608,8 +608,13 @@ func (s *sender) probeLoop(wg *sync.WaitGroup) {
 // messages may be dropped).
 func (s *sender) enqueue(frame []byte) {
 	s.mu.Lock()
-	for len(s.journal) >= maxPending && !s.closed {
-		s.notFull.Wait()
+	if len(s.journal) >= maxPending && !s.closed {
+		// Count the stall before parking: a gateway watching NetStats must
+		// see the backpressure while the producer is blocked, not after.
+		s.ep.stats.CountSendQueueStall()
+		for len(s.journal) >= maxPending && !s.closed {
+			s.notFull.Wait()
+		}
 	}
 	if s.closed {
 		s.mu.Unlock()
@@ -620,7 +625,10 @@ func (s *sender) enqueue(frame []byte) {
 	binary.LittleEndian.PutUint64(frame[seqOff:], s.nextSeq)
 	s.queue = append(s.queue, frame)
 	s.journal = append(s.journal, frame)
+	depth := len(s.journal)
 	s.mu.Unlock()
+	s.ep.stats.AddSendQueueDepth(1)
+	s.ep.stats.ObserveSendQueue(depth)
 	s.notEmpty.Signal()
 }
 
@@ -674,6 +682,7 @@ func (s *sender) ack(n uint64) {
 	}
 	s.mu.Unlock()
 	if i > 0 {
+		s.ep.stats.AddSendQueueDepth(-i)
 		s.notFull.Broadcast()
 	}
 }
@@ -948,6 +957,7 @@ func (s *sender) releaseAcked() {
 	s.replaying = false
 	s.mu.Unlock()
 	if i > 0 {
+		s.ep.stats.AddSendQueueDepth(-i)
 		s.notFull.Broadcast()
 	}
 }
@@ -965,12 +975,16 @@ func (s *sender) peerLost() {
 		s.queue[i] = nil
 	}
 	s.queue = nil
+	dropped := len(s.journal)
 	for i, f := range s.journal {
 		amnet.Recycle(f)
 		s.journal[i] = nil
 	}
 	s.journal = nil
 	s.mu.Unlock()
+	if dropped > 0 {
+		s.ep.stats.AddSendQueueDepth(-dropped)
+	}
 	s.stopOnce.Do(func() { close(s.stop) })
 	// Wake or interrupt the writer: when the declaration is external
 	// (DeclarePeerDown) the writer may be parked on the queue or blocked

@@ -46,13 +46,14 @@ const (
 	OpLock
 	OpUnlock
 	OpChangeProtocol
+	OpFreeSpace
 	NumOps
 )
 
 var opNames = [NumOps]string{
 	"gmalloc", "map", "unmap", "start_read", "end_read",
 	"start_write", "end_write", "barrier", "lock", "unlock",
-	"change_protocol",
+	"change_protocol", "free_space",
 }
 
 func (o Op) String() string {

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# gate-smoke: end-to-end gate for the session gateway.
+#
+# Phase 1 — parity: an acegate server on loopback takes a scripted
+# probe fleet (32 websocket sessions over 4 room-spaces, each adding
+# known values through brackets); every member of a room must read the
+# identical converged state — checksum parity across sessions.
+#
+# Phase 2 — lifecycle: the same probe runs again. The first run's
+# rooms were destroyed on last leave, so the rerun re-creates every
+# room-space in recycled table slots under fresh generations; parity
+# must hold again and the server's shutdown stats must show rooms
+# created == rooms destroyed (no leaked spaces).
+#
+# Phase 3 — robustness: raw garbage is thrown at the listener (no
+# websocket handshake, then a handshake followed by junk frames); the
+# server must survive and still pass a probe afterwards.
+set -u
+
+GO=${GO:-go}
+WORK=$(mktemp -d /tmp/gate-smoke.XXXXXX)
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
+PORT=$((28000 + RANDOM % 2000))
+ADDR="127.0.0.1:$PORT"
+
+fail() { echo "gate-smoke: FAIL: $*" >&2; exit 1; }
+
+$GO build -o "$WORK/acegate" ./cmd/acegate || fail "build"
+
+"$WORK/acegate" -addr "$ADDR" -procs 4 >"$WORK/server.log" 2>&1 &
+SERVER=$!
+for _ in $(seq 1 100); do
+    grep -q "serving ws" "$WORK/server.log" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q "serving ws" "$WORK/server.log" || { cat "$WORK/server.log" >&2; fail "server never came up"; }
+
+echo "gate-smoke: probe (32 sessions over 4 rooms)"
+"$WORK/acegate" -probe -addr "$ADDR" -clients 32 -rooms 4 -adds 8 \
+    || { cat "$WORK/server.log" >&2; fail "probe parity"; }
+
+echo "gate-smoke: rerun (rooms re-created in recycled slots)"
+"$WORK/acegate" -probe -addr "$ADDR" -clients 32 -rooms 4 -adds 8 \
+    || { cat "$WORK/server.log" >&2; fail "probe parity on rerun"; }
+
+echo "gate-smoke: garbage connections (no handshake / junk after handshake)"
+# A connection that never speaks websocket, one that speaks garbage
+# HTTP, and one that handshakes and then sends junk bytes: none may
+# take the server down.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" && exec 3>&- 3<&-
+printf 'not http at all\r\n\r\n' >"/dev/tcp/127.0.0.1/$PORT" || true
+printf 'GET / HTTP/1.1\r\nHost: x\r\n\r\n\x00\xff\x13\x37junk' >"/dev/tcp/127.0.0.1/$PORT" || true
+sleep 0.3
+kill -0 "$SERVER" 2>/dev/null || { cat "$WORK/server.log" >&2; fail "server died on garbage input"; }
+
+echo "gate-smoke: probe after garbage"
+"$WORK/acegate" -probe -addr "$ADDR" -clients 8 -rooms 2 -adds 4 \
+    || { cat "$WORK/server.log" >&2; fail "probe parity after garbage"; }
+
+kill -TERM "$SERVER"
+wait "$SERVER" || { cat "$WORK/server.log" >&2; fail "server shutdown"; }
+STATS=$(grep "acegate: sessions=" "$WORK/server.log") || { cat "$WORK/server.log" >&2; fail "no shutdown stats"; }
+echo "gate-smoke: $STATS"
+CREATED=$(sed -n 's/.*rooms=\([0-9]*\)\/\([0-9]*\).*/\1/p' <<<"$STATS")
+DESTROYED=$(sed -n 's/.*rooms=\([0-9]*\)\/\([0-9]*\).*/\2/p' <<<"$STATS")
+[ -n "$CREATED" ] && [ "$CREATED" = "$DESTROYED" ] \
+    || fail "leaked room-spaces: created $CREATED, destroyed $DESTROYED"
+[ "$CREATED" -ge 10 ] || fail "expected at least 10 room creations across the probes, saw $CREATED"
+echo "gate-smoke: PASS"
